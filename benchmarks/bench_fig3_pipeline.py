@@ -1,0 +1,116 @@
+"""E4 / Fig. 3 — per-packet cost of the PERA pipeline stages.
+
+Compares a plain PISA switch against PERA at several design points.
+Expected shape: signing dominates per-packet cost; pointwise
+composition with caching recovers almost all of the RA overhead, which
+is the motivation for the Fig. 4 tuning surface.
+"""
+
+import pytest
+
+from repro.net.headers import RaShimHeader, ip_to_int
+from repro.net.packet import Packet
+from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.switch import PeraSwitch
+from repro.pisa.pipeline import CostModel, PacketContext
+from repro.pisa.programs import ipv4_forwarding_program
+from repro.pisa.runtime import TableEntry
+from repro.pisa.switch import PisaSwitch
+from repro.pisa.tables import MatchKey, MatchKind
+
+from conftest import report, table
+
+
+def make_switch(cls=PisaSwitch, **kwargs):
+    switch = cls("s1", **kwargs)
+    switch.runtime.arbitrate("ctl", 1)
+    switch.runtime.set_forwarding_pipeline_config("ctl", ipv4_forwarding_program())
+    switch.runtime.write("ctl", TableEntry(
+        table="ipv4_lpm",
+        keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+        action="forward", params=(2,),
+    ))
+    return switch
+
+
+def make_packet(with_shim: bool):
+    return Packet.udp_packet(
+        src_mac=1, dst_mac=2,
+        src_ip=ip_to_int("10.0.0.1"), dst_ip=ip_to_int("10.0.1.1"),
+        src_port=1000, dst_port=2000, payload=bytes(64),
+        ra_shim=RaShimHeader(flags=RaShimHeader.FLAG_POLICY) if with_shim else None,
+    )
+
+
+def drive(switch, with_shim: bool, packets: int = 1):
+    packet = make_packet(with_shim)
+    for _ in range(packets):
+        ctx = PacketContext.from_packet(packet, ingress_port=1)
+        switch.process_context(ctx)
+    return switch
+
+
+CONFIGS = {
+    "baseline (no RA)": None,
+    "pointwise+cache": EvidenceConfig(composition=CompositionMode.POINTWISE),
+    "chained": EvidenceConfig(composition=CompositionMode.CHAINED),
+    "traffic-path": EvidenceConfig(composition=CompositionMode.TRAFFIC_PATH),
+    "traffic-path expansive": EvidenceConfig(
+        composition=CompositionMode.TRAFFIC_PATH, detail=DetailLevel.EXPANSIVE
+    ),
+}
+
+
+@pytest.mark.parametrize("label", list(CONFIGS))
+def test_fig3_per_packet_cost(benchmark, label):
+    config = CONFIGS[label]
+    if config is None:
+        switch = make_switch(PisaSwitch)
+        benchmark(lambda: drive(switch, with_shim=False))
+    else:
+        switch = make_switch(PeraSwitch, config=config)
+        benchmark(lambda: drive(switch, with_shim=True))
+
+
+def test_fig3_report(benchmark):
+    # Register as a benchmark so the reproduced table still prints
+    # under --benchmark-only; the real work follows un-timed.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cost_model = CostModel()
+    rows = []
+    packets = 200
+    for label, config in CONFIGS.items():
+        if config is None:
+            switch = make_switch(PisaSwitch)
+            drive(switch, with_shim=False, packets=packets)
+            ra_cost = 0.0
+            signatures = 0
+        else:
+            switch = make_switch(PeraSwitch, config=config)
+            drive(switch, with_shim=True, packets=packets)
+            ra_cost = switch.ra_cost
+            signatures = switch.ra_stats.signatures_produced
+        pipeline_cost = switch.total_cost
+        rows.append({
+            "mode": label,
+            "pipeline cost/pkt": round(pipeline_cost / packets, 1),
+            "ra cost/pkt": round(ra_cost / packets, 1),
+            "sigs/pkt": round(signatures / packets, 2),
+            "overhead x": round(
+                (pipeline_cost + ra_cost) / pipeline_cost, 2
+            ),
+        })
+    report(
+        "Fig. 3: PERA pipeline per-packet cost "
+        f"(sign={cost_model.sign:.0f} units, lookup={cost_model.table_lookup:.0f})",
+        table(rows),
+    )
+    by_mode = {r["mode"]: r for r in rows}
+    # Shapes: per-packet signing dominates; caching recovers most of it.
+    assert by_mode["baseline (no RA)"]["ra cost/pkt"] == 0
+    assert by_mode["pointwise+cache"]["overhead x"] < 1.5
+    assert by_mode["chained"]["overhead x"] > 5
+    assert (
+        by_mode["traffic-path expansive"]["ra cost/pkt"]
+        >= by_mode["traffic-path"]["ra cost/pkt"]
+    )

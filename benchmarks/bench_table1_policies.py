@@ -1,0 +1,189 @@
+"""E3 / Table 1 — compile and execute AP1, AP2 and AP3 end to end.
+
+For each attestation policy: compile for a concrete path, run traffic
+through attesting switches, appraise. Sweeps path length to show the
+linear growth of evidence size and verification work.
+"""
+
+import pytest
+
+from repro.core.appraisal import (
+    PathAppraisalPolicy,
+    PathAppraiser,
+    hardware_reference,
+    program_reference,
+)
+from repro.core.compiler import compile_policy_for_path
+from repro.core.policies import (
+    ap1_bank_path_attestation,
+    ap2_scanner_audit,
+    ap3_path_check,
+)
+from repro.core.raswitch import NetworkAwarePeraSwitch
+from repro.core.wire import encode_compiled_policy
+from repro.crypto.keys import KeyRegistry
+from repro.net.headers import RaShimHeader, ip_to_int
+from repro.net.host import Host
+from repro.net.simulator import Simulator
+from repro.net.topology import linear_topology
+from repro.pera.config import CompositionMode, EvidenceConfig
+from repro.pera.inertia import InertiaClass
+from repro.pisa.programs import acl_program, firewall_program, ipv4_forwarding_program
+from repro.pisa.runtime import TableEntry
+from repro.pisa.tables import MatchKey, MatchKind
+
+from conftest import report, table
+
+
+def build_chain(programs):
+    count = len(programs)
+    topo = linear_topology(count)
+    sim = Simulator(topo)
+    src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
+    dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
+    sim.bind(src)
+    sim.bind(dst)
+    switches = []
+    for i, program in enumerate(programs, start=1):
+        switch = NetworkAwarePeraSwitch(
+            f"s{i}", config=EvidenceConfig(composition=CompositionMode.CHAINED)
+        )
+        sim.bind(switch)
+        switch.runtime.arbitrate("ctl", 1)
+        switch.runtime.set_forwarding_pipeline_config("ctl", program)
+        switch.runtime.write("ctl", TableEntry(
+            table="ipv4_lpm",
+            keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+            action="forward", params=(2,),
+        ))
+        switches.append(switch)
+    return sim, src, dst, switches
+
+
+def appraiser_for(switches, programs):
+    anchors = KeyRegistry()
+    references, names = {}, {}
+    for switch, program in zip(switches, programs):
+        anchors.register_pair(switch.keys)
+        references[switch.name] = {
+            InertiaClass.HARDWARE: hardware_reference(
+                switch.engine.hardware_identity
+            ),
+            InertiaClass.PROGRAM: program_reference(program),
+        }
+        names[program_reference(program)] = program.full_name
+    return PathAppraiser("Appraiser", PathAppraisalPolicy(
+        anchors=anchors, reference_measurements=references,
+        program_names=names,
+    ))
+
+
+def run_ap1(path_switches: int):
+    programs = [ipv4_forwarding_program() for _ in range(path_switches)]
+    sim, src, dst, switches = build_chain(programs)
+    appraiser = appraiser_for(switches, programs)
+    path = ["h-src"] + [s.name for s in switches] + ["h-dst"]
+    compiled = compile_policy_for_path(
+        ap1_bank_path_attestation(), path=path,
+        bindings={"client": "h-dst"},
+        composition=CompositionMode.CHAINED,
+    )
+    src.send_udp(
+        dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2,
+        payload=b"x",
+        ra_shim=RaShimHeader(
+            flags=RaShimHeader.FLAG_POLICY,
+            body=encode_compiled_policy(compiled),
+        ),
+    )
+    sim.run()
+    packet = dst.received_packets[0]
+    verdict = appraiser.appraise_packet(packet, compiled)
+    return verdict, packet.ra_shim.wire_length
+
+
+def run_ap3(path_switches: int = 2):
+    programs = [firewall_program(), acl_program()] + [
+        ipv4_forwarding_program() for _ in range(path_switches - 2)
+    ]
+    sim, src, dst, switches = build_chain(programs)
+    appraiser = appraiser_for(switches, programs)
+    path = ["h-src"] + [s.name for s in switches] + ["h-dst"]
+    compiled = compile_policy_for_path(
+        ap3_path_check(), path=path,
+        bindings={
+            "F1": programs[0].full_name, "F2": programs[1].full_name,
+            "peer1": "h-src", "peer2": "h-dst",
+        },
+    )
+    src.send_udp(
+        dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2, payload=b"x",
+        ra_shim=RaShimHeader(
+            flags=RaShimHeader.FLAG_POLICY,
+            body=encode_compiled_policy(compiled),
+        ),
+    )
+    sim.run()
+    verdict = appraiser.appraise_packet(dst.received_packets[0], compiled)
+    return verdict
+
+
+def run_ap2():
+    from repro.core.usecases import run_audit_trail
+
+    return run_audit_trail(c2_flows=3, benign_flows=3)
+
+
+def test_table1_ap1(benchmark):
+    verdict, _ = benchmark(lambda: run_ap1(3))
+    assert verdict.accepted
+
+
+def test_table1_ap2(benchmark):
+    result = benchmark(run_ap2)
+    assert result.matches == 3 and result.verdict_accepted
+
+
+def test_table1_ap3(benchmark):
+    verdict = benchmark(lambda: run_ap3(2))
+    assert verdict.accepted
+
+
+def test_table1_report(benchmark):
+    # Register as a benchmark so the reproduced table still prints
+    # under --benchmark-only; the real work follows un-timed.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for hops in (1, 2, 4, 8):
+        verdict, shim_bytes = run_ap1(hops)
+        rows.append({
+            "policy": "AP1",
+            "attesting hops": hops,
+            "verdict": "accept" if verdict.accepted else "reject",
+            "records": verdict.records_checked,
+            "shim bytes": shim_bytes,
+        })
+    ap2 = run_ap2()
+    rows.append({
+        "policy": "AP2", "attesting hops": 1,
+        "verdict": "accept" if ap2.verdict_accepted else "reject",
+        "records": ap2.matches, "shim bytes": 0,
+    })
+    ap3 = run_ap3()
+    rows.append({
+        "policy": "AP3", "attesting hops": 2,
+        "verdict": "accept" if ap3.accepted else "reject",
+        "records": ap3.records_checked, "shim bytes": 0,
+    })
+    report("Table 1: attestation policies executed end to end", table(rows))
+    ap1_rows = [r for r in rows if r["policy"] == "AP1"]
+    # Shape: evidence grows linearly with attesting hops.
+    bytes_per_hop = [
+        (r["shim bytes"], r["attesting hops"]) for r in ap1_rows
+    ]
+    increments = [
+        (b2 - b1) / (h2 - h1)
+        for (b1, h1), (b2, h2) in zip(bytes_per_hop, bytes_per_hop[1:])
+    ]
+    assert max(increments) - min(increments) < 1e-6  # constant per-hop cost
+    assert all(r["verdict"] == "accept" for r in rows)

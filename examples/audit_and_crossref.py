@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""UC4 + UC5 — audit trails, cross-referencing, trusted redaction.
+
+UC4: a scanner switch fingerprints malware command-and-control traffic
+(AP2). Each finding is attested out-of-band and committed into a
+Merkle audit log; an inclusion proof later documents the finding — the
+paper's example is justifying a court order to deactivate the malware.
+
+UC5: host-based evidence (the sender's TLS stack, measured with
+Copland) composes with network path evidence; only traffic from a
+verified TLS implementation over an attested path may leave.
+
+Run:  python examples/audit_and_crossref.py
+"""
+
+from repro.core.usecases import (
+    run_audit_trail,
+    run_compliance_redaction,
+    run_cross_referenced,
+)
+
+
+def main() -> None:
+    print("=== UC4: attested audit trail of C2 findings ===")
+    audit = run_audit_trail(c2_flows=4, benign_flows=10)
+    print(f"C2 matches punted & attested : {audit.matches}")
+    print(f"audit log Merkle root        : {audit.log_root.hex()[:32]}…")
+    print(f"inclusion proofs verify      : {audit.proofs_verify}")
+    print(f"record signatures verify     : {audit.verdict_accepted}")
+    assert audit.matches == 4 and audit.proofs_verify
+
+    print("\n=== UC5: verified-TLS gating via composed evidence ===")
+    good = run_cross_referenced(verified_tls=True)
+    print("sender runs verified TLS 1.3:")
+    print(f"  host evidence ok  : {good.host_evidence_ok}")
+    print(f"  path evidence ok  : {good.path_verdict.accepted}")
+    print(f"  flow allowed out  : {good.flow_allowed}")
+
+    bad = run_cross_referenced(verified_tls=False)
+    print("sender runs an unvetted TLS fork:")
+    print(f"  host evidence ok  : {bad.host_evidence_ok}")
+    print(f"  path evidence ok  : {bad.path_verdict.accepted}")
+    print(f"  flow allowed out  : {bad.flow_allowed}")
+    assert good.flow_allowed and not bad.flow_allowed
+
+    print("\n=== UC5: trusted redaction for the compliance officer ===")
+    redacted = run_compliance_redaction(switch_count=5, disclose=(0, 4))
+    print(f"hops attested in the cloud   : {redacted.total_hops}")
+    print(f"hops disclosed to the officer: {redacted.disclosed_hops} "
+          "(ingress + egress)")
+    print(f"officer verification         : "
+          f"{'PASS' if redacted.compliant else redacted.officer_failures}")
+    print(f"internal topology leaked     : {redacted.hidden_places_leaked}")
+    assert redacted.compliant and not redacted.hidden_places_leaked
+
+
+if __name__ == "__main__":
+    main()

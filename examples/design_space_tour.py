@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fig. 4 — a tour of PERA's evidence design space.
+
+"In addition to the specification language and execution mechanism, we
+envisage a configuration interface that can tune the level of detail
+and frequency of evidence." This example runs a 3-switch path at
+several points of the Inertia × Detail × Composition space and prints
+what each point costs and buys.
+
+Run:  python examples/design_space_tour.py
+"""
+
+from repro.core.design_space import format_table, run_design_point, sweep
+from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.inertia import DEFAULT_TTLS, InertiaClass
+from repro.pera.sampling import SamplingMode, SamplingSpec
+
+
+def main() -> None:
+    print("The inertia gradient (cache lifetimes):")
+    for inertia in InertiaClass:
+        print(f"  {inertia.name:<11} ttl={DEFAULT_TTLS[inertia]:>8.2f}s "
+              f"cacheable={inertia.cacheable}")
+
+    print("\nSweep: detail x composition (every packet attested):")
+    results = sweep(
+        details=[DetailLevel.MINIMAL, DetailLevel.EXPANSIVE],
+        compositions=list(CompositionMode),
+        packet_count=32,
+        switch_count=3,
+    )
+    print(format_table(results))
+
+    print("\nSampling as the cost lever (traffic-path, minimal detail):")
+    sampled = sweep(
+        details=[DetailLevel.MINIMAL],
+        compositions=[CompositionMode.TRAFFIC_PATH],
+        samplings=[
+            SamplingSpec(),
+            SamplingSpec(mode=SamplingMode.ONE_IN_N, n=4),
+            SamplingSpec(mode=SamplingMode.ONE_IN_N, n=16),
+        ],
+        packet_count=32,
+        switch_count=3,
+    )
+    print(format_table(sampled))
+
+    print("\nReading the space:")
+    print(" - pointwise + high-inertia detail caches signed records:")
+    print("   near-zero marginal cost, but evidence says nothing about")
+    print("   this particular packet or path order;")
+    print(" - chaining binds hop ORDER (reorder attacks detected);")
+    print(" - traffic-path binds the PACKET (splice attacks detected)")
+    print("   at one signature per packet per hop — sampling is how")
+    print("   that cost is paid down.")
+
+
+if __name__ == "__main__":
+    main()

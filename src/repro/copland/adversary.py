@@ -1,0 +1,246 @@
+"""Corrupt/repair adversary analysis of measurement protocols.
+
+Reproduces the §4.2 analysis the paper adapts from Ramsdell et al. and
+Rowe et al.: an active adversary who controls some places can corrupt
+and repair components between protocol events. Whether an attestation
+protocol resists depends on how its events are *ordered*:
+
+- Expression (1) — parallel composition — is defeated by an adversary
+  who merely schedules the unordered branches conveniently: evaluate
+  the exts measurement with a corrupt ``bmon``, repair ``bmon``, then
+  let the ``av`` measurement run. No action is squeezed between two
+  protocol-ordered events, so even a *slow* adversary succeeds.
+- Expression (2) — sequenced — forces ``av``'s measurement of ``bmon``
+  before ``bmon``'s measurement of ``exts``; the corruption must now
+  happen *between two ordered events*, i.e. during the protocol run:
+  only a *recent/fast* adversary succeeds.
+
+:func:`analyze_measurement_protocol` classifies a phrase into the
+weakest :class:`AdversaryTier` that defeats it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.copland.ast import Phrase
+from repro.copland.events import Event, EventKind, linear_extensions, phrase_events
+from repro.util.errors import PolicyError
+
+
+class AdversaryTier(enum.IntEnum):
+    """Weakest adversary that defeats the protocol (higher = stronger
+    adversary needed = better protocol)."""
+
+    PREPOSITIONED = 1  # corrupt before the run, never act again
+    DELAYED = 2  # acts during the run, but only in unconstrained gaps
+    RECENT = 3  # must act between two protocol-ordered events (fast)
+    IMPOSSIBLE = 4  # no corrupt/repair strategy defeats the protocol
+
+
+@dataclass(frozen=True)
+class AdversaryAction:
+    """One corrupt/repair action, placed after schedule position ``after``
+    (0 = before the first event)."""
+
+    kind: str  # "corrupt" | "repair"
+    component: str
+    after: int
+    constrained: bool  # squeezed between two protocol-ordered events?
+
+
+@dataclass(frozen=True)
+class AttackStrategy:
+    """A witness: the schedule and actions that defeat the protocol."""
+
+    tier: AdversaryTier
+    schedule: Tuple[str, ...]  # event descriptions, in chosen order
+    actions: Tuple[AdversaryAction, ...]
+
+    def describe(self) -> str:
+        lines = [f"tier: {self.tier.name}"]
+        timeline: List[str] = []
+        actions_by_slot: Dict[int, List[AdversaryAction]] = {}
+        for action in self.actions:
+            actions_by_slot.setdefault(action.after, []).append(action)
+        for slot in range(len(self.schedule) + 1):
+            for action in actions_by_slot.get(slot, []):
+                marker = "!" if action.constrained else ""
+                timeline.append(f"  [{action.kind}{marker} {action.component}]")
+            if slot < len(self.schedule):
+                timeline.append(f"  {self.schedule[slot]}")
+        return "\n".join(lines + timeline)
+
+
+@dataclass(frozen=True)
+class ProtocolModel:
+    """The environment a measurement protocol runs in.
+
+    - ``residence`` maps component → place where it lives.
+    - ``adversary_places``: places whose components the adversary can
+      corrupt and repair (e.g. userspace but not kernelspace).
+    - ``malicious``: components the adversary *needs* to stay corrupt
+      for the attack to pay off (the malware itself, e.g. ``exts``).
+    """
+
+    residence: Mapping[str, str]
+    adversary_places: FrozenSet[str]
+    malicious: FrozenSet[str]
+
+    def corruptible(self, component: str) -> bool:
+        place = self.residence.get(component)
+        return place is not None and place in self.adversary_places
+
+
+# Required state of a component at an event.
+_CLEAN, _CORRUPT = "clean", "corrupt"
+
+
+def _measurement_events(events: Sequence[Event]) -> List[Event]:
+    return [e for e in events if e.kind is EventKind.MEASURE]
+
+
+def _requirements_for_extension(
+    schedule: Sequence[Event], model: ProtocolModel
+) -> Optional[List[Dict[str, str]]]:
+    """Per-position component-state requirements for all-clean reports.
+
+    A measurement of target ``t`` by ASP component ``m`` reports clean
+    iff ``m`` is corrupt at that moment (a lying measurer) or ``t`` is
+    clean. Components in ``model.malicious`` are pinned corrupt, so
+    measurements of them *must* go through a corrupt measurer.
+
+    Returns one requirement dict per schedule position (empty for
+    non-measurement events), or ``None`` if some requirement is
+    unsatisfiable (e.g. the needed measurer is not corruptible).
+    """
+    requirements: List[Dict[str, str]] = []
+    for event in schedule:
+        need: Dict[str, str] = {}
+        if event.kind is EventKind.MEASURE:
+            target = event.target
+            measurer = event.asp
+            if target in model.malicious:
+                # Target stays corrupt; the measurer must lie.
+                if not model.corruptible(measurer):
+                    return None
+                need[measurer] = _CORRUPT
+            else:
+                # Simplest consistent choice: the target reads clean.
+                # (Corrupting the measurer instead never helps: it only
+                # moves the problem one level up to an honest measurer.)
+                if model.corruptible(target):
+                    need[target] = _CLEAN
+                # An honest, uncorruptible target is clean by default.
+        requirements.append(need)
+    return requirements
+
+
+def _plan_actions(
+    schedule: Sequence[Event],
+    requirements: List[Dict[str, str]],
+    order: FrozenSet[Tuple[int, int]],
+    model: ProtocolModel,
+) -> Optional[List[AdversaryAction]]:
+    """Derive the corrupt/repair actions a requirement profile needs.
+
+    For each component, walk its required states over the schedule and
+    insert a toggle wherever consecutive requirements differ. A toggle
+    between positions i < j is *constrained* iff the two anchoring
+    events are ordered in the protocol's partial order — the adversary
+    cannot stretch that gap by scheduling.
+    """
+    components: Set[str] = set()
+    for need in requirements:
+        components.update(need)
+    components.update(model.malicious)
+
+    actions: List[AdversaryAction] = []
+    for component in sorted(components):
+        pinned_corrupt = component in model.malicious
+        # Collect (position, state) constraints.
+        constraints: List[Tuple[int, str]] = []
+        if pinned_corrupt:
+            constraints = [(i, _CORRUPT) for i in range(len(schedule))]
+        for position, need in enumerate(requirements):
+            state = need.get(component)
+            if state is not None:
+                if pinned_corrupt and state == _CLEAN:
+                    return None  # contradiction: malware must stay corrupt
+                if not pinned_corrupt:
+                    constraints.append((position, state))
+        if not constraints:
+            continue
+        constraints.sort()
+        # Initial state: honest components start clean. A first
+        # requirement of corrupt costs one pre-run corruption.
+        current = _CLEAN
+        last_position = -1
+        for position, state in constraints:
+            if state == current:
+                last_position = position
+                continue
+            constrained = False
+            if last_position >= 0:
+                before = schedule[last_position].event_id
+                after = schedule[position].event_id
+                constrained = (before, after) in order
+            actions.append(
+                AdversaryAction(
+                    kind="corrupt" if state == _CORRUPT else "repair",
+                    component=component,
+                    after=last_position + 1,
+                    constrained=constrained,
+                )
+            )
+            current = state
+            last_position = position
+    return actions
+
+
+def _tier_of_actions(actions: List[AdversaryAction]) -> AdversaryTier:
+    if any(action.constrained for action in actions):
+        return AdversaryTier.RECENT
+    if any(action.after > 0 for action in actions):
+        return AdversaryTier.DELAYED
+    return AdversaryTier.PREPOSITIONED
+
+
+def analyze_measurement_protocol(
+    phrase: Phrase,
+    model: ProtocolModel,
+    at_place: str = "rp",
+    extension_limit: int = 10000,
+) -> Tuple[AdversaryTier, Optional[AttackStrategy]]:
+    """Classify ``phrase`` against the corrupt/repair adversary.
+
+    Returns the weakest tier that defeats the protocol plus a witness
+    strategy, or ``(IMPOSSIBLE, None)`` when no strategy exists.
+    """
+    events, order = phrase_events(phrase, at_place=at_place)
+    if not _measurement_events(events):
+        raise PolicyError("phrase has no measurement events to analyze")
+    best: Optional[AttackStrategy] = None
+    for schedule in linear_extensions(events, order, limit=extension_limit):
+        requirements = _requirements_for_extension(schedule, model)
+        if requirements is None:
+            continue
+        actions = _plan_actions(schedule, requirements, order, model)
+        if actions is None:
+            continue
+        tier = _tier_of_actions(actions)
+        strategy = AttackStrategy(
+            tier=tier,
+            schedule=tuple(event.describe() for event in schedule),
+            actions=tuple(actions),
+        )
+        if best is None or strategy.tier < best.tier:
+            best = strategy
+        if best.tier == AdversaryTier.PREPOSITIONED:
+            break  # cannot do better (for the adversary)
+    if best is None:
+        return AdversaryTier.IMPOSSIBLE, None
+    return best.tier, best

@@ -1,0 +1,198 @@
+"""Copland abstract syntax.
+
+Phrases (paper §4.2, after Helble et al. 2021)::
+
+    C ::= asp place target         -- measurement ("av us bmon")
+        | service(args)            -- non-measurement ASP (appraise, store...)
+        | @place [C]               -- run C at place
+        | C -> C                   -- linear: evidence of left feeds right
+        | C (l)<(r) C              -- branch sequential (left then right)
+        | C (l)~(r) C              -- branch parallel (concurrent)
+        | !                        -- sign accrued evidence
+        | #                        -- hash accrued evidence
+        | _                        -- copy (identity)
+        | {}                       -- null (discard evidence)
+
+``l`` and ``r`` are the evidence-splitting annotations: ``+`` passes
+the accrued evidence into that arm, ``-`` passes the empty evidence.
+A request ``*R <params> : C`` names the relying party ``R`` that asks
+for phrase ``C``, with optional parameters (e.g. a nonce name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.util.errors import PolicyError
+
+
+class Phrase:
+    """Base class of Copland phrases."""
+
+    def places(self) -> Tuple[str, ...]:
+        """All place names mentioned in the phrase, in first-use order."""
+        seen = []
+
+        def visit(phrase: "Phrase") -> None:
+            if isinstance(phrase, Measure):
+                if phrase.target_place not in seen:
+                    seen.append(phrase.target_place)
+            elif isinstance(phrase, At):
+                if phrase.place not in seen:
+                    seen.append(phrase.place)
+                visit(phrase.phrase)
+            elif isinstance(phrase, Linear):
+                visit(phrase.left)
+                visit(phrase.right)
+            elif isinstance(phrase, (BranchSeq, BranchPar)):
+                visit(phrase.left)
+                visit(phrase.right)
+
+        visit(self)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Measure(Phrase):
+    """``asp place target``: ``asp`` measures ``target`` running at
+    ``target_place`` (the paper's ``av us bmon``)."""
+
+    asp: str
+    target_place: str
+    target: str
+
+    def __repr__(self) -> str:
+        return f"{self.asp} {self.target_place} {self.target}"
+
+
+@dataclass(frozen=True)
+class Asp(Phrase):
+    """A non-measurement attestation service call: ``appraise``,
+    ``certify(n)``, ``store(n)``, ``retrieve(n)``, ``attest(X)``..."""
+
+    name: str
+    args: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        if self.args:
+            return f"{self.name}({', '.join(self.args)})"
+        return self.name
+
+
+@dataclass(frozen=True)
+class At(Phrase):
+    """``@place [C]``: request ``C`` at a (possibly remote) place."""
+
+    place: str
+    phrase: Phrase
+
+    def __repr__(self) -> str:
+        return f"@{self.place} [{self.phrase!r}]"
+
+
+@dataclass(frozen=True)
+class Linear(Phrase):
+    """``C -> D``: evidence produced by C flows into D."""
+
+    left: Phrase
+    right: Phrase
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} -> {self.right!r}"
+
+
+def _check_split(split: str) -> None:
+    if split not in ("+", "-"):
+        raise PolicyError(f"evidence split annotation must be '+' or '-', got {split!r}")
+
+
+@dataclass(frozen=True)
+class BranchSeq(Phrase):
+    """``C (l)<(r) D``: run C then D, splitting incoming evidence.
+
+    With ``chain=True`` (the paper's ``>`` spelling, used in its
+    expression (3)), the right arm receives the *left arm's output*
+    instead of a split of the incoming evidence — this is how the
+    switch's signed evidence reaches the appraiser while the final
+    evidence still records both arms as a sequential pair.
+    """
+
+    left: Phrase
+    right: Phrase
+    left_split: str = "+"
+    right_split: str = "+"
+    chain: bool = False
+
+    def __post_init__(self) -> None:
+        _check_split(self.left_split)
+        _check_split(self.right_split)
+
+    def __repr__(self) -> str:
+        symbol = ">" if self.chain else "<"
+        return (
+            f"({self.left!r} {self.left_split}{symbol}{self.right_split} "
+            f"{self.right!r})"
+        )
+
+
+@dataclass(frozen=True)
+class BranchPar(Phrase):
+    """``C (l)~(r) D``: run C and D concurrently, splitting evidence."""
+
+    left: Phrase
+    right: Phrase
+    left_split: str = "+"
+    right_split: str = "+"
+
+    def __post_init__(self) -> None:
+        _check_split(self.left_split)
+        _check_split(self.right_split)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.left_split}~{self.right_split} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Sign(Phrase):
+    """``!``: sign the evidence accrued so far, at the current place."""
+
+    def __repr__(self) -> str:
+        return "!"
+
+
+@dataclass(frozen=True)
+class Hash(Phrase):
+    """``#``: hash the evidence accrued so far."""
+
+    def __repr__(self) -> str:
+        return "#"
+
+
+@dataclass(frozen=True)
+class Copy(Phrase):
+    """``_``: pass evidence through unchanged."""
+
+    def __repr__(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class Null(Phrase):
+    """``{}``: discard accrued evidence."""
+
+    def __repr__(self) -> str:
+        return "{}"
+
+
+@dataclass(frozen=True)
+class Request:
+    """``* R <params> : C`` — relying party R requests phrase C."""
+
+    relying_party: str
+    phrase: Phrase
+    params: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        params = f" <{', '.join(self.params)}>" if self.params else ""
+        return f"*{self.relying_party}{params} : {self.phrase!r}"

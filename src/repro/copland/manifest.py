@@ -1,0 +1,103 @@
+"""Place manifests: what each place can execute.
+
+Petz & Alexander's Copland toolchain checks a phrase against the
+*manifests* of the places it mentions before dispatching it — a phrase
+asking place ``us`` to run ASP ``av`` must fail fast if ``us`` has no
+such ASP. :class:`Manifest` reproduces that executability check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.copland.ast import (
+    Asp,
+    At,
+    BranchPar,
+    BranchSeq,
+    Copy,
+    Hash,
+    Linear,
+    Measure,
+    Null,
+    Phrase,
+    Sign,
+)
+from repro.util.errors import PolicyError
+
+
+@dataclass(frozen=True)
+class PlaceSpec:
+    """Capabilities of one place."""
+
+    name: str
+    asps: FrozenSet[str] = frozenset()
+    can_sign: bool = True
+    can_hash: bool = True
+    # Places this one can dispatch @q[...] requests to.
+    peers: FrozenSet[str] = frozenset()
+
+
+class Manifest:
+    """A registry of place specs plus the executability check."""
+
+    def __init__(self) -> None:
+        self._places: Dict[str, PlaceSpec] = {}
+
+    def add(self, spec: PlaceSpec) -> None:
+        if spec.name in self._places:
+            raise PolicyError(f"duplicate place {spec.name!r} in manifest")
+        self._places[spec.name] = spec
+
+    def place(self, name: str) -> PlaceSpec:
+        spec = self._places.get(name)
+        if spec is None:
+            raise PolicyError(f"manifest has no place {name!r}")
+        return spec
+
+    def knows(self, name: str) -> bool:
+        return name in self._places
+
+    def check_executable(self, phrase: Phrase, at_place: str) -> List[str]:
+        """Return the list of executability violations (empty = OK)."""
+        violations: List[str] = []
+
+        def visit(node: Phrase, place: str) -> None:
+            spec = self._places.get(place)
+            if spec is None:
+                violations.append(f"unknown place {place!r}")
+                return
+            if isinstance(node, Measure):
+                if node.asp not in spec.asps:
+                    violations.append(
+                        f"place {place!r} cannot run ASP {node.asp!r}"
+                    )
+            elif isinstance(node, Asp):
+                if node.name not in spec.asps:
+                    violations.append(
+                        f"place {place!r} cannot run ASP {node.name!r}"
+                    )
+            elif isinstance(node, Sign):
+                if not spec.can_sign:
+                    violations.append(f"place {place!r} cannot sign")
+            elif isinstance(node, Hash):
+                if not spec.can_hash:
+                    violations.append(f"place {place!r} cannot hash")
+            elif isinstance(node, At):
+                if node.place != place and node.place not in spec.peers:
+                    violations.append(
+                        f"place {place!r} cannot dispatch to {node.place!r}"
+                    )
+                visit(node.phrase, node.place)
+            elif isinstance(node, Linear):
+                visit(node.left, place)
+                visit(node.right, place)
+            elif isinstance(node, (BranchSeq, BranchPar)):
+                visit(node.left, place)
+                visit(node.right, place)
+            elif isinstance(node, (Copy, Null)):
+                pass
+
+        visit(phrase, at_place)
+        return violations

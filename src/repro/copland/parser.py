@@ -1,0 +1,236 @@
+"""Concrete syntax for Copland phrases, following the paper's notation.
+
+Examples from the paper parse directly (ASCII renderings of the
+typeset operators)::
+
+    *bank : @ks [av us bmon] -~- @us [bmon us exts]          (expr 1)
+    *bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !] (expr 2)
+    *RP1 <n> : @Switch [attest(Hardware, Program) -> # -> !]
+                 +>+ @Appraiser [appraise -> certify(n) -> ! -> store(n)]
+
+Operator ASCII forms (``l``/``r`` are ``+`` or ``-``):
+
+    ``->``   linear composition
+    ``l<r``  branch-sequential, e.g. ``-<-``, ``+<+``
+    ``l~r``  branch-parallel, e.g. ``-~-``
+    ``l>r``  alias for branch-sequential (the paper typesets (3) with >)
+    ``!``    sign, ``#`` hash, ``_`` copy, ``{}`` null
+
+Precedence: ``->`` binds tighter than branches; branches associate to
+the left. A bare triple of identifiers ``a p t`` is the measurement
+"``a`` measures ``t`` at place ``p``".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.copland.ast import (
+    Asp,
+    At,
+    BranchPar,
+    BranchSeq,
+    Copy,
+    Hash,
+    Linear,
+    Measure,
+    Null,
+    Phrase,
+    Request,
+    Sign,
+)
+from repro.util.errors import PolicyError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<branch>[+\-][<>~][+\-])
+  | (?P<null>\{\})
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<punct>[@\[\]()!#_:,*<>])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PolicyError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise PolicyError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token[1] == text:
+            self._index += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> None:
+        token = self._peek()
+        if token is None or token[1] != text:
+            found = token[1] if token else "end of input"
+            raise PolicyError(f"expected {text!r}, found {found!r}")
+        self._index += 1
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # --- grammar -----------------------------------------------------------
+
+    def request(self) -> Request:
+        self._expect("*")
+        kind, name = self._next()
+        if kind != "ident":
+            raise PolicyError(f"expected relying-party name, found {name!r}")
+        params: Tuple[str, ...] = ()
+        if self._accept("<"):
+            collected = []
+            while True:
+                pkind, pname = self._next()
+                if pkind != "ident":
+                    raise PolicyError(f"expected parameter name, found {pname!r}")
+                collected.append(pname)
+                if self._accept(">"):
+                    break
+                self._expect(",")
+            params = tuple(collected)
+        self._expect(":")
+        return Request(relying_party=name, phrase=self.phrase(), params=params)
+
+    def phrase(self) -> Phrase:
+        left = self.linear()
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "branch":
+                return left
+            _, op = self._next()
+            left_split, symbol, right_split = op[0], op[1], op[2]
+            right = self.linear()
+            if symbol == "~":
+                left = BranchPar(left, right, left_split, right_split)
+            elif symbol == ">":
+                # Chained sequential: the right arm consumes the left
+                # arm's output (paper expression (3)).
+                left = BranchSeq(left, right, left_split, right_split, chain=True)
+            else:
+                left = BranchSeq(left, right, left_split, right_split)
+
+    def linear(self) -> Phrase:
+        left = self.atom()
+        while self._accept("->"):
+            left = Linear(left, self.atom())
+        return left
+
+    def atom(self) -> Phrase:
+        token = self._peek()
+        if token is None:
+            raise PolicyError("unexpected end of input in phrase")
+        kind, text = token
+        if text == "(":
+            self._next()
+            inner = self.phrase()
+            self._expect(")")
+            return inner
+        if text == "@":
+            self._next()
+            pkind, place = self._next()
+            if pkind != "ident":
+                raise PolicyError(f"expected place name after '@', found {place!r}")
+            self._expect("[")
+            inner = self.phrase()
+            self._expect("]")
+            return At(place, inner)
+        if text == "!":
+            self._next()
+            return Sign()
+        if text == "#":
+            self._next()
+            return Hash()
+        if text == "_":
+            self._next()
+            return Copy()
+        if kind == "null":
+            self._next()
+            return Null()
+        if kind == "ident":
+            return self._ident_phrase()
+        raise PolicyError(f"unexpected token {text!r} in phrase")
+
+    def _ident_phrase(self) -> Phrase:
+        _, first = self._next()
+        token = self._peek()
+        # Service ASP with argument list: name(arg, ...).
+        if token is not None and token[1] == "(":
+            self._next()
+            args = []
+            if not self._accept(")"):
+                while True:
+                    akind, aname = self._next()
+                    if akind != "ident":
+                        raise PolicyError(
+                            f"expected ASP argument, found {aname!r}"
+                        )
+                    args.append(aname)
+                    if self._accept(")"):
+                        break
+                    self._expect(",")
+            return Asp(first, tuple(args))
+        # Measurement triple: asp place target.
+        if token is not None and token[0] == "ident":
+            _, place = self._next()
+            tkind, target = self._next()
+            if tkind != "ident":
+                raise PolicyError(
+                    f"expected measurement target, found {target!r}"
+                )
+            return Measure(asp=first, target_place=place, target=target)
+        # Bare service ASP: appraise, attest, ...
+        return Asp(first)
+
+
+def parse_phrase(text: str) -> Phrase:
+    """Parse a Copland phrase."""
+    parser = _Parser(_tokenize(text))
+    phrase = parser.phrase()
+    if not parser.at_end():
+        raise PolicyError(f"trailing input after phrase: {parser._peek()[1]!r}")
+    return phrase
+
+
+def parse_request(text: str) -> Request:
+    """Parse a ``*RP <params> : phrase`` request."""
+    parser = _Parser(_tokenize(text))
+    request = parser.request()
+    if not parser.at_end():
+        raise PolicyError(f"trailing input after request: {parser._peek()[1]!r}")
+    return request

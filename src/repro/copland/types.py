@@ -1,0 +1,209 @@
+"""Static evidence-type semantics for Copland phrases.
+
+Copland's published semantics assigns every phrase an *evidence type*:
+given the shape of the evidence flowing in, the shape flowing out is
+determined before anything executes (Helble et al. 2021, §3). This
+module implements that judgement. Uses:
+
+- **protocol vetting**: a relying party can inspect what an expression
+  will produce (how many signatures, by whom, over what) before asking
+  anyone to run it;
+- **implementation checking**: the VM's concrete evidence must inhabit
+  the inferred type — a property test in the suite executes random
+  phrases and checks agreement, guarding both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.copland.ast import (
+    Asp,
+    At,
+    BranchPar,
+    BranchSeq,
+    Copy,
+    Hash,
+    Linear,
+    Measure,
+    Null,
+    Phrase,
+    Sign,
+)
+from repro.copland.evidence import (
+    EmptyEvidence,
+    Evidence,
+    HashEvidence,
+    MeasurementEvidence,
+    NonceEvidence,
+    ParallelEvidence,
+    SequenceEvidence,
+    SignedEvidence,
+)
+from repro.util.errors import PolicyError
+
+
+class EvidenceType:
+    """Base class of evidence-shape terms."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MtT(EvidenceType):
+    def describe(self) -> str:
+        return "mt"
+
+
+@dataclass(frozen=True)
+class NonceT(EvidenceType):
+    name: str = "n"
+
+    def describe(self) -> str:
+        return f"nonce({self.name})"
+
+
+@dataclass(frozen=True)
+class AspT(EvidenceType):
+    """Output of a measurement or service ASP at a place."""
+
+    asp: str
+    place: str
+    prior: EvidenceType
+
+    def describe(self) -> str:
+        return f"{self.asp}@{self.place}[{self.prior.describe()}]"
+
+
+@dataclass(frozen=True)
+class SigT(EvidenceType):
+    place: str
+    body: EvidenceType
+
+    def describe(self) -> str:
+        return f"sig_{self.place}({self.body.describe()})"
+
+
+@dataclass(frozen=True)
+class HshT(EvidenceType):
+    place: str
+
+    def describe(self) -> str:
+        return f"hsh_{self.place}"
+
+
+@dataclass(frozen=True)
+class SeqT(EvidenceType):
+    left: EvidenceType
+    right: EvidenceType
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} ; {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class ParT(EvidenceType):
+    left: EvidenceType
+    right: EvidenceType
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} || {self.right.describe()})"
+
+
+def infer_evidence_type(
+    phrase: Phrase, at_place: str, incoming: EvidenceType = MtT()
+) -> EvidenceType:
+    """The evidence type ``phrase`` produces at ``at_place``."""
+    if isinstance(phrase, (Measure, Asp)):
+        name = phrase.asp if isinstance(phrase, Measure) else phrase.name
+        return AspT(asp=name, place=at_place, prior=incoming)
+    if isinstance(phrase, At):
+        return infer_evidence_type(phrase.phrase, phrase.place, incoming)
+    if isinstance(phrase, Linear):
+        intermediate = infer_evidence_type(phrase.left, at_place, incoming)
+        return infer_evidence_type(phrase.right, at_place, intermediate)
+    if isinstance(phrase, BranchSeq):
+        left_in = incoming if phrase.left_split == "+" else MtT()
+        left = infer_evidence_type(phrase.left, at_place, left_in)
+        if phrase.chain:
+            right_in: EvidenceType = left if phrase.right_split == "+" else MtT()
+        else:
+            right_in = incoming if phrase.right_split == "+" else MtT()
+        right = infer_evidence_type(phrase.right, at_place, right_in)
+        return SeqT(left=left, right=right)
+    if isinstance(phrase, BranchPar):
+        left_in = incoming if phrase.left_split == "+" else MtT()
+        right_in = incoming if phrase.right_split == "+" else MtT()
+        return ParT(
+            left=infer_evidence_type(phrase.left, at_place, left_in),
+            right=infer_evidence_type(phrase.right, at_place, right_in),
+        )
+    if isinstance(phrase, Sign):
+        return SigT(place=at_place, body=incoming)
+    if isinstance(phrase, Hash):
+        return HshT(place=at_place)
+    if isinstance(phrase, Copy):
+        return incoming
+    if isinstance(phrase, Null):
+        return MtT()
+    raise PolicyError(f"unknown phrase node {type(phrase).__name__}")
+
+
+def evidence_inhabits(evidence: Evidence, etype: EvidenceType) -> bool:
+    """Does concrete ``evidence`` have shape ``etype``?"""
+    if isinstance(etype, MtT):
+        return isinstance(evidence, EmptyEvidence)
+    if isinstance(etype, NonceT):
+        return isinstance(evidence, NonceEvidence) and evidence.name == etype.name
+    if isinstance(etype, AspT):
+        return (
+            isinstance(evidence, MeasurementEvidence)
+            and evidence.asp == etype.asp
+            and evidence.place == etype.place
+            and evidence_inhabits(evidence.prior, etype.prior)
+        )
+    if isinstance(etype, SigT):
+        return (
+            isinstance(evidence, SignedEvidence)
+            and evidence.place == etype.place
+            and evidence_inhabits(evidence.evidence, etype.body)
+        )
+    if isinstance(etype, HshT):
+        return isinstance(evidence, HashEvidence) and evidence.place == etype.place
+    if isinstance(etype, SeqT):
+        return (
+            isinstance(evidence, SequenceEvidence)
+            and evidence_inhabits(evidence.left, etype.left)
+            and evidence_inhabits(evidence.right, etype.right)
+        )
+    if isinstance(etype, ParT):
+        return (
+            isinstance(evidence, ParallelEvidence)
+            and evidence_inhabits(evidence.left, etype.left)
+            and evidence_inhabits(evidence.right, etype.right)
+        )
+    raise PolicyError(f"unknown evidence type {type(etype).__name__}")
+
+
+def count_signatures(etype: EvidenceType) -> int:
+    """How many signatures the type commits its executors to produce."""
+    if isinstance(etype, SigT):
+        return 1 + count_signatures(etype.body)
+    if isinstance(etype, AspT):
+        return count_signatures(etype.prior)
+    if isinstance(etype, (SeqT, ParT)):
+        return count_signatures(etype.left) + count_signatures(etype.right)
+    return 0
+
+
+def signing_places(etype: EvidenceType) -> Tuple[str, ...]:
+    """The places whose keys will sign, in evidence order."""
+    if isinstance(etype, SigT):
+        return signing_places(etype.body) + (etype.place,)
+    if isinstance(etype, AspT):
+        return signing_places(etype.prior)
+    if isinstance(etype, (SeqT, ParT)):
+        return signing_places(etype.left) + signing_places(etype.right)
+    return ()

@@ -1,0 +1,347 @@
+"""Path-evidence appraisal: judging a whole traffic path at once.
+
+Plain appraisers (:mod:`repro.ra.appraiser`) judge one attester. Path
+appraisal judges the *sequence* of hop records a packet accumulated:
+
+1. every record's signature verifies (pseudonyms resolve to real
+   signers through the operator-provided mapping — paper footnotes
+   1-2),
+2. every measurement matches the reference value for its place,
+3. chained composition replays (each hop's chain head extends its
+   predecessor's),
+4. nothing was stripped: the shim's hop count must be consistent with
+   the number of records (an adversary in the middle cannot silently
+   remove evidence without the count disagreeing),
+5. the path exhibits the policy's required function sequence in order
+   (AP3: ``F1`` at some hop, later ``F2``),
+6. the embedded nonce matches the relying party's and is fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.compiler import CompiledPolicy
+from repro.crypto.hashing import HashChain, digest
+from repro.crypto.keys import KeyRegistry
+from repro.net.packet import Packet
+from repro.pera.inertia import InertiaClass
+from repro.pera.records import HopRecord, decode_record_stack
+from repro.pisa.program import DataplaneProgram
+from repro.ra.nonce import NonceManager
+from repro.util.errors import VerificationError
+
+
+def program_reference(program: DataplaneProgram) -> bytes:
+    """The PROGRAM-class measurement an honest switch running
+    ``program`` reports (what the RP registers as a golden value)."""
+    return digest(program.measurement(), domain="pera-program")
+
+
+def hardware_reference(hardware_identity: bytes) -> bytes:
+    """The HARDWARE-class measurement for a known chassis."""
+    return digest(hardware_identity, domain="pera-hardware")
+
+
+@dataclass
+class PathAppraisalPolicy:
+    """What the path appraiser requires."""
+
+    anchors: KeyRegistry
+    # place -> inertia class -> golden measurement. Classes absent from
+    # a place's entry are not checked for that place.
+    reference_measurements: Dict[str, Dict[InertiaClass, bytes]] = field(
+        default_factory=dict
+    )
+    # PROGRAM measurement value -> human function name (for AP3 checks).
+    program_names: Dict[bytes, str] = field(default_factory=dict)
+    # pseudonym -> real signer name (operator-supplied).
+    pseudonym_signers: Dict[str, str] = field(default_factory=dict)
+    # Accept fewer records than hops (sampling in use).
+    allow_sampling: bool = False
+    # Unknown attesting places are failures (else merely unchecked).
+    strict_places: bool = True
+
+
+@dataclass(frozen=True)
+class PathVerdict:
+    accepted: bool
+    failures: Tuple[str, ...] = ()
+    records_checked: int = 0
+    hop_count: int = 0
+    functions_seen: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        status = "ACCEPTED" if self.accepted else "REJECTED"
+        lines = [
+            f"{status}: {self.records_checked} records over "
+            f"{self.hop_count} hops"
+        ]
+        if self.functions_seen:
+            lines.append("functions: " + " -> ".join(self.functions_seen))
+        lines.extend(f"failure: {f}" for f in self.failures)
+        return "\n".join(lines)
+
+
+class PathAppraiser:
+    """Appraises accumulated path evidence against a compiled policy."""
+
+    def __init__(
+        self,
+        name: str,
+        policy: PathAppraisalPolicy,
+        nonces: Optional[NonceManager] = None,
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self.nonces = nonces
+        self.appraisals_performed = 0
+
+    # --- entry points ---------------------------------------------------------
+
+    def appraise_packet(
+        self, packet: Packet, compiled: Optional[CompiledPolicy] = None
+    ) -> PathVerdict:
+        """Appraise the evidence a delivered packet carries.
+
+        Beyond :meth:`appraise_records`, having the packet itself
+        enables the traffic-path binding check: when records carry
+        packet digests, each must match the packet as that hop saw it,
+        so evidence cannot be spliced onto different traffic.
+        """
+        if packet.ra_shim is None:
+            return PathVerdict(
+                accepted=False, failures=("packet carries no RA shim header",)
+            )
+        records = decode_record_stack(packet.ra_shim.body)
+        verdict = self.appraise_records(
+            records, hop_count=packet.ra_shim.hop_count, compiled=compiled
+        )
+        binding_failures: List[str] = []
+        self._check_packet_binding(packet, records, binding_failures)
+        if binding_failures:
+            verdict = PathVerdict(
+                accepted=False,
+                failures=verdict.failures + tuple(binding_failures),
+                records_checked=verdict.records_checked,
+                hop_count=verdict.hop_count,
+                functions_seen=verdict.functions_seen,
+            )
+        return verdict
+
+    def _check_packet_binding(
+        self, packet: Packet, records: List[HopRecord], failures: List[str]
+    ) -> None:
+        """Verify per-hop packet digests (traffic-path composition).
+
+        Hop ``i`` digested the packet carrying the policy plus the
+        first ``i`` records; the appraiser reconstructs each view and
+        recomputes the digest. A changed payload (or header) breaks
+        every digest at once.
+        """
+        if not any(r.packet_digest is not None for r in records):
+            return
+        if len(records) != packet.ra_shim.hop_count:
+            # Sampled paths have hop-count gaps; per-hop views cannot
+            # be reconstructed reliably, so the coverage check (not
+            # this one) is the arbiter there.
+            return
+        from dataclasses import replace as dc_replace
+
+        from repro.core.wire import decode_compiled_policy, encode_compiled_policy
+        from repro.net.headers import RaShimHeader
+        from repro.pera.records import encode_record_stack
+
+        shim = packet.ra_shim
+        carried = decode_compiled_policy(shim.body)
+        policy_bytes = (
+            encode_compiled_policy(carried) if carried is not None else b""
+        )
+        base_flags = shim.flags & ~RaShimHeader.FLAG_EVIDENCE
+        for index, record in enumerate(records):
+            if record.packet_digest is None:
+                continue
+            flags = base_flags if index == 0 else (
+                base_flags | RaShimHeader.FLAG_EVIDENCE
+            )
+            view = packet.with_shim(RaShimHeader(
+                flags=flags,
+                hop_count=index,
+                body=policy_bytes + encode_record_stack(records[:index]),
+            ))
+            expected = digest(view.encode(), domain="pera-packet")
+            if record.packet_digest != expected:
+                failures.append(
+                    f"record {index} ({record.place}): packet digest does "
+                    "not match this traffic (evidence spliced?)"
+                )
+                return
+
+    def appraise_records(
+        self,
+        records: List[HopRecord],
+        hop_count: int,
+        compiled: Optional[CompiledPolicy] = None,
+    ) -> PathVerdict:
+        self.appraisals_performed += 1
+        failures: List[str] = []
+        self._check_signatures(records, failures)
+        self._check_measurements(records, failures)
+        self._check_chain(records, failures)
+        self._check_coverage(records, hop_count, compiled, failures)
+        functions = self._observed_functions(records)
+        if compiled is not None:
+            self._check_required_functions(functions, compiled, failures)
+            self._check_nonce(compiled, failures)
+        return PathVerdict(
+            accepted=not failures,
+            failures=tuple(failures),
+            records_checked=len(records),
+            hop_count=hop_count,
+            functions_seen=tuple(name for _, name in functions),
+        )
+
+    # --- individual checks -------------------------------------------------------
+
+    def _signer_for(self, place: str) -> str:
+        return self.policy.pseudonym_signers.get(place, place)
+
+    def _check_signatures(
+        self, records: List[HopRecord], failures: List[str]
+    ) -> None:
+        for index, record in enumerate(records):
+            signer = self._signer_for(record.place)
+            if not record.verify(self.policy.anchors, signer=signer):
+                failures.append(
+                    f"record {index} ({record.place}): signature invalid "
+                    "or signer untrusted"
+                )
+
+    def _check_measurements(
+        self, records: List[HopRecord], failures: List[str]
+    ) -> None:
+        for index, record in enumerate(records):
+            signer = self._signer_for(record.place)
+            reference = self.policy.reference_measurements.get(signer)
+            if reference is None:
+                if self.policy.strict_places:
+                    failures.append(
+                        f"record {index} ({record.place}): no reference "
+                        "values for this attester"
+                    )
+                continue
+            for inertia, value in record.measurements:
+                expected = reference.get(inertia)
+                if expected is not None and value != expected:
+                    failures.append(
+                        f"record {index} ({record.place}): {inertia.name} "
+                        "measurement does not match the vetted value"
+                    )
+
+    def _check_chain(self, records: List[HopRecord], failures: List[str]) -> None:
+        chained = [r for r in records if r.chain_head is not None]
+        if not chained:
+            return
+        if len(chained) != len(records):
+            failures.append("some records are chained and some are not")
+            return
+        head = HashChain.GENESIS
+        for index, record in enumerate(records):
+            link = digest(
+                b"".join(value for _, value in record.measurements),
+                domain="hop-measurements",
+            )
+            head = HashChain(head=head).extend(link)
+            if record.chain_head != head:
+                failures.append(
+                    f"record {index} ({record.place}): chain head does not "
+                    "extend its predecessor (reordered or spliced evidence)"
+                )
+                return
+
+    def _check_coverage(
+        self,
+        records: List[HopRecord],
+        hop_count: int,
+        compiled: Optional[CompiledPolicy],
+        failures: List[str],
+    ) -> None:
+        if len(records) > hop_count:
+            failures.append(
+                f"{len(records)} records but only {hop_count} hops counted"
+            )
+        if not self.policy.allow_sampling and len(records) < hop_count:
+            failures.append(
+                f"evidence stripped: {hop_count} attesting hops but only "
+                f"{len(records)} records"
+            )
+        if compiled is not None and len(records) < compiled.min_attested_hops:
+            if not self.policy.allow_sampling:
+                failures.append(
+                    f"policy requires {compiled.min_attested_hops} attested "
+                    f"hops, got {len(records)}"
+                )
+
+    def _observed_functions(
+        self, records: List[HopRecord]
+    ) -> List[Tuple[str, str]]:
+        """(place, function-name) per record, where the program
+        measurement maps to a known function."""
+        observed: List[Tuple[str, str]] = []
+        for record in records:
+            value = record.measurement_for(InertiaClass.PROGRAM)
+            if value is None:
+                continue
+            name = self.policy.program_names.get(value)
+            if name is not None:
+                observed.append((record.place, name))
+        return observed
+
+    def _check_required_functions(
+        self,
+        observed: List[Tuple[str, str]],
+        compiled: CompiledPolicy,
+        failures: List[str],
+    ) -> None:
+        required = [
+            (place, function)
+            for place, function in compiled.required_functions
+            if function in set(self.policy.program_names.values())
+        ]
+        if not required:
+            return
+        position = 0
+        for required_place, required_function in required:
+            found = False
+            while position < len(observed):
+                place, function = observed[position]
+                position += 1
+                if function == required_function and (
+                    required_place == "*" or required_place == place
+                ):
+                    found = True
+                    break
+            if not found:
+                failures.append(
+                    f"path lacks required function {required_function!r}"
+                    + (
+                        f" at {required_place!r}"
+                        if required_place != "*"
+                        else ""
+                    )
+                )
+                return
+
+    def _check_nonce(
+        self, compiled: CompiledPolicy, failures: List[str]
+    ) -> None:
+        if not compiled.nonce:
+            return
+        if self.nonces is None:
+            return
+        problem = self.nonces.check(compiled.nonce)
+        if problem is not None:
+            failures.append(problem)
+        else:
+            self.nonces.consume(compiled.nonce)

@@ -1,0 +1,265 @@
+"""Compile hybrid policies for concrete paths (paper §5.2).
+
+"After authoring an RA policy, how do we deploy it? The policy will be
+compiled by the Relying Party and serialized into an options header in
+the transport layer, to be evaluated along the path of traffic that it
+is sending out."
+
+Compilation instantiates the policy's place abstraction: ∀-variables
+either collapse (the per-hop variable *is* whatever hop evaluates the
+directive) or resolve through the relying party's ``bindings`` (the
+endpoints it knows, e.g. ``client → h-dst``). The result is a
+:class:`CompiledPolicy`: one :class:`HopDirective` every attesting hop
+interprets, plus the terminal and path constraints the appraiser
+checks afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.copland.ast import Asp, At, Linear, Phrase, Sign
+from repro.core.hybrid_ast import (
+    Embedded,
+    Forall,
+    Guard,
+    HybridAt,
+    HybridNode,
+    HybridPolicy,
+    HybridSeq,
+    PathStar,
+)
+from repro.netkat.ast import (
+    And,
+    Not,
+    Or,
+    Predicate,
+    PTrue,
+    Test,
+)
+from repro.netkat.printer import predicate_to_text
+from repro.pera.config import CompositionMode, DetailLevel
+from repro.util.errors import PolicyError
+from repro.util.ids import short_id
+
+
+@dataclass(frozen=True)
+class HopDirective:
+    """What one attesting hop must do with a policy-carrying packet."""
+
+    test_text: str = ""  # NetKAT predicate source; "" = unconditional
+    attest: Tuple[str, ...] = ()  # attestation property arguments
+    detail: DetailLevel = DetailLevel.MINIMAL
+    composition: CompositionMode = CompositionMode.CHAINED
+    sign: bool = True
+    out_of_band_to: str = ""  # "" = push evidence in-band
+
+
+@dataclass(frozen=True)
+class CompiledPolicy:
+    """A policy instantiated for a concrete traffic path."""
+
+    policy_id: str
+    relying_party: str
+    nonce: bytes
+    appraiser: str
+    hop: HopDirective
+    terminal_place: str = ""
+    # Ordered (place, function) attestations the path must exhibit (AP3).
+    required_functions: Tuple[Tuple[str, str], ...] = ()
+    min_attested_hops: int = 0
+
+
+def _substitute(pred: Predicate, bindings: Dict[str, str], collapse: Tuple[str, ...]) -> Predicate:
+    """Resolve ∀-variables inside a guard predicate.
+
+    Tests whose value is a collapsed per-hop variable become true (the
+    evaluating hop *is* that variable); values bound by the RP become
+    their concrete names.
+    """
+    if isinstance(pred, Test):
+        if isinstance(pred.value, str):
+            if pred.value in collapse:
+                return PTrue()
+            if pred.value in bindings:
+                return Test(pred.field, bindings[pred.value])
+        return pred
+    if isinstance(pred, And):
+        return And(
+            _substitute(pred.left, bindings, collapse),
+            _substitute(pred.right, bindings, collapse),
+        )
+    if isinstance(pred, Or):
+        return Or(
+            _substitute(pred.left, bindings, collapse),
+            _substitute(pred.right, bindings, collapse),
+        )
+    if isinstance(pred, Not):
+        return Not(_substitute(pred.pred, bindings, collapse))
+    return pred
+
+
+@dataclass
+class _Extraction:
+    """What a walk over one side of a *⇒ found."""
+
+    test: Optional[Predicate] = None
+    attest_args: Tuple[str, ...] = ()
+    sign: bool = False
+    appraiser: str = ""
+    places: List[str] = field(default_factory=list)
+    functions: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def _phrase_attests(phrase: Phrase) -> Tuple[Tuple[str, ...], bool]:
+    """Find attest() args and whether the phrase signs."""
+    attest_args: Tuple[str, ...] = ()
+    signs = False
+
+    def visit(node: Phrase) -> None:
+        nonlocal attest_args, signs
+        if isinstance(node, Asp) and node.name == "attest":
+            attest_args = node.args
+        elif isinstance(node, Sign):
+            signs = True
+        elif isinstance(node, Linear):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, At):
+            visit(node.phrase)
+
+    visit(phrase)
+    return attest_args, signs
+
+
+def _extract(
+    node: HybridNode,
+    out: _Extraction,
+    current_place: str = "",
+    endpoints: Tuple[str, ...] = (),
+) -> None:
+    if isinstance(node, Guard):
+        # A guard under an endpoint place (one the RP bound, like
+        # ``peer1``) tests that endpoint, not every hop — only guards
+        # over per-hop places become the hop's ▶ test. Multiple hop
+        # guards conjoin (a hop must pass all of them).
+        if current_place not in endpoints:
+            if out.test is None:
+                out.test = node.test
+            else:
+                out.test = And(out.test, node.test)
+        _extract(node.body, out, current_place, endpoints)
+    elif isinstance(node, HybridAt):
+        out.places.append(node.place)
+        _extract(node.body, out, node.place, endpoints)
+    elif isinstance(node, HybridSeq):
+        _extract(node.left, out, current_place, endpoints)
+        _extract(node.right, out, current_place, endpoints)
+    elif isinstance(node, Embedded):
+        attest_args, signs = _phrase_attests(node.phrase)
+        if isinstance(node.phrase, At):
+            out.places.append(node.phrase.place)
+            if node.phrase.place == "Appraiser":
+                out.appraiser = node.phrase.place
+            current_place = node.phrase.place
+        if attest_args:
+            out.attest_args = out.attest_args or attest_args
+            if current_place:
+                for arg in attest_args:
+                    out.functions.append((current_place, arg))
+        if signs:
+            out.sign = True
+    elif isinstance(node, Forall):
+        _extract(node.body, out, current_place, endpoints)
+    elif isinstance(node, PathStar):
+        _extract(node.per_hop, out, current_place, endpoints)
+        _extract(node.terminal, out, current_place, endpoints)
+    else:
+        raise PolicyError(f"unknown hybrid node {type(node).__name__}")
+
+
+def compile_policy_for_path(
+    policy: HybridPolicy,
+    path: List[str],
+    bindings: Optional[Dict[str, str]] = None,
+    nonce: bytes = b"",
+    detail: DetailLevel = DetailLevel.MINIMAL,
+    composition: CompositionMode = CompositionMode.CHAINED,
+    out_of_band: bool = False,
+    min_attested_hops: Optional[int] = None,
+) -> CompiledPolicy:
+    """Instantiate ``policy`` for the concrete ``path``.
+
+    ``bindings`` resolves ∀-variables the relying party knows (its own
+    endpoints); remaining variables collapse onto "whichever hop is
+    evaluating". ``detail``/``composition`` choose the Fig. 4 point the
+    evidence should use; ``out_of_band`` selects the Fig. 2 variant.
+    """
+    bindings = dict(bindings or {})
+    body = policy.body
+    collapse: Tuple[str, ...] = ()
+    while isinstance(body, Forall):
+        collapse = collapse + tuple(
+            v for v in body.variables if v not in bindings
+        )
+        body = body.body
+
+    if isinstance(body, PathStar):
+        per_hop, terminal = body.per_hop, body.terminal
+    else:
+        per_hop, terminal = body, None
+
+    endpoints = tuple(bindings)
+    hop_extraction = _Extraction()
+    _extract(per_hop, hop_extraction, endpoints=endpoints)
+    terminal_extraction = _Extraction()
+    if terminal is not None:
+        _extract(terminal, terminal_extraction, endpoints=endpoints)
+
+    test_text = ""
+    if hop_extraction.test is not None:
+        resolved = _substitute(hop_extraction.test, bindings, collapse)
+        if not isinstance(resolved, PTrue):
+            test_text = predicate_to_text(resolved)
+
+    appraiser = hop_extraction.appraiser or terminal_extraction.appraiser or "Appraiser"
+
+    terminal_place = ""
+    for place in terminal_extraction.places:
+        if place == "Appraiser":
+            continue
+        terminal_place = bindings.get(place, place)
+        break
+
+    required: List[Tuple[str, str]] = []
+    for place, function in hop_extraction.functions + terminal_extraction.functions:
+        resolved_place = bindings.get(place, place)
+        resolved_function = bindings.get(function, function)
+        # Per-hop collapsed variables match any hop ("*").
+        if place in collapse:
+            resolved_place = "*"
+        required.append((resolved_place, resolved_function))
+
+    switch_hops = max(0, len(path) - 2)  # endpoints are hosts
+    return CompiledPolicy(
+        policy_id=short_id(
+            policy.name.encode() + b"|" + nonce + b"|" + "/".join(path).encode()
+        ),
+        relying_party=policy.relying_party,
+        nonce=nonce,
+        appraiser=appraiser,
+        hop=HopDirective(
+            test_text=test_text,
+            attest=hop_extraction.attest_args,
+            detail=detail,
+            composition=composition,
+            sign=hop_extraction.sign,
+            out_of_band_to=appraiser if out_of_band else "",
+        ),
+        terminal_place=terminal_place,
+        required_functions=tuple(required),
+        min_attested_hops=(
+            min_attested_hops if min_attested_hops is not None else switch_hops
+        ),
+    )

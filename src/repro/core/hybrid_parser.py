@@ -1,0 +1,234 @@
+"""Concrete syntax for network-aware Copland.
+
+ASCII renderings of the paper's typeset operators::
+
+    ∀ p, q : C      →   forall p, q : C
+    K ▶ C           →   { <netkat predicate> } |> C
+    A *⇒ B          →   A *=> B
+    A -+> B         →   A -+> B   (sequenced, evidence passes to B)
+
+Everything inside ``@place [ ... ]`` that is not a hybrid operator is
+parsed as a plain Copland phrase, so AP1 from Table 1 reads::
+
+    *bank<n, X> :
+      forall hop, client :
+        (@hop [ {switch = hop} |> attest(X) -> !]
+          -+> @Appraiser [appraise -> store(n)])
+        *=> @client [ {switch = client} |>
+              (@ks [av us bmon -> !] -<- @us [bmon us exts -> !]) ]
+
+Grammar::
+
+    policy   ::= "*" IDENT ("<" ident-list ">")? ":" node
+    node     ::= "forall" ident-list ":" node | pathstar
+    pathstar ::= seqnode ("*=>" seqnode)*
+    seqnode  ::= guarded ("-+>" guarded)*
+    guarded  ::= "{" netkat-predicate "}" "|>" guarded
+               | "@" IDENT "[" node "]"
+               | "(" node ")"
+               | <copland phrase atom sequence>
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.copland.parser import parse_phrase
+from repro.core.hybrid_ast import (
+    Embedded,
+    Forall,
+    Guard,
+    HybridAt,
+    HybridNode,
+    HybridPolicy,
+    HybridSeq,
+    PathStar,
+)
+from repro.netkat.parser import parse_predicate
+from repro.util.errors import PolicyError
+
+_STAR_ARROW = "*=>"
+_SEQ_ARROW = "-+>"
+_GUARD_ARROW = "|>"
+
+
+def parse_hybrid_policy(text: str, name: str = "") -> HybridPolicy:
+    """Parse a complete ``*RP<params> : body`` hybrid policy."""
+    parser = _HybridParser(text)
+    return parser.policy(name=name)
+
+
+class _HybridParser:
+    """A lightweight splitter-based parser.
+
+    The hybrid layer has few operators; this parser finds them at
+    bracket depth zero and delegates bracketed leaves to the Copland
+    and NetKAT parsers. That keeps all three concrete syntaxes exactly
+    aligned with their standalone forms.
+    """
+
+    def __init__(self, text: str) -> None:
+        self._text = text.strip()
+
+    # --- top level -----------------------------------------------------------
+
+    def policy(self, name: str) -> HybridPolicy:
+        text = self._text
+        if not text.startswith("*"):
+            raise PolicyError("hybrid policy must start with '*RP : ...'")
+        head, sep, body = text[1:].partition(":")
+        if not sep:
+            raise PolicyError("hybrid policy missing ':' after relying party")
+        head = head.strip()
+        params: Tuple[str, ...] = ()
+        match = re.match(r"^([A-Za-z_][\w.\-]*)\s*(?:<([^>]*)>)?$", head)
+        if match is None:
+            raise PolicyError(f"malformed relying-party head {head!r}")
+        relying_party = match.group(1)
+        if match.group(2):
+            params = tuple(
+                p.strip() for p in match.group(2).split(",") if p.strip()
+            )
+        return HybridPolicy(
+            name=name or relying_party,
+            relying_party=relying_party,
+            params=params,
+            body=_parse_node(body.strip()),
+        )
+
+
+def _strip_outer_parens(text: str) -> str:
+    text = text.strip()
+    while text.startswith("(") and text.endswith(")"):
+        depth = 0
+        for index, char in enumerate(text):
+            if char in "([{":
+                depth += 1
+            elif char in ")]}":
+                depth -= 1
+                if depth == 0 and index != len(text) - 1:
+                    return text  # outer parens do not wrap the whole
+        text = text[1:-1].strip()
+    return text
+
+
+def _split_top(text: str, operator: str) -> List[str]:
+    """Split ``text`` on ``operator`` occurrences at bracket depth 0."""
+    parts: List[str] = []
+    depth = 0
+    start = 0
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+            if depth < 0:
+                raise PolicyError(f"unbalanced brackets in {text!r}")
+        elif depth == 0 and text.startswith(operator, index):
+            parts.append(text[start:index])
+            index += len(operator)
+            start = index
+            continue
+        index += 1
+    if depth != 0:
+        raise PolicyError(f"unbalanced brackets in {text!r}")
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_node(text: str) -> HybridNode:
+    text = _strip_outer_parens(text)
+    if not text:
+        raise PolicyError("empty hybrid node")
+    # forall binds loosest.
+    match = re.match(r"^forall\s+([^:]+):(.*)$", text, re.DOTALL)
+    if match is not None:
+        variables = tuple(
+            v.strip() for v in match.group(1).split(",") if v.strip()
+        )
+        return Forall(variables=variables, body=_parse_node(match.group(2)))
+    # Then *=> (right-associated chain).
+    star_parts = _split_top(text, _STAR_ARROW)
+    if len(star_parts) > 1:
+        node = _parse_seq(star_parts[-1])
+        for part in reversed(star_parts[:-1]):
+            node = PathStar(per_hop=_parse_seq(part), terminal=node)
+        return node
+    return _parse_seq(text)
+
+
+def _parse_seq(text: str) -> HybridNode:
+    text = _strip_outer_parens(text)
+    parts = _split_top(text, _SEQ_ARROW)
+    node = _parse_guarded(parts[0])
+    for part in parts[1:]:
+        node = HybridSeq(left=node, right=_parse_guarded(part))
+    return node
+
+
+def _parse_guarded(text: str) -> HybridNode:
+    text = _strip_outer_parens(text)
+    if not text:
+        raise PolicyError("empty hybrid node")
+    if text.startswith("{"):
+        depth = 0
+        for index, char in enumerate(text):
+            if char == "{":
+                depth += 1
+            elif char == "}":
+                depth -= 1
+                if depth == 0:
+                    predicate = parse_predicate(text[1:index])
+                    rest = text[index + 1 :].lstrip()
+                    if not rest.startswith(_GUARD_ARROW):
+                        raise PolicyError(
+                            f"expected '|>' after guard predicate in {text!r}"
+                        )
+                    body = rest[len(_GUARD_ARROW) :].strip()
+                    return Guard(test=predicate, body=_parse_guarded(body))
+        raise PolicyError(f"unterminated guard predicate in {text!r}")
+    if text.startswith("@"):
+        match = re.match(r"^@([A-Za-z_][\w.\-]*)\s*\[(.*)\]$", text, re.DOTALL)
+        if match is not None and _balanced(match.group(2)):
+            inner = match.group(2).strip()
+            if _contains_hybrid_operator(inner):
+                return HybridAt(place=match.group(1), body=_parse_node(inner))
+            # Plain Copland inside: keep the @place wrapper in Copland.
+            return Embedded(phrase=parse_phrase(text))
+    if _contains_hybrid_operator(text):
+        raise PolicyError(f"misplaced hybrid operator in {text!r}")
+    return Embedded(phrase=parse_phrase(text))
+
+
+def _balanced(text: str) -> bool:
+    depth = 0
+    for char in text:
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+def _contains_hybrid_operator(text: str) -> bool:
+    depth = 0
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+        elif depth == 0:
+            for operator in (_STAR_ARROW, _SEQ_ARROW, _GUARD_ARROW):
+                if text.startswith(operator, index):
+                    return True
+            if text.startswith("forall ", index):
+                return True
+        index += 1
+    return False

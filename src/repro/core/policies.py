@@ -1,0 +1,70 @@
+"""The attestation policies of Table 1, ready-made.
+
+Each function returns the :class:`~repro.core.hybrid_ast.HybridPolicy`
+for one row of the paper's Table 1, built from its concrete syntax so
+the policies in this library are *exactly* what the parser accepts.
+"""
+
+from __future__ import annotations
+
+from repro.core.hybrid_ast import HybridPolicy
+from repro.core.hybrid_parser import parse_hybrid_policy
+
+AP1_TEXT = """
+*bank<n, X> :
+  forall hop, client :
+    (@hop [ {attests = 1} |> attest(X) -> ! ]
+       -+> @Appraiser [ appraise -> store(n) ])
+    *=> @client [ {switch = client} |>
+          (@ks [av us bmon -> !] -<- @us [bmon us exts -> !]) ]
+"""
+
+AP2_TEXT = """
+*scanner<P> :
+  @scanner [ {pattern = 1} |> (attest(P) -> !) ]
+    -+> @Appraiser [ appraise -> store ]
+"""
+
+AP3_TEXT = """
+*pathCheck<F1, F2, Peer1, Peer2> :
+  forall p, q, r, peer1, peer2 :
+    (@peer1 [ {switch = peer1} |> ! ]
+       -+> @p [ attest(F1) -> ! ]
+       -+> @q [ attest(F2) -> ! ]
+       -+> @Appraiser [ appraise -> store ])
+    *=> (@r [ {q_test = 1} |> ! ]
+       -+> @peer2 [ {switch = peer2} |> ! ]
+       -+> @Appraiser [ appraise -> store ])
+"""
+
+
+def ap1_bank_path_attestation() -> HybridPolicy:
+    """AP1: the bank example with path attestation (UC5 + UC1).
+
+    Each hop satisfying its key test (``Khop``, here rendered as the
+    guard ``attests = 1``) attests property ``X`` — "such as which P4
+    program and tables were used for forwarding" — signs, and sends the
+    evidence to the appraiser; at the path's end the client runs the
+    §4.2 host-measurement protocol (the blue original in the paper).
+    """
+    return parse_hybrid_policy(AP1_TEXT, name="AP1")
+
+
+def ap2_scanner_audit() -> HybridPolicy:
+    """AP2: a switch scans for a traffic pattern P (UC4).
+
+    "If the test succeeds then the test result is signed and sent to
+    the Appraiser for storing" — RA's audit trail can then be
+    referenced by other actions (e.g. a court order application).
+    """
+    return parse_hybrid_policy(AP2_TEXT, name="AP2")
+
+
+def ap3_path_check() -> HybridPolicy:
+    """AP3: attested dataplane programs on a path (UC2 + UC3).
+
+    Functions F1 and F2 run in abstract places p and q; p passes its
+    evidence to q before it reaches the Appraiser; between q and r no
+    RA support is required.
+    """
+    return parse_hybrid_policy(AP3_TEXT, name="AP3")

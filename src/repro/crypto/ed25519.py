@@ -1,0 +1,210 @@
+"""A from-scratch Ed25519 implementation (RFC 8032).
+
+This is the signature primitive behind Copland's ``!`` operator and the
+Sign/Verify block of the PERA switch (paper Fig. 3). It follows the
+RFC 8032 reference construction over the twisted Edwards curve
+edwards25519, using extended homogeneous coordinates for group
+arithmetic.
+
+The implementation is deliberately self-contained (no third-party
+dependency is available offline) and is *not* constant-time; the
+simulated root of trust does not face timing adversaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.errors import CryptoError
+
+# Curve constants (RFC 8032 §5.1).
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * pow(121666, _P - 2, _P)) % _P
+
+SIGNATURE_LEN = 64
+KEY_LEN = 32
+
+# A point in extended homogeneous coordinates (X, Y, Z, T), x = X/Z,
+# y = Y/Z, x*y = T/Z.
+_Point = Tuple[int, int, int, int]
+
+_IDENTITY: _Point = (0, 1, 1, 0)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _inv(x: int) -> int:
+    return pow(x, _P - 2, _P)
+
+
+def _recover_x(y: int, sign_bit: int) -> int:
+    """Recover the x-coordinate from y and the encoded sign bit."""
+    if y >= _P:
+        raise CryptoError("point y-coordinate out of field range")
+    x2 = (y * y - 1) * _inv(_D * y * y + 1) % _P
+    if x2 == 0:
+        if sign_bit:
+            raise CryptoError("invalid point encoding: x=0 with sign bit set")
+        return 0
+    # Square root for p = 5 (mod 8).
+    x = pow(x2, (_P + 3) // 8, _P)
+    if (x * x - x2) % _P != 0:
+        x = x * pow(2, (_P - 1) // 4, _P) % _P
+    if (x * x - x2) % _P != 0:
+        raise CryptoError("invalid point encoding: no square root")
+    if (x & 1) != sign_bit:
+        x = _P - x
+    return x
+
+
+def _point_add(p: _Point, q: _Point) -> _Point:
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % _P
+    b = (y1 + x1) * (y2 + x2) % _P
+    c = 2 * t1 * t2 * _D % _P
+    d = 2 * z1 * z2 % _P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _point_mul(scalar: int, point: _Point) -> _Point:
+    result = _IDENTITY
+    addend = point
+    while scalar > 0:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(p: _Point, q: _Point) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % _P == 0 and (y1 * z2 - y2 * z1) % _P == 0
+
+
+def _point_compress(p: _Point) -> bytes:
+    x, y, z, _ = p
+    zinv = _inv(z)
+    x = x * zinv % _P
+    y = y * zinv % _P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _point_decompress(data: bytes) -> _Point:
+    if len(data) != 32:
+        raise CryptoError(f"point encoding must be 32 bytes, got {len(data)}")
+    encoded = int.from_bytes(data, "little")
+    sign_bit = encoded >> 255
+    y = encoded & ((1 << 255) - 1)
+    x = _recover_x(y, sign_bit)
+    return (x, y, 1, x * y % _P)
+
+
+# Base point B (RFC 8032 §5.1).
+_BASE_Y = 4 * _inv(5) % _P
+_BASE_X = _recover_x(_BASE_Y, 0)
+_BASE: _Point = (_BASE_X, _BASE_Y, 1, _BASE_X * _BASE_Y % _P)
+
+
+def _secret_expand(secret: bytes) -> Tuple[int, bytes]:
+    if len(secret) != KEY_LEN:
+        raise CryptoError(f"secret key must be {KEY_LEN} bytes, got {len(secret)}")
+    h = _sha512(secret)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+def public_key_bytes(secret: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret seed."""
+    a, _ = _secret_expand(secret)
+    return _point_compress(_point_mul(a, _BASE))
+
+
+def sign(secret: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature over ``message``."""
+    a, prefix = _secret_expand(secret)
+    public = _point_compress(_point_mul(a, _BASE))
+    r = int.from_bytes(_sha512(prefix + message), "little") % _L
+    r_point = _point_compress(_point_mul(r, _BASE))
+    k = int.from_bytes(_sha512(r_point + public + message), "little") % _L
+    s = (r + k * a) % _L
+    return r_point + s.to_bytes(32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check an Ed25519 signature. Returns ``False`` on any mismatch.
+
+    Raises :class:`CryptoError` only for structurally malformed inputs
+    (wrong lengths, non-canonical points), so callers can distinguish
+    "forged" from "not even a signature".
+    """
+    if len(public) != KEY_LEN:
+        raise CryptoError(f"public key must be {KEY_LEN} bytes, got {len(public)}")
+    if len(signature) != SIGNATURE_LEN:
+        raise CryptoError(
+            f"signature must be {SIGNATURE_LEN} bytes, got {len(signature)}"
+        )
+    try:
+        a_point = _point_decompress(public)
+        r_point = _point_decompress(signature[:32])
+    except CryptoError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    k = int.from_bytes(_sha512(signature[:32] + public + message), "little") % _L
+    left = _point_mul(s, _BASE)
+    right = _point_add(r_point, _point_mul(k, a_point))
+    return _point_equal(left, right)
+
+
+@dataclass(frozen=True)
+class VerifyKey:
+    """An Ed25519 verification (public) key."""
+
+    key_bytes: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.key_bytes) != KEY_LEN:
+            raise CryptoError(
+                f"public key must be {KEY_LEN} bytes, got {len(self.key_bytes)}"
+            )
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return verify(self.key_bytes, message, signature)
+
+    def fingerprint(self) -> str:
+        """Short stable identifier for logs and certificates."""
+        return hashlib.sha256(self.key_bytes).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """An Ed25519 signing (secret) key, derived from a 32-byte seed."""
+
+    seed: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.seed) != KEY_LEN:
+            raise CryptoError(f"seed must be {KEY_LEN} bytes, got {len(self.seed)}")
+
+    @classmethod
+    def from_deterministic_seed(cls, label: str) -> "SigningKey":
+        """Derive a key from a label — simulations must be reproducible."""
+        return cls(hashlib.sha256(b"repro-ed25519-seed:" + label.encode()).digest())
+
+    def sign(self, message: bytes) -> bytes:
+        return sign(self.seed, message)
+
+    def verify_key(self) -> VerifyKey:
+        return VerifyKey(public_key_bytes(self.seed))

@@ -1,0 +1,100 @@
+"""Merkle trees over evidence logs.
+
+Use case UC4 (auditing) stores an appraisable audit trail; UC5 needs
+*trusted redaction* — giving a compliance officer proof that specific
+evidence items are in the log without revealing the rest. A Merkle tree
+over the evidence log provides both: the signed root commits to the
+whole log, and a :class:`MerkleProof` discloses one leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import digest
+from repro.util.errors import VerificationError
+
+_LEAF_DOMAIN = "merkle-leaf"
+_NODE_DOMAIN = "merkle-node"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return digest(data, domain=_LEAF_DOMAIN)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return digest(left + right, domain=_NODE_DOMAIN)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof: the leaf index plus sibling hashes to the root."""
+
+    leaf_index: int
+    leaf_count: int
+    # Each element is (sibling_hash, sibling_is_left).
+    path: Tuple[Tuple[bytes, bool], ...]
+
+    def verify(self, leaf_data: bytes, root: bytes) -> bool:
+        """Check that ``leaf_data`` is committed under ``root``."""
+        if not 0 <= self.leaf_index < self.leaf_count:
+            return False
+        node = _leaf_hash(leaf_data)
+        for sibling, sibling_is_left in self.path:
+            if sibling_is_left:
+                node = _node_hash(sibling, node)
+            else:
+                node = _node_hash(node, sibling)
+        return node == root
+
+
+class MerkleTree:
+    """A Merkle tree built over a sequence of byte-string leaves.
+
+    Odd nodes at each level are promoted unchanged (Bitcoin-style
+    duplication would allow leaf-set malleability; promotion does not).
+    """
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        if not leaves:
+            raise VerificationError("cannot build a Merkle tree with no leaves")
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self._levels: List[List[bytes]] = [[_leaf_hash(leaf) for leaf in self._leaves]]
+        while len(self._levels[-1]) > 1:
+            prev = self._levels[-1]
+            nxt: List[bytes] = []
+            for i in range(0, len(prev) - 1, 2):
+                nxt.append(_node_hash(prev[i], prev[i + 1]))
+            if len(prev) % 2 == 1:
+                nxt.append(prev[-1])
+            self._levels.append(nxt)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def leaf(self, index: int) -> bytes:
+        return self._leaves[index]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Produce an inclusion proof for leaf ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise VerificationError(
+                f"leaf index {index} out of range [0, {len(self._leaves)})"
+            )
+        path: List[Tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position ^ 1
+            if sibling_index < len(level):
+                path.append((level[sibling_index], sibling_index < position))
+            # Odd promoted node has no sibling at this level: no path entry.
+            position //= 2
+        return MerkleProof(
+            leaf_index=index, leaf_count=len(self._leaves), path=tuple(path)
+        )

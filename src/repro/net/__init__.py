@@ -1,0 +1,67 @@
+"""Deterministic network substrate.
+
+The paper's evaluation needs a network to attest: hosts, links, and
+switches on paths. This package provides byte-accurate packets and
+headers, topology graphs, routing, and a discrete-event simulator —
+the stand-in for the authors' testbed (see DESIGN.md §2).
+"""
+
+from repro.net.headers import (
+    EthernetHeader,
+    Ipv4Header,
+    UdpHeader,
+    TcpHeader,
+    RaShimHeader,
+    ip_to_int,
+    int_to_ip,
+    mac_to_int,
+    int_to_mac,
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    IPPROTO_TCP,
+    RA_UDP_PORT,
+)
+from repro.net.packet import Packet
+from repro.net.topology import Topology, Link, linear_topology, star_topology, fat_tree_topology, ring_topology
+from repro.net.simulator import Simulator, Node, PacketLogEntry
+from repro.net.routing import shortest_path, all_pairs_next_hop
+from repro.net.host import Host
+from repro.net.flows import Flow, FlowGenerator
+from repro.net.trace import TraceAnalysis
+
+# NOTE: repro.net.controller is intentionally NOT imported here — it
+# drives PISA switches, and importing it from the package root would
+# create an import cycle (net -> pisa -> net). Import it directly:
+#     from repro.net.controller import RoutingController
+
+__all__ = [
+    "EthernetHeader",
+    "Ipv4Header",
+    "UdpHeader",
+    "TcpHeader",
+    "RaShimHeader",
+    "ip_to_int",
+    "int_to_ip",
+    "mac_to_int",
+    "int_to_mac",
+    "ETHERTYPE_IPV4",
+    "IPPROTO_UDP",
+    "IPPROTO_TCP",
+    "RA_UDP_PORT",
+    "Packet",
+    "Topology",
+    "Link",
+    "linear_topology",
+    "star_topology",
+    "fat_tree_topology",
+    "ring_topology",
+    "Simulator",
+    "Node",
+    "shortest_path",
+    "all_pairs_next_hop",
+    "Host",
+    "Flow",
+    "FlowGenerator",
+    "PacketLogEntry",
+    "TraceAnalysis",
+]

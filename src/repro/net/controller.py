@@ -1,0 +1,97 @@
+"""A central routing controller.
+
+Computes shortest paths over a topology and installs LPM forwarding
+entries on every switch through its P4Runtime endpoint — the standard
+control-plane scripting workflow. Works with any switch class built on
+:class:`~repro.pisa.switch.PisaSwitch` (plain, PERA, network-aware).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.host import Host
+from repro.net.routing import shortest_path
+from repro.net.simulator import Simulator
+from repro.pisa.program import DataplaneProgram
+from repro.pisa.programs import ipv4_forwarding_program
+from repro.pisa.runtime import TableEntry
+from repro.pisa.switch import PisaSwitch
+from repro.pisa.tables import MatchKey, MatchKind
+from repro.util.errors import NetworkError
+
+
+@dataclass
+class RoutingController:
+    """Installs host routes on every bound switch."""
+
+    sim: Simulator
+    name: str = "controller"
+    election_id: int = 1
+
+    def switches(self) -> List[PisaSwitch]:
+        found = []
+        for node_name in self.sim.bound_nodes:
+            behaviour = self.sim.node(node_name)
+            if isinstance(behaviour, PisaSwitch):
+                found.append(behaviour)
+        return found
+
+    def hosts(self) -> List[Host]:
+        return [
+            self.sim.node(name)
+            for name in self.sim.bound_nodes
+            if isinstance(self.sim.node(name), Host)
+        ]
+
+    def take_mastership(self) -> None:
+        for switch in self.switches():
+            if not switch.runtime.arbitrate(self.name, self.election_id):
+                raise NetworkError(
+                    f"controller lost arbitration on {switch.name!r}"
+                )
+
+    def install_programs(
+        self, program_factory=ipv4_forwarding_program
+    ) -> Dict[str, DataplaneProgram]:
+        """Install a freshly built program on every switch."""
+        installed: Dict[str, DataplaneProgram] = {}
+        for switch in self.switches():
+            program = program_factory()
+            switch.runtime.set_forwarding_pipeline_config(self.name, program)
+            installed[switch.name] = program
+        return installed
+
+    def install_host_routes(self, table: str = "ipv4_lpm") -> int:
+        """Write one /32 route per (switch, host) pair; returns count.
+
+        Routes follow the lowest-latency path from each switch to each
+        host; switches with no path to some host simply skip it.
+        """
+        written = 0
+        topology = self.sim.topology
+        for switch in self.switches():
+            for host in self.hosts():
+                try:
+                    path = shortest_path(topology, switch.name, host.name)
+                except NetworkError:
+                    continue
+                if len(path) < 2:
+                    continue
+                port = topology.port_towards(switch.name, path[1])
+                switch.runtime.write(self.name, TableEntry(
+                    table=table,
+                    keys=(MatchKey(
+                        MatchKind.LPM, host.ip, prefix_len=32,
+                    ),),
+                    action="forward", params=(port,),
+                ))
+                written += 1
+        return written
+
+    def provision(self, program_factory=ipv4_forwarding_program) -> int:
+        """One-call setup: mastership, programs, routes."""
+        self.take_mastership()
+        self.install_programs(program_factory)
+        return self.install_host_routes()

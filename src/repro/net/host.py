@@ -1,0 +1,83 @@
+"""Host endpoints: send traffic, receive traffic, run app callbacks.
+
+Hosts are the Relying Parties and end principals of the paper's use
+cases (the bank's client, the sensor, the peer behind a NAT). They are
+deliberately simple: one port, a MAC/IP identity, received-packet log,
+and an optional application callback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.net.headers import RaShimHeader
+from repro.net.packet import Packet
+from repro.net.simulator import Node
+from repro.util.errors import NetworkError
+
+
+class Host(Node):
+    """A single-homed host."""
+
+    def __init__(self, name: str, mac: int, ip: int, port: int = 1) -> None:
+        super().__init__(name)
+        self.mac = mac
+        self.ip = ip
+        self.port = port
+        self.received: List[Tuple[float, Packet]] = []
+        self.control_received: List[Tuple[float, str, Any]] = []
+        self.on_packet: Optional[Callable[[Packet], None]] = None
+        self.on_control: Optional[Callable[[str, Any], None]] = None
+
+    # --- sending ------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Transmit ``packet`` out of the host's single port."""
+        if self.sim is None:
+            raise NetworkError(f"host {self.name!r} is not bound to a simulator")
+        self.sim.transmit(self.name, self.port, packet)
+
+    def send_udp(
+        self,
+        dst_mac: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        payload: bytes = b"",
+        ra_shim: Optional[RaShimHeader] = None,
+    ) -> Packet:
+        """Build and send a UDP packet from this host; returns it."""
+        packet = Packet.udp_packet(
+            src_mac=self.mac,
+            dst_mac=dst_mac,
+            src_ip=self.ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            payload=payload,
+            ra_shim=ra_shim,
+        )
+        self.send(packet)
+        return packet
+
+    # --- receiving ------------------------------------------------------------
+
+    def handle_packet(self, packet: Packet, in_port: int) -> None:
+        self.received.append((self.sim.clock.now, packet))
+        if self.on_packet is not None:
+            self.on_packet(packet)
+
+    def handle_control(self, sender: str, message: Any) -> None:
+        self.control_received.append((self.sim.clock.now, sender, message))
+        if self.on_control is not None:
+            self.on_control(sender, message)
+
+    # --- convenience ------------------------------------------------------------
+
+    @property
+    def received_packets(self) -> List[Packet]:
+        return [packet for _, packet in self.received]
+
+    def clear(self) -> None:
+        self.received.clear()
+        self.control_received.clear()

@@ -1,0 +1,212 @@
+"""The packet model shared by hosts, switches and the simulator.
+
+A :class:`Packet` is a parsed header stack plus payload. Switches
+operate on the *parsed* form (that is what a PISA pipeline sees after
+its parser stage); :meth:`encode`/:meth:`decode` give the byte-accurate
+wire form for size accounting and for exercising the programmable
+parser on real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.headers import (
+    ETHERTYPE_IPV4,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    RA_UDP_PORT,
+    EthernetHeader,
+    Ipv4Header,
+    RaShimHeader,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.util.errors import CodecError
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable parsed packet.
+
+    Mutation returns new packets (``dataclasses.replace`` style), which
+    keeps the simulator honest: a switch cannot accidentally alias a
+    packet it already forwarded.
+    """
+
+    eth: EthernetHeader
+    ipv4: Optional[Ipv4Header] = None
+    udp: Optional[UdpHeader] = None
+    tcp: Optional[TcpHeader] = None
+    ra_shim: Optional[RaShimHeader] = None
+    payload: bytes = b""
+
+    # --- construction helpers -------------------------------------------
+
+    @classmethod
+    def udp_packet(
+        cls,
+        src_mac: int,
+        dst_mac: int,
+        src_ip: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        payload: bytes = b"",
+        ttl: int = 64,
+        ra_shim: Optional[RaShimHeader] = None,
+    ) -> "Packet":
+        """Build a UDP packet with consistent length fields."""
+        shim_len = ra_shim.wire_length if ra_shim is not None else 0
+        udp_len = UdpHeader.WIRE_LEN + shim_len + len(payload)
+        actual_dst_port = RA_UDP_PORT if ra_shim is not None else dst_port
+        return cls(
+            eth=EthernetHeader(dst=dst_mac, src=src_mac),
+            ipv4=Ipv4Header(
+                src=src_ip,
+                dst=dst_ip,
+                protocol=IPPROTO_UDP,
+                ttl=ttl,
+                total_length=Ipv4Header.WIRE_LEN + udp_len,
+            ),
+            udp=UdpHeader(src_port=src_port, dst_port=actual_dst_port, length=udp_len),
+            ra_shim=ra_shim,
+            payload=payload,
+        )
+
+    @classmethod
+    def tcp_packet(
+        cls,
+        src_mac: int,
+        dst_mac: int,
+        src_ip: int,
+        dst_ip: int,
+        src_port: int,
+        dst_port: int,
+        payload: bytes = b"",
+        flags: int = 0,
+        ttl: int = 64,
+    ) -> "Packet":
+        """Build a TCP packet with consistent length fields."""
+        return cls(
+            eth=EthernetHeader(dst=dst_mac, src=src_mac),
+            ipv4=Ipv4Header(
+                src=src_ip,
+                dst=dst_ip,
+                protocol=IPPROTO_TCP,
+                ttl=ttl,
+                total_length=Ipv4Header.WIRE_LEN + TcpHeader.WIRE_LEN + len(payload),
+            ),
+            tcp=TcpHeader(src_port=src_port, dst_port=dst_port, flags=flags),
+            payload=payload,
+        )
+
+    # --- wire form -------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize to wire bytes (Ethernet frame)."""
+        out = self.eth.encode()
+        if self.ipv4 is not None:
+            out += self.ipv4.encode()
+            if self.udp is not None:
+                out += self.udp.encode()
+                if self.ra_shim is not None:
+                    out += self.ra_shim.encode()
+            elif self.tcp is not None:
+                out += self.tcp.encode()
+        out += self.payload
+        return out
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Packet":
+        """Parse wire bytes back into a header stack.
+
+        Unknown ethertypes/protocols keep the remainder as payload —
+        the same graceful degradation a hardware parser exhibits.
+        """
+        eth = EthernetHeader.decode(data)
+        rest = data[EthernetHeader.WIRE_LEN :]
+        if eth.ethertype != ETHERTYPE_IPV4:
+            return cls(eth=eth, payload=rest)
+        ipv4 = Ipv4Header.decode(rest)
+        rest = rest[Ipv4Header.WIRE_LEN :]
+        if ipv4.protocol == IPPROTO_UDP:
+            udp = UdpHeader.decode(rest)
+            rest = rest[UdpHeader.WIRE_LEN :]
+            shim: Optional[RaShimHeader] = None
+            if udp.dst_port == RA_UDP_PORT and rest[:2] == b"\x52\x41":
+                shim = RaShimHeader.decode(rest)
+                rest = rest[shim.wire_length :]
+            return cls(eth=eth, ipv4=ipv4, udp=udp, ra_shim=shim, payload=rest)
+        if ipv4.protocol == IPPROTO_TCP:
+            tcp = TcpHeader.decode(rest)
+            return cls(
+                eth=eth, ipv4=ipv4, tcp=tcp, payload=rest[TcpHeader.WIRE_LEN :]
+            )
+        return cls(eth=eth, ipv4=ipv4, payload=rest)
+
+    # --- accessors -------------------------------------------------------
+
+    @property
+    def wire_length(self) -> int:
+        """Total frame length in bytes (without re-encoding)."""
+        length = EthernetHeader.WIRE_LEN + len(self.payload)
+        if self.ipv4 is not None:
+            length += Ipv4Header.WIRE_LEN
+        if self.udp is not None:
+            length += UdpHeader.WIRE_LEN
+        if self.tcp is not None:
+            length += TcpHeader.WIRE_LEN
+        if self.ra_shim is not None:
+            length += self.ra_shim.wire_length
+        return length
+
+    @property
+    def five_tuple(self) -> tuple:
+        """(src_ip, dst_ip, protocol, src_port, dst_port) or Nones."""
+        if self.ipv4 is None:
+            return (None, None, None, None, None)
+        l4 = self.udp or self.tcp
+        return (
+            self.ipv4.src,
+            self.ipv4.dst,
+            self.ipv4.protocol,
+            l4.src_port if l4 else None,
+            l4.dst_port if l4 else None,
+        )
+
+    def with_shim(self, shim: Optional[RaShimHeader]) -> "Packet":
+        """Return a copy carrying (or stripped of) an RA shim header.
+
+        Recomputes the UDP and IPv4 length fields so the wire form
+        stays self-consistent.
+        """
+        if self.udp is None:
+            raise CodecError("RA shim requires a UDP packet")
+        old_len = self.ra_shim.wire_length if self.ra_shim is not None else 0
+        new_len = shim.wire_length if shim is not None else 0
+        delta = new_len - old_len
+        return replace(
+            self,
+            ra_shim=shim,
+            udp=replace(self.udp, length=self.udp.length + delta),
+            ipv4=replace(self.ipv4, total_length=self.ipv4.total_length + delta),
+        )
+
+    def with_ttl_decremented(self) -> "Packet":
+        if self.ipv4 is None:
+            raise CodecError("cannot decrement TTL of a non-IP packet")
+        return replace(self, ipv4=self.ipv4.decrement_ttl())
+
+    def __repr__(self) -> str:  # keep simulator logs readable
+        parts = [f"eth({self.eth.ethertype:#06x})"]
+        if self.ipv4 is not None:
+            parts.append(f"ipv4({self.ipv4.src:#010x}->{self.ipv4.dst:#010x})")
+        if self.udp is not None:
+            parts.append(f"udp({self.udp.src_port}->{self.udp.dst_port})")
+        if self.tcp is not None:
+            parts.append(f"tcp({self.tcp.src_port}->{self.tcp.dst_port})")
+        if self.ra_shim is not None:
+            parts.append(f"ra(hops={self.ra_shim.hop_count},{len(self.ra_shim.body)}B)")
+        return f"Packet[{' '.join(parts)} payload={len(self.payload)}B]"

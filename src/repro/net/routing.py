@@ -1,0 +1,80 @@
+"""Shortest-path routing over topologies.
+
+Control-plane helper: computes paths and next-hop tables that the
+P4Runtime-style controller installs into switch forwarding tables.
+Dijkstra over link latency; BFS tie-break on node name keeps results
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.topology import Topology
+from repro.util.errors import NetworkError
+
+
+def shortest_path(topology: Topology, src: str, dst: str) -> List[str]:
+    """Return the lowest-latency node path from ``src`` to ``dst``.
+
+    Ties break lexicographically on the path so repeated runs agree.
+    Raises :class:`NetworkError` when no path exists.
+    """
+    for name in (src, dst):
+        if not topology.has_node(name):
+            raise NetworkError(f"unknown node {name!r}")
+    if src == dst:
+        return [src]
+    # (cost, path) heap; the path tuple itself is the tie-break.
+    heap: List[Tuple[float, Tuple[str, ...]]] = [(0.0, (src,))]
+    best: Dict[str, float] = {src: 0.0}
+    while heap:
+        cost, path = heapq.heappop(heap)
+        node = path[-1]
+        if node == dst:
+            return list(path)
+        if cost > best.get(node, float("inf")):
+            continue
+        for port in topology.ports_of(node):
+            link = topology.link_at(node, port)
+            peer, _ = link.other_end(node)
+            if peer in path:
+                continue
+            new_cost = cost + link.latency_s
+            if new_cost < best.get(peer, float("inf")) or (
+                new_cost == best.get(peer, float("inf"))
+            ):
+                if new_cost <= best.get(peer, float("inf")):
+                    best[peer] = new_cost
+                    heapq.heappush(heap, (new_cost, path + (peer,)))
+    raise NetworkError(f"no path from {src!r} to {dst!r}")
+
+
+def path_ports(topology: Topology, path: List[str]) -> List[Tuple[str, int]]:
+    """For each node on ``path`` except the last, the egress port to take."""
+    hops: List[Tuple[str, int]] = []
+    for node, nxt in zip(path, path[1:]):
+        hops.append((node, topology.port_towards(node, nxt)))
+    return hops
+
+
+def all_pairs_next_hop(topology: Topology) -> Dict[Tuple[str, str], int]:
+    """Map (node, destination) -> egress port, for every switch.
+
+    This is what the controller walks when populating forwarding
+    tables: for each destination host, each switch learns the port
+    towards it along the shortest path.
+    """
+    table: Dict[Tuple[str, str], int] = {}
+    names = topology.node_names
+    for dst in names:
+        for src in names:
+            if src == dst:
+                continue
+            try:
+                path = shortest_path(topology, src, dst)
+            except NetworkError:
+                continue
+            table[(src, dst)] = topology.port_towards(src, path[1])
+    return table

@@ -1,0 +1,93 @@
+"""NetKAT: semantic foundations for networks (Anderson et al. 2014).
+
+The paper borrows three things from NetKAT for its hybrid language:
+the Kleene star (path abstraction), Boolean tests (the ``▶`` prefix),
+and reachability reasoning. This package implements the full base
+language anyway:
+
+- :mod:`repro.netkat.ast` — predicates and policies.
+- :mod:`repro.netkat.parser` — concrete syntax.
+- :mod:`repro.netkat.semantics` — denotational packet-history semantics.
+- :mod:`repro.netkat.fdd` — forwarding decision diagrams and local
+  compilation to prioritized flow rules.
+- :mod:`repro.netkat.reachability` — topology encoding and reachability
+  queries (the ``▶``/``*⇒`` substrate).
+"""
+
+from repro.netkat.ast import (
+    Predicate,
+    PTrue,
+    PFalse,
+    Test,
+    And,
+    Or,
+    Not,
+    Policy,
+    Filter,
+    Mod,
+    Union,
+    Seq,
+    Star,
+    Dup,
+    ID,
+    DROP,
+    test,
+    mod,
+    seq,
+    union,
+    star,
+    ite,
+)
+from repro.netkat.parser import parse_policy, parse_predicate
+from repro.netkat.semantics import NkPacket, eval_policy, eval_predicate
+from repro.netkat.fdd import Fdd, compile_policy, FlowRule, fdd_to_flow_rules
+from repro.netkat.reachability import (
+    topology_policy,
+    network_policy,
+    reachable,
+    reachable_set,
+)
+from repro.netkat.printer import predicate_to_text, policy_to_text
+from repro.netkat.install import compile_to_program, install_policy
+
+__all__ = [
+    "Predicate",
+    "PTrue",
+    "PFalse",
+    "Test",
+    "And",
+    "Or",
+    "Not",
+    "Policy",
+    "Filter",
+    "Mod",
+    "Union",
+    "Seq",
+    "Star",
+    "Dup",
+    "ID",
+    "DROP",
+    "test",
+    "mod",
+    "seq",
+    "union",
+    "star",
+    "ite",
+    "parse_policy",
+    "parse_predicate",
+    "NkPacket",
+    "eval_policy",
+    "eval_predicate",
+    "Fdd",
+    "compile_policy",
+    "FlowRule",
+    "fdd_to_flow_rules",
+    "topology_policy",
+    "network_policy",
+    "reachable",
+    "reachable_set",
+    "predicate_to_text",
+    "policy_to_text",
+    "compile_to_program",
+    "install_policy",
+]

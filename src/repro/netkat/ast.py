@@ -1,0 +1,239 @@
+"""NetKAT abstract syntax.
+
+Predicates form a Boolean algebra; policies a Kleene algebra with
+tests. Field values are ints or strings (places like ``"s1"`` are more
+readable than numeric encodings, and NetKAT's semantics only ever
+compares values for equality).
+
+The smart constructors (:func:`test`, :func:`seq`, :func:`union`, ...)
+apply the cheap algebraic simplifications (identities and annihilators)
+so that mechanically built policies stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union as TypingUnion
+
+Value = TypingUnion[int, str]
+
+
+# --- predicates -------------------------------------------------------------
+
+
+class Predicate:
+    """Base class of NetKAT predicates."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return pand(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return por(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return pnot(self)
+
+
+@dataclass(frozen=True)
+class PTrue(Predicate):
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class PFalse(Predicate):
+    def __repr__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class Test(Predicate):
+    __test__ = False  # not a pytest test class
+
+    field: str
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"{self.field}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} and {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} or {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    pred: Predicate
+
+    def __repr__(self) -> str:
+        return f"not {self.pred!r}"
+
+
+TRUE = PTrue()
+FALSE = PFalse()
+
+
+def test(field: str, value: Value) -> Test:
+    """The predicate ``field = value``."""
+    return Test(field, value)
+
+
+def pand(left: Predicate, right: Predicate) -> Predicate:
+    if isinstance(left, PFalse) or isinstance(right, PFalse):
+        return FALSE
+    if isinstance(left, PTrue):
+        return right
+    if isinstance(right, PTrue):
+        return left
+    return And(left, right)
+
+
+def por(left: Predicate, right: Predicate) -> Predicate:
+    if isinstance(left, PTrue) or isinstance(right, PTrue):
+        return TRUE
+    if isinstance(left, PFalse):
+        return right
+    if isinstance(right, PFalse):
+        return left
+    return Or(left, right)
+
+
+def pnot(pred: Predicate) -> Predicate:
+    if isinstance(pred, PTrue):
+        return FALSE
+    if isinstance(pred, PFalse):
+        return TRUE
+    if isinstance(pred, Not):
+        return pred.pred
+    return Not(pred)
+
+
+# --- policies ---------------------------------------------------------------
+
+
+class Policy:
+    """Base class of NetKAT policies."""
+
+    def __add__(self, other: "Policy") -> "Policy":
+        return union(self, other)
+
+    def __rshift__(self, other: "Policy") -> "Policy":
+        return seq(self, other)
+
+
+@dataclass(frozen=True)
+class Filter(Policy):
+    pred: Predicate
+
+    def __repr__(self) -> str:
+        if isinstance(self.pred, PTrue):
+            return "id"
+        if isinstance(self.pred, PFalse):
+            return "drop"
+        return f"filter {self.pred!r}"
+
+
+@dataclass(frozen=True)
+class Mod(Policy):
+    field: str
+    value: Value
+
+    def __repr__(self) -> str:
+        return f"{self.field}:={self.value!r}"
+
+
+@dataclass(frozen=True)
+class Union(Policy):
+    left: Policy
+    right: Policy
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Seq(Policy):
+    left: Policy
+    right: Policy
+
+    def __repr__(self) -> str:
+        return f"({self.left!r}; {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Star(Policy):
+    policy: Policy
+
+    def __repr__(self) -> str:
+        return f"({self.policy!r})*"
+
+
+@dataclass(frozen=True)
+class Dup(Policy):
+    def __repr__(self) -> str:
+        return "dup"
+
+
+ID = Filter(TRUE)
+DROP = Filter(FALSE)
+
+
+def mod(field: str, value: Value) -> Mod:
+    """The policy ``field := value``."""
+    return Mod(field, value)
+
+
+def seq(*policies: Policy) -> Policy:
+    """n-ary sequential composition with unit/annihilator simplification."""
+    result: Policy = ID
+    for policy in policies:
+        if policy == DROP or result == DROP:
+            return DROP
+        if policy == ID:
+            continue
+        if result == ID:
+            result = policy
+        else:
+            result = Seq(result, policy)
+    return result
+
+
+def union(*policies: Policy) -> Policy:
+    """n-ary union with unit simplification."""
+    result: Policy = DROP
+    for policy in policies:
+        if policy == DROP:
+            continue
+        if result == DROP:
+            result = policy
+        else:
+            result = Union(result, policy)
+    return result
+
+
+def star(policy: Policy) -> Policy:
+    """Kleene star with the cheap simplifications applied."""
+    if policy in (ID, DROP):
+        return ID  # drop* = id* = id
+    if isinstance(policy, Star):
+        return policy
+    return Star(policy)
+
+
+def ite(pred: Predicate, then: Policy, otherwise: Policy) -> Policy:
+    """``if pred then P else Q`` — the standard NetKAT encoding."""
+    return union(seq(Filter(pred), then), seq(Filter(pnot(pred)), otherwise))

@@ -1,0 +1,35 @@
+"""Deciding equivalence of dup-free NetKAT policies.
+
+NetKAT has a complete equational theory; for the dup-free (per-switch)
+fragment, equivalence is decidable by compiling both sides to FDDs and
+comparing them as functions over their joint test basis
+(:func:`repro.netkat.fdd.fdd_equivalent`). This is the procedure the
+test suite uses to check the KAT axioms hold of the implementation —
+and that the compiler respects them.
+"""
+
+from __future__ import annotations
+
+from repro.netkat.ast import Policy
+from repro.netkat.fdd import compile_policy, fdd_equivalent
+
+
+def equivalent(left: Policy, right: Policy) -> bool:
+    """Semantic equality of two dup-free policies.
+
+    Raises :class:`~repro.util.errors.PolicyError` when either side
+    contains ``dup`` (history-sensitive equivalence needs the automata
+    construction, which single-switch reasoning never does).
+    """
+    return fdd_equivalent(compile_policy(left), compile_policy(right))
+
+
+def implies(left: Policy, right: Policy) -> bool:
+    """Policy inclusion: does ``right`` subsume ``left``?
+
+    ``left ≤ right`` iff ``left + right ≡ right`` (the standard KAT
+    ordering).
+    """
+    from repro.netkat.ast import union
+
+    return equivalent(union(left, right), right)

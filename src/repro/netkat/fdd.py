@@ -1,0 +1,347 @@
+"""Forwarding decision diagrams: NetKAT local compilation.
+
+Follows the approach of the NetKAT compiler literature (Smolka et al.,
+"A Fast Compiler for NetKAT"): a policy without ``dup`` compiles to a
+*forwarding decision diagram* — a binary decision tree whose internal
+nodes test ``field = value`` and whose leaves are sets of modification
+maps (each map is one way the packet may be rewritten; the empty set
+drops). FDDs then flatten to prioritized flow rules with first-match
+semantics, which is what gets installed into a switch table.
+
+``Star`` is supported in its *local* form (fixpoint over packet
+rewrites); ``Dup`` is inherently non-local and is rejected — histories
+belong to the semantics module, not to a single switch's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union as TypingUnion
+
+from repro.netkat.ast import (
+    And,
+    Dup,
+    Filter,
+    Mod,
+    Not,
+    Or,
+    PFalse,
+    Policy,
+    Predicate,
+    PTrue,
+    Seq,
+    Star,
+    Test,
+    Union,
+    Value,
+)
+from repro.netkat.semantics import NkPacket
+from repro.util.errors import PolicyError
+
+# One modification map, as a sorted tuple of (field, value) pairs.
+Mods = Tuple[Tuple[str, Value], ...]
+
+
+def _mods(mapping: Dict[str, Value]) -> Mods:
+    return tuple(sorted(mapping.items()))
+
+
+def _value_key(value: Value) -> Tuple[int, str]:
+    """Total order over mixed int/str values."""
+    if isinstance(value, int):
+        return (0, f"{value:020d}")
+    return (1, str(value))
+
+
+def _test_key(field: str, value: Value) -> Tuple[str, Tuple[int, str]]:
+    return (field, _value_key(value))
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A set of alternative rewrites; empty set = drop, {()} = id."""
+
+    actions: FrozenSet[Mods]
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Test ``field = value``: take ``hi`` if it holds, else ``lo``."""
+
+    field: str
+    value: Value
+    hi: "Fdd"
+    lo: "Fdd"
+
+
+Fdd = TypingUnion[Leaf, Branch]
+
+LEAF_DROP = Leaf(frozenset())
+LEAF_ID = Leaf(frozenset({()}))
+
+
+def _mk_branch(field: str, value: Value, hi: Fdd, lo: Fdd) -> Fdd:
+    if hi == lo:
+        return hi
+    return Branch(field, value, hi, lo)
+
+
+# --- core operations ---------------------------------------------------------
+
+
+def fdd_union(d1: Fdd, d2: Fdd) -> Fdd:
+    if isinstance(d1, Leaf) and isinstance(d2, Leaf):
+        return Leaf(d1.actions | d2.actions)
+    if isinstance(d1, Leaf):
+        d1, d2 = d2, d1
+    assert isinstance(d1, Branch)
+    if isinstance(d2, Branch):
+        k1, k2 = _test_key(d1.field, d1.value), _test_key(d2.field, d2.value)
+        if k1 == k2:
+            return _mk_branch(
+                d1.field, d1.value, fdd_union(d1.hi, d2.hi), fdd_union(d1.lo, d2.lo)
+            )
+        if k1 > k2:
+            d1, d2 = d2, d1
+    return _mk_branch(
+        d1.field, d1.value, fdd_union(d1.hi, d2), fdd_union(d1.lo, d2)
+    )
+
+
+def _apply_mods(mods: Mods, d: Fdd) -> Fdd:
+    """Sequence one concrete rewrite before ``d``.
+
+    Tests on fields that ``mods`` pins are decided immediately; leaf
+    rewrites compose (later writes win).
+    """
+    pinned = dict(mods)
+    if isinstance(d, Leaf):
+        composed = frozenset(
+            _mods({**pinned, **dict(action)}) for action in d.actions
+        )
+        return Leaf(composed)
+    if d.field in pinned:
+        follow = d.hi if pinned[d.field] == d.value else d.lo
+        return _apply_mods(mods, follow)
+    return _mk_branch(
+        d.field, d.value, _apply_mods(mods, d.hi), _apply_mods(mods, d.lo)
+    )
+
+
+def fdd_seq(d1: Fdd, d2: Fdd) -> Fdd:
+    if isinstance(d1, Leaf):
+        if not d1.actions:
+            return LEAF_DROP
+        result: Fdd = LEAF_DROP
+        for action in d1.actions:
+            result = fdd_union(result, _apply_mods(action, d2))
+        return result
+    return _mk_branch(
+        d1.field, d1.value, fdd_seq(d1.hi, d2), fdd_seq(d1.lo, d2)
+    )
+
+
+def fdd_negate(d: Fdd) -> Fdd:
+    """Negate a *predicate* FDD (leaves must be id or drop)."""
+    if isinstance(d, Leaf):
+        if d.actions == frozenset():
+            return LEAF_ID
+        if d.actions == frozenset({()}):
+            return LEAF_DROP
+        raise PolicyError("cannot negate an FDD with modifications in leaves")
+    return _mk_branch(d.field, d.value, fdd_negate(d.hi), fdd_negate(d.lo))
+
+
+def _test_basis(d: Fdd) -> Dict[str, Set[Value]]:
+    """All fields and values mentioned by an FDD's tests and rewrites."""
+    basis: Dict[str, Set[Value]] = {}
+
+    def visit(node: Fdd) -> None:
+        if isinstance(node, Branch):
+            basis.setdefault(node.field, set()).add(node.value)
+            visit(node.hi)
+            visit(node.lo)
+        else:
+            for action in node.actions:
+                for field, value in action:
+                    basis.setdefault(field, set()).add(value)
+
+    visit(d)
+    return basis
+
+
+def fdd_equivalent(d1: Fdd, d2: Fdd) -> bool:
+    """Semantic equality of two FDDs.
+
+    Two FDDs denote the same function iff they agree on every packet
+    over their joint test basis, extended with one fresh value per
+    field (representing "any other value"). The basis is finite, so
+    this is a complete decision procedure.
+    """
+    basis = _test_basis(d1)
+    for field, values in _test_basis(d2).items():
+        basis.setdefault(field, set()).update(values)
+    if not basis:
+        return eval_fdd(d1, NkPacket()) == eval_fdd(d2, NkPacket())
+    fields = sorted(basis)
+    value_choices = []
+    for field in fields:
+        fresh = f"__other_{field}__"
+        value_choices.append(sorted(basis[field], key=_value_key) + [fresh])
+
+    def packets(index: int, acc: Dict[str, Value]):
+        if index == len(fields):
+            yield NkPacket(acc)
+            return
+        for value in value_choices[index]:
+            yield from packets(index + 1, {**acc, fields[index]: value})
+
+    return all(
+        eval_fdd(d1, packet) == eval_fdd(d2, packet)
+        for packet in packets(0, {})
+    )
+
+
+def fdd_star(d: Fdd, max_iterations: int = 100) -> Fdd:
+    """Local Kleene star: least fixpoint of ``s = id + d ; s``.
+
+    Convergence is checked *semantically* (:func:`fdd_equivalent`):
+    the sequence stabilises as a function after finitely many steps,
+    but intermediate trees need not be syntactically canonical.
+    """
+    current: Fdd = LEAF_ID
+    for _ in range(max_iterations):
+        nxt = fdd_union(LEAF_ID, fdd_seq(d, current))
+        if nxt == current or fdd_equivalent(nxt, current):
+            return current
+        current = nxt
+    raise PolicyError(f"FDD star did not converge in {max_iterations} iterations")
+
+
+# --- compilation ------------------------------------------------------------
+
+
+def compile_predicate(pred: Predicate) -> Fdd:
+    if isinstance(pred, PTrue):
+        return LEAF_ID
+    if isinstance(pred, PFalse):
+        return LEAF_DROP
+    if isinstance(pred, Test):
+        return Branch(pred.field, pred.value, LEAF_ID, LEAF_DROP)
+    if isinstance(pred, And):
+        return fdd_seq(compile_predicate(pred.left), compile_predicate(pred.right))
+    if isinstance(pred, Or):
+        return fdd_union(
+            compile_predicate(pred.left), compile_predicate(pred.right)
+        )
+    if isinstance(pred, Not):
+        return fdd_negate(compile_predicate(pred.pred))
+    raise PolicyError(f"unknown predicate node {type(pred).__name__}")
+
+
+def compile_policy(policy: Policy) -> Fdd:
+    """Compile a dup-free policy to an FDD."""
+    if isinstance(policy, Filter):
+        return compile_predicate(policy.pred)
+    if isinstance(policy, Mod):
+        return Leaf(frozenset({_mods({policy.field: policy.value})}))
+    if isinstance(policy, Union):
+        return fdd_union(compile_policy(policy.left), compile_policy(policy.right))
+    if isinstance(policy, Seq):
+        return fdd_seq(compile_policy(policy.left), compile_policy(policy.right))
+    if isinstance(policy, Star):
+        return fdd_star(compile_policy(policy.policy))
+    if isinstance(policy, Dup):
+        raise PolicyError(
+            "dup is not locally compilable; it belongs to network-wide semantics"
+        )
+    raise PolicyError(f"unknown policy node {type(policy).__name__}")
+
+
+def eval_fdd(d: Fdd, packet: NkPacket) -> Set[NkPacket]:
+    """Run a packet through an FDD (reference semantics for testing)."""
+    while isinstance(d, Branch):
+        d = d.hi if packet.get(d.field) == d.value else d.lo
+    results: Set[NkPacket] = set()
+    for action in d.actions:
+        out = packet
+        for field, value in action:
+            out = out.set(field, value)
+        results.add(out)
+    return results
+
+
+# --- flattening to flow rules ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One prioritized rule: exact-match tests → alternative rewrites.
+
+    First-match semantics: rules are examined in descending priority;
+    the first whose ``matches`` all hold fires. ``actions`` empty means
+    drop.
+    """
+
+    priority: int
+    matches: Tuple[Tuple[str, Value], ...]
+    actions: FrozenSet[Mods]
+
+
+def fdd_to_flow_rules(d: Fdd) -> List[FlowRule]:
+    """Flatten an FDD into a first-match rule list.
+
+    DFS with true-branch first: any packet satisfying a path's positive
+    tests that *also* satisfies an earlier rule's tests already matched
+    that earlier rule, so negative constraints on false-edges never
+    need to be emitted (the classic FDD-to-TCAM argument). Paths whose
+    constraints are contradictory are skipped.
+    """
+    rules: List[FlowRule] = []
+
+    def walk(
+        node: Fdd,
+        positives: Dict[str, Value],
+        negatives: Set[Tuple[str, Value]],
+    ) -> None:
+        if isinstance(node, Leaf):
+            rules.append(
+                FlowRule(
+                    priority=0,  # assigned after enumeration
+                    matches=tuple(sorted(positives.items())),
+                    actions=node.actions,
+                )
+            )
+            return
+        # hi: field = value. Contradicts a pinned different value or a
+        # recorded disequality.
+        pinned = positives.get(node.field)
+        if pinned is None:
+            if (node.field, node.value) not in negatives:
+                walk(node.hi, {**positives, node.field: node.value}, negatives)
+            walk(node.lo, positives, negatives | {(node.field, node.value)})
+        elif pinned == node.value:
+            walk(node.hi, positives, negatives)
+        else:
+            walk(node.lo, positives, negatives)
+
+    walk(d, {}, set())
+    total = len(rules)
+    return [
+        FlowRule(priority=total - i, matches=rule.matches, actions=rule.actions)
+        for i, rule in enumerate(rules)
+    ]
+
+
+def eval_flow_rules(rules: List[FlowRule], packet: NkPacket) -> Set[NkPacket]:
+    """First-match evaluation of a rule list (reference for testing)."""
+    for rule in sorted(rules, key=lambda r: -r.priority):
+        if all(packet.get(field) == value for field, value in rule.matches):
+            results: Set[NkPacket] = set()
+            for action in rule.actions:
+                out = packet
+                for field, value in action:
+                    out = out.set(field, value)
+                results.add(out)
+            return results
+    return set()

@@ -1,0 +1,173 @@
+"""Install compiled NetKAT policies onto PISA switches.
+
+Closes the loop between the two substrates the paper combines: a
+dup-free NetKAT policy compiles (via the FDD) to prioritized flow
+rules, which this module turns into a generated dataplane program plus
+P4Runtime table writes. The special field ``port`` maps to the
+switch's egress spec; every other field must be a packet field the
+PISA context exposes (``ipv4.dst``, ``udp.dst_port``, ...).
+
+Multicast rules (an FDD leaf with several alternative rewrites) do not
+fit a single match-action table entry and are rejected; that fragment
+belongs to the semantics layer, not to one switch's table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.netkat.ast import Policy
+from repro.netkat.fdd import FlowRule, compile_policy, fdd_to_flow_rules
+from repro.pisa.actions import Action, Primitive, Step
+from repro.pisa.parser_engine import ParserSpec
+from repro.pisa.program import DataplaneProgram, TableSpec
+from repro.pisa.programs import standard_parser
+from repro.pisa.runtime import P4Runtime, TableEntry
+from repro.pisa.tables import MatchKey, MatchKind
+from repro.util.errors import PolicyError
+
+NETKAT_TABLE = "netkat"
+PORT_FIELD = "port"
+
+# Bit widths for ternary keys on known packet fields.
+_FIELD_WIDTHS: Dict[str, int] = {
+    "eth.dst": 48,
+    "eth.src": 48,
+    "eth.ethertype": 16,
+    "ipv4.src": 32,
+    "ipv4.dst": 32,
+    "ipv4.protocol": 8,
+    "ipv4.ttl": 8,
+    "ipv4.dscp": 8,
+    "udp.src_port": 16,
+    "udp.dst_port": 16,
+    "tcp.src_port": 16,
+    "tcp.dst_port": 16,
+}
+
+
+def _field_width(field: str) -> int:
+    return _FIELD_WIDTHS.get(field, 32)
+
+
+def _rule_action(index: int, rule: FlowRule) -> Action:
+    """Generate the compiler action for one flow rule."""
+    if not rule.actions:
+        return Action(f"nk_drop_{index}", (Step(Primitive.DROP),))
+    if len(rule.actions) > 1:
+        raise PolicyError(
+            "multicast NetKAT rules cannot install into a single "
+            "match-action table"
+        )
+    (mods,) = rule.actions
+    steps: List[Step] = []
+    for field, value in mods:
+        if field == PORT_FIELD:
+            if not isinstance(value, int):
+                raise PolicyError(f"egress port must be an int, got {value!r}")
+            steps.append(Step(Primitive.FORWARD, (value,)))
+        else:
+            if not isinstance(value, int):
+                raise PolicyError(
+                    f"packet field {field!r} needs an int value, got {value!r}"
+                )
+            steps.append(Step(Primitive.SET_FIELD, (field, value)))
+    if not steps:
+        steps.append(Step(Primitive.NO_OP))
+    return Action(f"nk_rule_{index}", tuple(steps))
+
+
+def compile_to_program(
+    policy: Policy,
+    name: str = "netkat",
+    version: str = "v1",
+    key_fields: Optional[Sequence[str]] = None,
+) -> Tuple[DataplaneProgram, List[TableEntry]]:
+    """Compile ``policy`` into a generated program plus its entries.
+
+    ``key_fields`` defaults to every packet field the policy tests;
+    passing it explicitly lets several policies share one table layout.
+    """
+    rules = fdd_to_flow_rules(compile_policy(policy))
+    tested: List[str] = []
+    for rule in rules:
+        for field, _value in rule.matches:
+            if field != PORT_FIELD and field not in tested:
+                tested.append(field)
+    fields = list(key_fields) if key_fields is not None else sorted(tested)
+    for field in tested:
+        if field not in fields:
+            raise PolicyError(
+                f"policy tests field {field!r} missing from key_fields"
+            )
+    if not fields:
+        fields = ["ipv4.dst"]  # a table needs at least one key
+
+    actions = [_rule_action(i, rule) for i, rule in enumerate(rules)]
+    actions.append(Action("nk_default_drop", (Step(Primitive.DROP),)))
+    program = DataplaneProgram(
+        name=name,
+        version=version,
+        parser=standard_parser(),
+        tables=(
+            TableSpec(
+                name=NETKAT_TABLE,
+                key_fields=tuple(fields),
+                key_kinds=tuple("ternary" for _ in fields),
+                allowed_actions=tuple(a.name for a in actions),
+                default_action="nk_default_drop",
+                max_entries=max(1024, len(rules) * 2),
+            ),
+        ),
+        actions=tuple(actions),
+    )
+    entries: List[TableEntry] = []
+    for index, rule in enumerate(rules):
+        matched = dict(rule.matches)
+        if any(f == PORT_FIELD for f in matched):
+            raise PolicyError(
+                "policies installed on a switch cannot test 'port'; "
+                "match on packet fields instead"
+            )
+        keys = []
+        for field in fields:
+            if field in matched:
+                value = matched[field]
+                if not isinstance(value, int):
+                    raise PolicyError(
+                        f"packet field {field!r} needs an int test value"
+                    )
+                width = _field_width(field)
+                keys.append(MatchKey(
+                    MatchKind.TERNARY, value,
+                    mask=(1 << width) - 1, bit_width=width,
+                ))
+            else:
+                keys.append(MatchKey(
+                    MatchKind.TERNARY, 0, mask=0,
+                    bit_width=_field_width(field),
+                ))
+        entries.append(TableEntry(
+            table=NETKAT_TABLE,
+            keys=tuple(keys),
+            action=f"nk_rule_{index}" if rule.actions else f"nk_drop_{index}",
+            priority=rule.priority,
+        ))
+    return program, entries
+
+
+def install_policy(
+    runtime: P4Runtime,
+    controller: str,
+    policy: Policy,
+    key_fields: Optional[Sequence[str]] = None,
+) -> int:
+    """Compile ``policy`` and install program + entries on ``runtime``.
+
+    Returns the number of table entries written.
+    """
+    program, entries = compile_to_program(policy, key_fields=key_fields)
+    runtime.set_forwarding_pipeline_config(controller, program)
+    for entry in entries:
+        runtime.write(controller, entry)
+    return len(entries)

@@ -1,0 +1,244 @@
+"""Concrete syntax for NetKAT.
+
+Grammar (standard notation, ``;`` binds tighter than ``+``)::
+
+    policy  ::= choice
+    choice  ::= sequence ("+" sequence)*
+    sequence::= starred (";" starred)*
+    starred ::= atom "*"*
+    atom    ::= "id" | "drop" | "dup"
+              | "filter" predicate
+              | IDENT ":=" value
+              | "if" predicate "then" policy "else" policy
+              | "(" policy ")"
+
+    predicate ::= por
+    por     ::= pand ("or" pand)*
+    pand    ::= punary ("and" punary)*
+    punary  ::= "not" punary | "true" | "false"
+              | IDENT "=" value | "(" predicate ")"
+
+    value   ::= INT | IDENT | STRING
+
+Identifiers may contain dots and dashes (``ipv4.dst``, ``s-1``), so
+field names from the PISA layer parse unchanged. Bare identifiers in
+value position are string values.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.netkat.ast import (
+    DROP,
+    ID,
+    Dup,
+    Filter,
+    Policy,
+    Predicate,
+    ite,
+    mod,
+    pand,
+    pnot,
+    por,
+    seq,
+    star,
+    test,
+    union,
+    TRUE,
+    FALSE,
+)
+from repro.util.errors import PolicyError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<assign>:=)
+  | (?P<int>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<string>"[^"]*")
+  | (?P<punct>[()+;*=])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"id", "drop", "dup", "filter", "if", "then", "else",
+             "true", "false", "and", "or", "not"}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PolicyError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # --- cursor helpers ----------------------------------------------------
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise PolicyError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token[1] == text:
+            self._index += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> None:
+        token = self._peek()
+        if token is None or token[1] != text:
+            found = token[1] if token else "end of input"
+            raise PolicyError(f"expected {text!r}, found {found!r}")
+        self._index += 1
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # --- policies -----------------------------------------------------------
+
+    def policy(self) -> Policy:
+        left = self.sequence()
+        while self._accept("+"):
+            left = union(left, self.sequence())
+        return left
+
+    def sequence(self) -> Policy:
+        left = self.starred()
+        while self._accept(";"):
+            left = seq(left, self.starred())
+        return left
+
+    def starred(self) -> Policy:
+        atom = self.policy_atom()
+        while self._accept("*"):
+            atom = star(atom)
+        return atom
+
+    def policy_atom(self) -> Policy:
+        token = self._peek()
+        if token is None:
+            raise PolicyError("unexpected end of input in policy")
+        kind, text = token
+        if text == "(":
+            self._next()
+            inner = self.policy()
+            self._expect(")")
+            return inner
+        if text == "id":
+            self._next()
+            return ID
+        if text == "drop":
+            self._next()
+            return DROP
+        if text == "dup":
+            self._next()
+            return Dup()
+        if text == "filter":
+            self._next()
+            return Filter(self.predicate())
+        if text == "if":
+            self._next()
+            pred = self.predicate()
+            self._expect("then")
+            then = self.policy()
+            self._expect("else")
+            otherwise = self.policy()
+            return ite(pred, then, otherwise)
+        if kind == "ident" and text not in _KEYWORDS:
+            self._next()
+            self._expect(":=")
+            return mod(text, self.value())
+        raise PolicyError(f"unexpected token {text!r} in policy")
+
+    # --- predicates ------------------------------------------------------------
+
+    def predicate(self) -> Predicate:
+        left = self.pred_and()
+        while self._accept("or"):
+            left = por(left, self.pred_and())
+        return left
+
+    def pred_and(self) -> Predicate:
+        left = self.pred_unary()
+        while self._accept("and"):
+            left = pand(left, self.pred_unary())
+        return left
+
+    def pred_unary(self) -> Predicate:
+        token = self._peek()
+        if token is None:
+            raise PolicyError("unexpected end of input in predicate")
+        kind, text = token
+        if text == "not":
+            self._next()
+            return pnot(self.pred_unary())
+        if text == "true":
+            self._next()
+            return TRUE
+        if text == "false":
+            self._next()
+            return FALSE
+        if text == "(":
+            self._next()
+            inner = self.predicate()
+            self._expect(")")
+            return inner
+        if kind == "ident" and text not in _KEYWORDS:
+            self._next()
+            self._expect("=")
+            return test(text, self.value())
+        raise PolicyError(f"unexpected token {text!r} in predicate")
+
+    def value(self):
+        kind, text = self._next()
+        if kind == "int":
+            return int(text)
+        if kind == "string":
+            return text[1:-1]
+        if kind == "ident" and text not in _KEYWORDS:
+            return text
+        raise PolicyError(f"expected a value, found {text!r}")
+
+
+def parse_policy(text: str) -> Policy:
+    """Parse the concrete NetKAT policy syntax."""
+    parser = _Parser(_tokenize(text))
+    policy = parser.policy()
+    if not parser.at_end():
+        raise PolicyError(f"trailing input after policy: {parser._peek()[1]!r}")
+    return policy
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse the concrete NetKAT predicate syntax."""
+    parser = _Parser(_tokenize(text))
+    pred = parser.predicate()
+    if not parser.at_end():
+        raise PolicyError(f"trailing input after predicate: {parser._peek()[1]!r}")
+    return pred

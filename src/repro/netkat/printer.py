@@ -1,0 +1,77 @@
+"""Printers emitting the concrete syntax the parsers accept.
+
+``parse_predicate(predicate_to_text(p))`` round-trips structurally for
+every predicate, which the wire format (:mod:`repro.core.wire`) relies
+on when it ships guard tests inside packets.
+"""
+
+from __future__ import annotations
+
+from repro.netkat.ast import (
+    And,
+    Dup,
+    Filter,
+    Mod,
+    Not,
+    Or,
+    PFalse,
+    Policy,
+    Predicate,
+    PTrue,
+    Seq,
+    Star,
+    Test,
+    Union,
+    Value,
+)
+from repro.util.errors import PolicyError
+
+
+def _value_to_text(value: Value) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f'"{value}"'
+
+
+def predicate_to_text(pred: Predicate) -> str:
+    """Emit parseable concrete syntax for a predicate."""
+    if isinstance(pred, PTrue):
+        return "true"
+    if isinstance(pred, PFalse):
+        return "false"
+    if isinstance(pred, Test):
+        return f"{pred.field} = {_value_to_text(pred.value)}"
+    if isinstance(pred, And):
+        return (
+            f"({predicate_to_text(pred.left)} and "
+            f"{predicate_to_text(pred.right)})"
+        )
+    if isinstance(pred, Or):
+        return (
+            f"({predicate_to_text(pred.left)} or "
+            f"{predicate_to_text(pred.right)})"
+        )
+    if isinstance(pred, Not):
+        return f"not ({predicate_to_text(pred.pred)})"
+    raise PolicyError(f"unknown predicate node {type(pred).__name__}")
+
+
+def policy_to_text(policy: Policy) -> str:
+    """Emit parseable concrete syntax for a policy."""
+    if isinstance(policy, Filter):
+        if isinstance(policy.pred, PTrue):
+            return "id"
+        if isinstance(policy.pred, PFalse):
+            return "drop"
+        return f"filter {predicate_to_text(policy.pred)}"
+    if isinstance(policy, Mod):
+        return f"{policy.field} := {_value_to_text(policy.value)}"
+    if isinstance(policy, Union):
+        return f"({policy_to_text(policy.left)} + {policy_to_text(policy.right)})"
+    if isinstance(policy, Seq):
+        return f"({policy_to_text(policy.left)} ; {policy_to_text(policy.right)})"
+    if isinstance(policy, Star):
+        return f"({policy_to_text(policy.policy)})*"
+    if isinstance(policy, Dup):
+        return "dup"
+    raise PolicyError(f"unknown policy node {type(policy).__name__}")

@@ -1,0 +1,151 @@
+"""NetKAT denotational semantics over packet histories.
+
+A packet is a finite field→value record; a history is a non-empty
+sequence of packets with the *current* packet at the head. A policy
+denotes a function from a history to a set of histories (Anderson et
+al. 2014, Fig. 2):
+
+    [filter a](h)  = {h} if a holds of head(h), else {}
+    [f := v](h)    = {h with head updated}
+    [p + q](h)     = [p](h) ∪ [q](h)
+    [p ; q](h)     = ⋃ { [q](h') : h' ∈ [p](h) }
+    [p*](h)        = least fixpoint of iteration
+    [dup](h)       = {head(h) · h}
+
+Star is computed by iteration to a fixpoint. With ``dup`` under a star
+the history grows each round, so the fixpoint may not exist; the
+evaluator bounds iteration and raises, which in practice only triggers
+on policies that are genuinely non-terminating over the given packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from repro.netkat.ast import (
+    And,
+    Dup,
+    Filter,
+    Mod,
+    Not,
+    Or,
+    PFalse,
+    Policy,
+    Predicate,
+    PTrue,
+    Seq,
+    Star,
+    Test,
+    Union,
+    Value,
+)
+from repro.util.errors import PolicyError
+
+
+class NkPacket:
+    """An immutable, hashable field→value record."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, fields: Optional[Mapping[str, Value]] = None) -> None:
+        object.__setattr__(
+            self, "_items", tuple(sorted((fields or {}).items()))
+        )
+
+    def get(self, field: str) -> Optional[Value]:
+        for name, value in self._items:
+            if name == field:
+                return value
+        return None
+
+    def set(self, field: str, value: Value) -> "NkPacket":
+        fields = dict(self._items)
+        fields[field] = value
+        return NkPacket(fields)
+
+    def as_dict(self) -> Dict[str, Value]:
+        return dict(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NkPacket) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._items)
+        return f"NkPacket({inner})"
+
+
+History = Tuple[NkPacket, ...]  # head first
+
+
+def eval_predicate(pred: Predicate, packet: NkPacket) -> bool:
+    """Decide ``pred`` on a single packet."""
+    if isinstance(pred, PTrue):
+        return True
+    if isinstance(pred, PFalse):
+        return False
+    if isinstance(pred, Test):
+        return packet.get(pred.field) == pred.value
+    if isinstance(pred, And):
+        return eval_predicate(pred.left, packet) and eval_predicate(
+            pred.right, packet
+        )
+    if isinstance(pred, Or):
+        return eval_predicate(pred.left, packet) or eval_predicate(
+            pred.right, packet
+        )
+    if isinstance(pred, Not):
+        return not eval_predicate(pred.pred, packet)
+    raise PolicyError(f"unknown predicate node {type(pred).__name__}")
+
+
+def eval_policy(
+    policy: Policy, history: History, max_star_iterations: int = 1000
+) -> Set[History]:
+    """Evaluate ``policy`` on ``history``; returns the set of results."""
+    if not history:
+        raise PolicyError("histories must be non-empty")
+    if isinstance(policy, Filter):
+        return {history} if eval_predicate(policy.pred, history[0]) else set()
+    if isinstance(policy, Mod):
+        return {(history[0].set(policy.field, policy.value),) + history[1:]}
+    if isinstance(policy, Union):
+        return eval_policy(policy.left, history, max_star_iterations) | eval_policy(
+            policy.right, history, max_star_iterations
+        )
+    if isinstance(policy, Seq):
+        results: Set[History] = set()
+        for intermediate in eval_policy(policy.left, history, max_star_iterations):
+            results |= eval_policy(policy.right, intermediate, max_star_iterations)
+        return results
+    if isinstance(policy, Star):
+        reached: Set[History] = {history}
+        frontier: Set[History] = {history}
+        for _ in range(max_star_iterations):
+            next_frontier: Set[History] = set()
+            for h in frontier:
+                for out in eval_policy(policy.policy, h, max_star_iterations):
+                    if out not in reached:
+                        reached.add(out)
+                        next_frontier.add(out)
+            if not next_frontier:
+                return reached
+            frontier = next_frontier
+        raise PolicyError(
+            f"star did not converge within {max_star_iterations} iterations"
+        )
+    if isinstance(policy, Dup):
+        return {(history[0],) + history}
+    raise PolicyError(f"unknown policy node {type(policy).__name__}")
+
+
+def run(policy: Policy, packet: NkPacket) -> Set[NkPacket]:
+    """Evaluate on a single packet; return the set of *final* packets."""
+    return {h[0] for h in eval_policy(policy, (packet,))}
+
+
+def traces(policy: Policy, packet: NkPacket) -> Set[Tuple[NkPacket, ...]]:
+    """Evaluate and return full histories oldest-first (trace order)."""
+    return {tuple(reversed(h)) for h in eval_policy(policy, (packet,))}

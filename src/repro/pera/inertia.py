@@ -1,0 +1,42 @@
+"""The five inertia classes of attestable information (paper Fig. 4).
+
+"Inertia refers to the level of variability of attestable information
+across time: at one extreme, the model number of the hardware will not
+change, at the other extreme, a packet might be completely different
+than those that came before it. High-inertia attestations are more
+easily cached since they take longer to expire."
+
+The default TTLs encode exactly that gradient; they are configuration,
+not physics, and every benchmark that sweeps the design space (E5)
+overrides them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class InertiaClass(enum.IntEnum):
+    """Ordered from highest inertia (slowest-changing) to lowest."""
+
+    HARDWARE = 1
+    PROGRAM = 2
+    TABLES = 3
+    PROG_STATE = 4
+    PACKETS = 5
+
+    @property
+    def cacheable(self) -> bool:
+        """Packet-level evidence can never be reused across packets."""
+        return self is not InertiaClass.PACKETS
+
+
+#: Default evidence lifetimes in (simulated) seconds per class.
+DEFAULT_TTLS: Dict[InertiaClass, float] = {
+    InertiaClass.HARDWARE: 3600.0,
+    InertiaClass.PROGRAM: 60.0,
+    InertiaClass.TABLES: 1.0,
+    InertiaClass.PROG_STATE: 0.01,
+    InertiaClass.PACKETS: 0.0,
+}

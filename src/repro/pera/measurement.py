@@ -1,0 +1,54 @@
+"""The measurement engine: digests for every inertia class.
+
+This is the software stand-in for the "specialized hardware primitives
+that can produce and consume evidence" (§5.2) — the trusted component
+of the threat model. It reads the switch's true state (hardware
+identity, installed program, table contents, register state, the
+packet in flight) and produces domain-separated digests. It does not
+lie: the threat model trusts exactly this component and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.hashing import digest, measure_mapping
+from repro.pera.inertia import InertiaClass
+from repro.pisa.pipeline import PacketContext, Pipeline
+from repro.util.errors import PipelineError
+
+
+class MeasurementEngine:
+    """Measures one switch's state, one inertia class at a time."""
+
+    def __init__(self, hardware_identity: bytes) -> None:
+        self.hardware_identity = hardware_identity
+        self.measurements_taken = 0
+
+    def measure(
+        self,
+        inertia: InertiaClass,
+        pipeline: Optional[Pipeline],
+        ctx: Optional[PacketContext] = None,
+    ) -> bytes:
+        """Produce the digest for ``inertia`` given current state."""
+        self.measurements_taken += 1
+        if inertia is InertiaClass.HARDWARE:
+            return digest(self.hardware_identity, domain="pera-hardware")
+        if pipeline is None:
+            raise PipelineError(
+                f"cannot measure {inertia.name}: no pipeline installed"
+            )
+        if inertia is InertiaClass.PROGRAM:
+            return digest(pipeline.program.measurement(), domain="pera-program")
+        if inertia is InertiaClass.TABLES:
+            return measure_mapping(pipeline.measure_tables(), domain="pera-tables")
+        if inertia is InertiaClass.PROG_STATE:
+            return measure_mapping(pipeline.measure_state(), domain="pera-state")
+        if inertia is InertiaClass.PACKETS:
+            if ctx is None:
+                raise PipelineError("packet measurement requires a packet context")
+            packet = ctx.packet
+            wire = packet.encode() if packet is not None else ctx.payload
+            return digest(wire, domain="pera-packet")
+        raise PipelineError(f"unknown inertia class {inertia!r}")

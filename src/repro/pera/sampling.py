@@ -1,0 +1,92 @@
+"""Evidence sampling: how often a PERA switch attests (paper §5.2).
+
+"For some situations, it might be adequate to expect evidence to be
+gathered for each packet ... But in other situations, such per-packet
+overhead might be cumbersome and prohibitive." The sampler decides,
+per packet, whether this hop produces evidence.
+
+Strategies are deterministic (hash-based, not RNG-state-based) so that
+two switches with the same spec sample the same packets — useful for
+path composition — and so simulations replay exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.util.errors import ConfigError
+
+
+class SamplingMode(enum.Enum):
+    """How often a PERA hop produces evidence."""
+
+    EVERY_PACKET = "every_packet"
+    ONE_IN_N = "one_in_n"
+    PERIODIC = "periodic"  # at most one evidence per period (seconds)
+    FIRST_OF_FLOW = "first_of_flow"
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    mode: SamplingMode = SamplingMode.EVERY_PACKET
+    n: int = 1  # for ONE_IN_N
+    period_s: float = 1.0  # for PERIODIC
+
+    def __post_init__(self) -> None:
+        if self.mode is SamplingMode.ONE_IN_N and self.n < 1:
+            raise ConfigError(f"one-in-N sampling needs n >= 1, got {self.n}")
+        if self.mode is SamplingMode.PERIODIC and self.period_s <= 0:
+            raise ConfigError(
+                f"periodic sampling needs a positive period, got {self.period_s}"
+            )
+
+
+class Sampler:
+    """Stateful per-switch sampler."""
+
+    def __init__(self, spec: SamplingSpec) -> None:
+        self.spec = spec
+        self._counter = 0
+        self._last_emit: Optional[float] = None
+        self._seen_flows: set = set()
+        self.sampled = 0
+        self.skipped = 0
+
+    def should_attest(self, now: float, flow_key: Tuple = ()) -> bool:
+        """Decide for one packet; updates internal counters."""
+        decision = self._decide(now, flow_key)
+        if decision:
+            self.sampled += 1
+        else:
+            self.skipped += 1
+        return decision
+
+    def _decide(self, now: float, flow_key: Tuple) -> bool:
+        mode = self.spec.mode
+        if mode is SamplingMode.EVERY_PACKET:
+            return True
+        if mode is SamplingMode.ONE_IN_N:
+            self._counter += 1
+            if self._counter >= self.spec.n:
+                self._counter = 0
+                return True
+            return False
+        if mode is SamplingMode.PERIODIC:
+            if self._last_emit is None or now - self._last_emit >= self.spec.period_s:
+                self._last_emit = now
+                return True
+            return False
+        if mode is SamplingMode.FIRST_OF_FLOW:
+            if flow_key in self._seen_flows:
+                return False
+            self._seen_flows.add(flow_key)
+            return True
+        raise ConfigError(f"unknown sampling mode {mode!r}")
+
+    @property
+    def sample_rate(self) -> float:
+        total = self.sampled + self.skipped
+        return self.sampled / total if total else 0.0

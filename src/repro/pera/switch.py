@@ -1,0 +1,260 @@
+"""PeraSwitch: the attesting switch of the paper's Fig. 3.
+
+Extends :class:`~repro.pisa.switch.PisaSwitch` with the two RA blocks:
+
+- **Sign/Verify** — an Ed25519 root of trust keyed per switch.
+- **Evidence Create/Inspect/Compose** — builds :class:`HopRecord`s per
+  the configured design-space point, pushes them in-band (into the RA
+  shim header) or sends them out-of-band (control channel to the
+  appraiser), and can inspect records on incoming packets for
+  evidence-gated forwarding (use case UC3).
+
+Cost accounting mirrors Fig. 3's concern ("Evidence-handling is tuned
+to balance performance and security"): every measurement, hash and
+signature adds to ``ra_cost`` using the pipeline's cost model, and the
+cache avoids exactly the operations a real ASIC would want to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.crypto.hashing import HashChain, digest
+from repro.crypto.keys import KeyPair
+from repro.net.headers import RaShimHeader
+from repro.net.packet import Packet
+from repro.pera.cache import EvidenceCache
+from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.inertia import InertiaClass
+from repro.pera.measurement import MeasurementEngine
+from repro.pera.records import (
+    HopRecord,
+    decode_record_stack,
+    encode_record_stack,
+)
+from repro.pera.sampling import Sampler
+from repro.pisa.pipeline import DROP_PORT, PacketContext
+from repro.pisa.switch import PisaSwitch
+from repro.util.clock import SimClock
+from repro.util.errors import PipelineError
+
+
+@dataclass
+class RaStats:
+    """Per-switch attestation accounting."""
+
+    packets_attested: int = 0
+    packets_skipped_by_sampling: int = 0
+    records_created: int = 0
+    records_from_cache: int = 0
+    signatures_produced: int = 0
+    out_of_band_sent: int = 0
+    evidence_bytes_added: int = 0
+    gated_drops: int = 0
+
+
+class PeraSwitch(PisaSwitch):
+    """A PISA switch extended with remote attestation."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[EvidenceConfig] = None,
+        hardware_identity: Optional[bytes] = None,
+        appraiser_node: Optional[str] = None,
+        out_of_band: bool = False,
+        pseudonym: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.config = config or EvidenceConfig()
+        self.keys = KeyPair.generate(name)
+        self.engine = MeasurementEngine(
+            hardware_identity or f"asic-serial-{name}".encode()
+        )
+        self.sampler = Sampler(self.config.sampling)
+        self.appraiser_node = appraiser_node
+        self.out_of_band = out_of_band
+        self.pseudonym = pseudonym
+        self.ra_stats = RaStats()
+        self.ra_cost = 0.0
+        self._attest_sequence = 0
+        self._cache: Optional[EvidenceCache[HopRecord]] = None
+        # Control-plane writes invalidate cached evidence immediately.
+        self.runtime.change_observers.append(self._on_control_change)
+        # Evidence gate (UC3): when set, packets failing the gate drop.
+        self.evidence_gate: Optional[
+            Callable[[PacketContext, List[HopRecord]], bool]
+        ] = None
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def on_bind(self, sim) -> None:
+        self._cache = EvidenceCache(sim.clock, ttls=self.config.cache_ttls)
+
+    @property
+    def cache(self) -> EvidenceCache:
+        if self._cache is None:
+            # Unbound switches (unit tests) get a standalone clock.
+            self._cache = EvidenceCache(SimClock(), ttls=self.config.cache_ttls)
+        return self._cache
+
+    def notify_state_change(self, inertia: InertiaClass) -> None:
+        """Invalidate cached evidence after a control-plane write."""
+        self.cache.invalidate(inertia)
+
+    def _on_control_change(self, kind: str) -> None:
+        """P4Runtime observer: a write happened on this device.
+
+        A program install invalidates everything; a table write
+        invalidates table evidence, and also the cached signed record
+        when the active detail level folds table digests into it.
+        """
+        if self._cache is None:
+            return
+        if kind == "config":
+            self.cache.invalidate()
+        elif kind == "table":
+            self.cache.invalidate(InertiaClass.TABLES)
+            if InertiaClass.TABLES in self.config.detail.inertia_classes:
+                self.cache.invalidate(InertiaClass.PROGRAM)
+
+    @property
+    def attesting_identity(self) -> str:
+        return self.pseudonym or self.name
+
+    # --- packet path ------------------------------------------------------------
+
+    def process_context(self, ctx: PacketContext) -> PacketContext:
+        ctx = super().process_context(ctx)
+        if ctx.egress_spec == DROP_PORT:
+            return ctx
+        packet = ctx.packet
+        wants_ra = ctx.mark_ra or (packet is not None and packet.ra_shim is not None)
+        if not wants_ra:
+            return ctx
+        records = self.inspect_evidence(packet)
+        if self.evidence_gate is not None and not self.evidence_gate(ctx, records):
+            self.ra_stats.gated_drops += 1
+            ctx.egress_spec = DROP_PORT
+            return ctx
+        now = self.sim.clock.now if self.sim is not None else 0.0
+        flow_key = packet.five_tuple if packet is not None else ()
+        if not self.sampler.should_attest(now, flow_key):
+            self.ra_stats.packets_skipped_by_sampling += 1
+            if packet is not None and packet.ra_shim is not None:
+                ctx.packet = packet.with_shim(packet.ra_shim.with_hop())
+            return ctx
+        record = self._produce_record(ctx, records)
+        self.ra_stats.packets_attested += 1
+        if self.out_of_band:
+            self._send_out_of_band(record)
+            if packet is not None and packet.ra_shim is not None:
+                ctx.packet = packet.with_shim(packet.ra_shim.with_hop())
+        elif packet is not None and packet.ra_shim is not None:
+            ctx.packet = self._push_in_band(packet, record)
+        return ctx
+
+    # --- the Evidence block -----------------------------------------------------
+
+    def inspect_evidence(self, packet: Optional[Packet]) -> List[HopRecord]:
+        """Fig. 3 'Inspect': parse the record stack off the shim body."""
+        if packet is None or packet.ra_shim is None:
+            return []
+        return decode_record_stack(packet.ra_shim.body)
+
+    def _produce_record(
+        self, ctx: PacketContext, prior_records: List[HopRecord]
+    ) -> HopRecord:
+        """Fig. 3 'Create/Compose': build this hop's signed record."""
+        config = self.config
+        cost = self.pipeline.cost_model if self.runtime.pipeline else None
+        cacheable = not config.per_packet_signature
+        if cacheable:
+            cached = self.cache.get(InertiaClass.PROGRAM, b"")
+            if cached is not None:
+                self.ra_stats.records_from_cache += 1
+                return cached
+
+        measurements: List[Tuple[InertiaClass, bytes]] = []
+        for inertia in config.detail.inertia_classes:
+            if inertia is InertiaClass.PACKETS:
+                continue  # bound separately via packet_digest
+            value = self.engine.measure(
+                inertia, self.runtime.pipeline, ctx
+            )
+            measurements.append((inertia, value))
+            if cost is not None:
+                self.ra_cost += cost.hash_per_byte * 64
+
+        chain_head: Optional[bytes] = None
+        if config.composition in (
+            CompositionMode.CHAINED,
+            CompositionMode.TRAFFIC_PATH,
+        ):
+            previous = (
+                prior_records[-1].chain_head
+                if prior_records and prior_records[-1].chain_head is not None
+                else HashChain.GENESIS
+            )
+            chain = HashChain(head=previous)
+            link_digest = digest(
+                b"".join(value for _, value in measurements),
+                domain="hop-measurements",
+            )
+            chain_head = chain.extend(link_digest)
+            if cost is not None:
+                self.ra_cost += cost.hash_per_byte * 64
+
+        packet_digest: Optional[bytes] = None
+        if config.needs_packet_digest:
+            packet_digest = self.engine.measure(
+                InertiaClass.PACKETS, self.runtime.pipeline, ctx
+            )
+            if cost is not None:
+                self.ra_cost += cost.hash_per_byte * max(
+                    len(ctx.payload) + 64, 64
+                )
+
+        self._attest_sequence += 1
+        record = HopRecord(
+            place=self.attesting_identity,
+            measurements=tuple(measurements),
+            sequence=self._attest_sequence,
+            # A cacheable (reusable) record must not claim anything
+            # packet-scoped: the ingress port belongs to one packet.
+            ingress_port=None if cacheable else ctx.ingress_port,
+            chain_head=chain_head,
+            packet_digest=packet_digest,
+        ).sign_with(self.keys)
+        self.ra_stats.records_created += 1
+        self.ra_stats.signatures_produced += 1
+        if cost is not None:
+            self.ra_cost += cost.sign
+        if cacheable:
+            self.cache.put(InertiaClass.PROGRAM, b"", record)
+        return record
+
+    def _push_in_band(self, packet: Packet, record: HopRecord) -> Packet:
+        """Fig. 3 (D): append this hop's record to the shim body."""
+        shim = packet.ra_shim
+        new_body = shim.body + encode_record_stack([record])
+        self.ra_stats.evidence_bytes_added += len(new_body) - len(shim.body)
+        new_shim = RaShimHeader(
+            flags=shim.flags | RaShimHeader.FLAG_EVIDENCE,
+            hop_count=shim.hop_count + 1,
+            body=new_body,
+        )
+        return packet.with_shim(new_shim)
+
+    def _send_out_of_band(self, record: HopRecord) -> None:
+        """Fig. 3 (E): evidence leaves separately, to the appraiser."""
+        if self.sim is None or self.appraiser_node is None:
+            raise PipelineError(
+                f"switch {self.name!r} has no out-of-band appraiser configured"
+            )
+        encoded = record.encode()
+        self.ra_stats.out_of_band_sent += 1
+        self.sim.send_control(
+            self.name, self.appraiser_node, record, size_hint=len(encoded)
+        )

@@ -1,0 +1,54 @@
+"""PISA: a Protocol Independent Switch Architecture simulator.
+
+The paper's mechanism is "an extension of the Protocol Independent
+Switch Architecture (PISA) [7]". This package is the unextended
+architecture — Parse → Match+Action → Deparse (Bosshart et al. 2013):
+
+- :mod:`repro.pisa.parser_engine` — a programmable parser: a state
+  machine of extract/select states driven over raw packet bytes.
+- :mod:`repro.pisa.tables` — match-action tables with exact, LPM and
+  ternary match kinds and priorities.
+- :mod:`repro.pisa.actions` — the action primitive set (set field,
+  forward, drop, register ops) and compound actions.
+- :mod:`repro.pisa.registers` — stateful objects: registers, counters,
+  meters.
+- :mod:`repro.pisa.program` — the dataplane program object: parser
+  spec + table declarations + actions, with a measurement digest
+  (what PERA attests).
+- :mod:`repro.pisa.pipeline` — executes a program over packet contexts.
+- :mod:`repro.pisa.runtime` — a P4Runtime-like control-plane API.
+- :mod:`repro.pisa.switch` — binds a pipeline onto a simulator node.
+"""
+
+from repro.pisa.actions import Action, ActionCall, Primitive
+from repro.pisa.parser_engine import ParserSpec, ParserState, FieldExtract
+from repro.pisa.pipeline import PacketContext, Pipeline, DROP_PORT, CPU_PORT
+from repro.pisa.program import DataplaneProgram, TableSpec
+from repro.pisa.registers import Register, Counter, Meter
+from repro.pisa.runtime import P4Runtime, TableEntry
+from repro.pisa.switch import PisaSwitch
+from repro.pisa.tables import MatchKind, MatchKey, MatchTable
+
+__all__ = [
+    "Action",
+    "ActionCall",
+    "Primitive",
+    "ParserSpec",
+    "ParserState",
+    "FieldExtract",
+    "PacketContext",
+    "Pipeline",
+    "DROP_PORT",
+    "CPU_PORT",
+    "DataplaneProgram",
+    "TableSpec",
+    "Register",
+    "Counter",
+    "Meter",
+    "P4Runtime",
+    "TableEntry",
+    "PisaSwitch",
+    "MatchKind",
+    "MatchKey",
+    "MatchTable",
+]

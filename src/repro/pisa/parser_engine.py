@@ -1,0 +1,157 @@
+"""The programmable parser: a state machine over raw bytes.
+
+A PISA parser is a DAG of states. Each state extracts a fixed-layout
+header (a list of (field name, bit width) pairs) and then selects the
+next state from the value of one extracted field — exactly the P4
+``parser`` construct. The spec is data, not code, so it is part of the
+dataplane program's measurement: swapping the parser is as attestable
+as swapping a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import PipelineError
+
+ACCEPT = "accept"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class FieldExtract:
+    """One fixed-width field in a header layout."""
+
+    name: str
+    bit_width: int
+
+    def __post_init__(self) -> None:
+        if self.bit_width <= 0:
+            raise PipelineError(f"field {self.name!r} has non-positive width")
+
+
+@dataclass(frozen=True)
+class ParserState:
+    """One parser state: extract a header, then branch.
+
+    ``select_field`` is the fully qualified field (``"eth.ethertype"``)
+    whose just-extracted value picks the next state via ``transitions``;
+    ``default_next`` handles unmatched values. A state with no
+    ``select_field`` always goes to ``default_next``.
+    """
+
+    name: str
+    header: str
+    fields: Tuple[FieldExtract, ...]
+    select_field: Optional[str] = None
+    transitions: Tuple[Tuple[int, str], ...] = ()
+    default_next: str = ACCEPT
+
+    @property
+    def byte_width(self) -> int:
+        total_bits = sum(f.bit_width for f in self.fields)
+        if total_bits % 8 != 0:
+            raise PipelineError(
+                f"parser state {self.name!r} header is {total_bits} bits, "
+                "not byte-aligned"
+            )
+        return total_bits // 8
+
+    def describe(self) -> bytes:
+        """Canonical byte description for measurement."""
+        parts = [self.name, self.header]
+        parts += [f"{f.name}:{f.bit_width}" for f in self.fields]
+        parts.append(self.select_field or "-")
+        parts += [f"{value}->{state}" for value, state in self.transitions]
+        parts.append(self.default_next)
+        return "|".join(parts).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class ParserSpec:
+    """A complete parser: named states plus the start state."""
+
+    states: Tuple[ParserState, ...]
+    start: str
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.states]
+        if len(set(names)) != len(names):
+            raise PipelineError("duplicate parser state names")
+        known = set(names) | {ACCEPT, REJECT}
+        if self.start not in known:
+            raise PipelineError(f"unknown start state {self.start!r}")
+        for state in self.states:
+            for _value, nxt in state.transitions:
+                if nxt not in known:
+                    raise PipelineError(
+                        f"state {state.name!r} transitions to unknown {nxt!r}"
+                    )
+            if state.default_next not in known:
+                raise PipelineError(
+                    f"state {state.name!r} defaults to unknown "
+                    f"{state.default_next!r}"
+                )
+
+    def state(self, name: str) -> ParserState:
+        for candidate in self.states:
+            if candidate.name == name:
+                return candidate
+        raise PipelineError(f"no parser state named {name!r}")
+
+    def describe(self) -> bytes:
+        return b";".join(
+            [self.start.encode("utf-8")] + [s.describe() for s in self.states]
+        )
+
+    def parse(self, data: bytes) -> Tuple[Dict[str, int], List[str], bytes]:
+        """Run the state machine over ``data``.
+
+        Returns ``(fields, headers, remaining_payload)`` where
+        ``fields`` maps fully qualified field names to integer values
+        and ``headers`` lists the header names marked valid, in parse
+        order. Raises :class:`PipelineError` on REJECT or truncation.
+        """
+        fields: Dict[str, int] = {}
+        headers: List[str] = []
+        offset = 0
+        current = self.start
+        steps = 0
+        while current not in (ACCEPT, REJECT):
+            steps += 1
+            if steps > 64:
+                raise PipelineError("parser exceeded 64 states; loop suspected")
+            state = self.state(current)
+            width = state.byte_width
+            if offset + width > len(data):
+                raise PipelineError(
+                    f"truncated packet in state {state.name!r}: "
+                    f"need {width} bytes at offset {offset}, have {len(data) - offset}"
+                )
+            chunk = data[offset : offset + width]
+            offset += width
+            headers.append(state.header)
+            bit_pos = 0
+            chunk_value = int.from_bytes(chunk, "big")
+            total_bits = width * 8
+            for extract in state.fields:
+                bit_pos += extract.bit_width
+                shift = total_bits - bit_pos
+                mask = (1 << extract.bit_width) - 1
+                fields[f"{state.header}.{extract.name}"] = (
+                    chunk_value >> shift
+                ) & mask
+            if state.select_field is None:
+                current = state.default_next
+                continue
+            key = fields.get(state.select_field)
+            if key is None:
+                raise PipelineError(
+                    f"state {state.name!r} selects on unextracted field "
+                    f"{state.select_field!r}"
+                )
+            current = dict(state.transitions).get(key, state.default_next)
+        if current == REJECT:
+            raise PipelineError("parser rejected packet")
+        return fields, headers, data[offset:]

@@ -1,0 +1,131 @@
+"""The dataplane program object — the unit of attestation.
+
+In P4 terms this bundles what ``SetForwardingPipelineConfig`` installs:
+the parser spec, table declarations (in pipeline order), and action
+definitions. :meth:`DataplaneProgram.measurement` is the digest PERA's
+measurement engine reports for the "Program" inertia class: any change
+to the parser, a table declaration, or an action body changes it.
+
+This is the object the Athens-affair scenario swaps: a
+``firewall_v5`` program replaced by a subtly different one must yield a
+different measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import digest
+from repro.pisa.actions import Action, ActionCall
+from repro.pisa.parser_engine import ParserSpec
+from repro.util.errors import PipelineError
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declaration of one match-action table (not its entries)."""
+
+    name: str
+    key_fields: Tuple[str, ...]
+    key_kinds: Tuple[str, ...]  # MatchKind values, by name, for measurement
+    allowed_actions: Tuple[str, ...]
+    default_action: str
+    max_entries: int = 1024
+
+    def __post_init__(self) -> None:
+        if len(self.key_fields) != len(self.key_kinds):
+            raise PipelineError(
+                f"table {self.name!r}: {len(self.key_fields)} key fields but "
+                f"{len(self.key_kinds)} match kinds"
+            )
+        if self.default_action not in self.allowed_actions:
+            raise PipelineError(
+                f"table {self.name!r}: default action {self.default_action!r} "
+                "not in allowed actions"
+            )
+
+    def describe(self) -> bytes:
+        parts = [self.name]
+        parts += [f"{f}:{k}" for f, k in zip(self.key_fields, self.key_kinds)]
+        parts += list(self.allowed_actions)
+        parts.append(f"default={self.default_action}")
+        parts.append(f"max={self.max_entries}")
+        return "|".join(parts).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class DataplaneProgram:
+    """A complete dataplane program: parser + tables + actions.
+
+    ``name`` and ``version`` identify the program to humans (e.g.
+    ``firewall``, ``v5``); the *measurement* identifies it to
+    appraisers. Two programs that differ only in name still measure
+    differently because the name participates in the digest — renaming
+    a vetted program is itself a configuration change worth noticing
+    (use case UC1).
+    """
+
+    name: str
+    version: str
+    parser: ParserSpec
+    tables: Tuple[TableSpec, ...]
+    actions: Tuple[Action, ...]
+
+    def __post_init__(self) -> None:
+        table_names = [t.name for t in self.tables]
+        if len(set(table_names)) != len(table_names):
+            raise PipelineError("duplicate table names in program")
+        action_names = {a.name for a in self.actions}
+        if len(action_names) != len(self.actions):
+            raise PipelineError("duplicate action names in program")
+        for table in self.tables:
+            for action_name in table.allowed_actions:
+                if action_name not in action_names:
+                    raise PipelineError(
+                        f"table {table.name!r} allows unknown action "
+                        f"{action_name!r}"
+                    )
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.name}_{self.version}"
+
+    def action(self, name: str) -> Action:
+        for candidate in self.actions:
+            if candidate.name == name:
+                return candidate
+        raise PipelineError(f"program {self.full_name!r} has no action {name!r}")
+
+    def table_spec(self, name: str) -> TableSpec:
+        for candidate in self.tables:
+            if candidate.name == name:
+                return candidate
+        raise PipelineError(f"program {self.full_name!r} has no table {name!r}")
+
+    def measurement(self) -> bytes:
+        """The attestation digest of this program (32 bytes)."""
+        blob = b"\x00".join(
+            [
+                self.name.encode("utf-8"),
+                self.version.encode("utf-8"),
+                self.parser.describe(),
+            ]
+            + [t.describe() for t in self.tables]
+            + [a.describe() for a in sorted(self.actions, key=lambda a: a.name)]
+        )
+        return digest(blob, domain="dataplane-program")
+
+    def default_call(self, table: TableSpec) -> ActionCall:
+        """Build the default-action call for ``table`` (no parameters).
+
+        Tables whose default action needs parameters must have them set
+        via the runtime instead.
+        """
+        action = self.action(table.default_action)
+        if action.param_count != 0:
+            raise PipelineError(
+                f"default action {action.name!r} of table {table.name!r} "
+                "requires parameters; set it via the runtime"
+            )
+        return ActionCall(action=action, params=())

@@ -1,0 +1,203 @@
+"""Match-action tables with exact, LPM and ternary match kinds.
+
+A table's *declaration* (name, key fields, match kinds, permitted
+actions) is part of the dataplane program and is measured with it; its
+*entries* are control-plane state with their own (lower) inertia class
+in the paper's Fig. 4 — they change more often than the program, less
+often than packets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pisa.actions import ActionCall
+from repro.util.errors import PipelineError
+
+
+class MatchKind(enum.Enum):
+    """The match kinds PISA tables support."""
+
+    EXACT = "exact"
+    LPM = "lpm"
+    TERNARY = "ternary"
+
+
+@dataclass(frozen=True)
+class MatchKey:
+    """One key component of a table entry.
+
+    - EXACT: ``value`` must equal the packet field.
+    - LPM: ``value``/``prefix_len`` on a field of ``bit_width`` bits.
+    - TERNARY: ``value``/``mask``.
+    """
+
+    kind: MatchKind
+    value: int
+    prefix_len: Optional[int] = None
+    mask: Optional[int] = None
+    bit_width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.kind is MatchKind.LPM:
+            if self.prefix_len is None:
+                raise PipelineError("LPM key requires prefix_len")
+            if not 0 <= self.prefix_len <= self.bit_width:
+                raise PipelineError(
+                    f"prefix_len {self.prefix_len} out of range for "
+                    f"{self.bit_width}-bit field"
+                )
+        if self.kind is MatchKind.TERNARY and self.mask is None:
+            raise PipelineError("ternary key requires mask")
+
+    def matches(self, field_value: int) -> bool:
+        if self.kind is MatchKind.EXACT:
+            return field_value == self.value
+        if self.kind is MatchKind.LPM:
+            shift = self.bit_width - self.prefix_len
+            return (field_value >> shift) == (self.value >> shift)
+        # TERNARY
+        return (field_value & self.mask) == (self.value & self.mask)
+
+    def specificity(self) -> int:
+        """Bits pinned down — used for LPM longest-prefix ordering."""
+        if self.kind is MatchKind.EXACT:
+            return self.bit_width
+        if self.kind is MatchKind.LPM:
+            return self.prefix_len
+        return bin(self.mask).count("1")
+
+    def describe(self) -> str:
+        if self.kind is MatchKind.EXACT:
+            return f"exact:{self.value}"
+        if self.kind is MatchKind.LPM:
+            return f"lpm:{self.value}/{self.prefix_len}"
+        return f"ternary:{self.value}&{self.mask:#x}"
+
+
+@dataclass(frozen=True)
+class InstalledEntry:
+    """A table entry: keys (one per key field) + action call + priority."""
+
+    keys: Tuple[MatchKey, ...]
+    action_call: ActionCall
+    priority: int = 0
+
+    def describe(self) -> str:
+        keys = ",".join(k.describe() for k in self.keys)
+        params = ",".join(str(p) for p in self.action_call.params)
+        return (
+            f"[{keys}]->{self.action_call.action.name}({params})@{self.priority}"
+        )
+
+
+class MatchTable:
+    """Runtime state of one table: its installed entries.
+
+    Match resolution:
+    - All-EXACT keys: hash-table lookup.
+    - Otherwise: linear scan, winner = highest priority, ties broken by
+      total key specificity (giving LPM longest-prefix semantics when
+      priorities are equal), then by insertion order (oldest wins).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_fields: Sequence[str],
+        default_action: ActionCall,
+        max_entries: int = 1024,
+    ) -> None:
+        self.name = name
+        self.key_fields = list(key_fields)
+        self.default_action = default_action
+        self.max_entries = max_entries
+        self._entries: List[InstalledEntry] = []
+        self._exact_index: Dict[Tuple[int, ...], InstalledEntry] = {}
+
+    def _is_pure_exact(self, entry: InstalledEntry) -> bool:
+        return all(k.kind is MatchKind.EXACT for k in entry.keys)
+
+    def insert(self, entry: InstalledEntry) -> None:
+        if len(entry.keys) != len(self.key_fields):
+            raise PipelineError(
+                f"table {self.name!r} has {len(self.key_fields)} key fields, "
+                f"entry supplies {len(entry.keys)}"
+            )
+        if len(self._entries) >= self.max_entries:
+            raise PipelineError(f"table {self.name!r} is full ({self.max_entries})")
+        if self._is_pure_exact(entry):
+            exact = tuple(k.value for k in entry.keys)
+            if exact in self._exact_index:
+                raise PipelineError(
+                    f"duplicate exact entry in table {self.name!r}: {exact}"
+                )
+            self._exact_index[exact] = entry
+        self._entries.append(entry)
+
+    def remove(self, entry: InstalledEntry) -> bool:
+        """Remove a previously installed entry; returns whether found."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            return False
+        if self._is_pure_exact(entry):
+            self._exact_index.pop(tuple(k.value for k in entry.keys), None)
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._exact_index.clear()
+
+    def lookup(self, field_values: Sequence[int]) -> Tuple[ActionCall, bool]:
+        """Match ``field_values`` (one per key field).
+
+        Returns ``(action_call, hit)`` — the default action on miss.
+        """
+        if len(field_values) != len(self.key_fields):
+            raise PipelineError(
+                f"table {self.name!r} lookup needs {len(self.key_fields)} "
+                f"values, got {len(field_values)}"
+            )
+        exact_hit = self._exact_index.get(tuple(field_values))
+        best: Optional[InstalledEntry] = exact_hit
+        best_rank: Tuple[int, int, int] = (
+            (exact_hit.priority, sum(k.specificity() for k in exact_hit.keys), 0)
+            if exact_hit
+            else (-1, -1, 0)
+        )
+        for order, entry in enumerate(self._entries):
+            if entry is exact_hit or self._is_pure_exact(entry):
+                continue
+            if all(
+                key.matches(value) for key, value in zip(entry.keys, field_values)
+            ):
+                rank = (
+                    entry.priority,
+                    sum(k.specificity() for k in entry.keys),
+                    -order,
+                )
+                if best is None or rank > best_rank:
+                    best = entry
+                    best_rank = rank
+        if best is None:
+            return self.default_action, False
+        return best.action_call, True
+
+    @property
+    def entries(self) -> List[InstalledEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def measure_content(self) -> Dict[str, bytes]:
+        """Canonical content map for attestation (order-independent)."""
+        return {
+            f"{self.name}/{i}": entry.describe().encode("utf-8")
+            for i, entry in enumerate(
+                sorted(self._entries, key=lambda e: e.describe())
+            )
+        }

@@ -1,0 +1,139 @@
+"""The Appraiser (Verifier): turns evidence into verdicts.
+
+An appraiser holds three inputs (RATS terminology):
+
+- *trust anchors*: a :class:`~repro.crypto.keys.KeyRegistry` of the
+  signing keys it trusts,
+- *reference values*: the golden measurements vetted programs should
+  produce (``firewall_v5`` hashes to X),
+- *freshness state*: a :class:`~repro.ra.nonce.NonceManager`.
+
+:meth:`Appraiser.appraise` walks a Copland evidence tree and checks
+every signature against the anchors, every measurement against the
+reference values, and the embedded nonce against freshness state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.copland.evidence import (
+    Evidence,
+    MeasurementEvidence,
+    NonceEvidence,
+    SignedEvidence,
+)
+from repro.crypto.keys import KeyRegistry
+from repro.ra.claims import AppraisalVerdict, Claim
+from repro.ra.nonce import NonceManager
+from repro.util.errors import VerificationError
+
+
+@dataclass
+class AppraisalPolicy:
+    """What this appraiser requires of an evidence bundle.
+
+    - ``reference_values``: (asp, target) → expected measurement bytes.
+      Measurements with no entry are ignored unless ``strict``.
+    - ``required_signers``: every listed place must have signed some
+      node of the bundle.
+    - ``require_nonce``: a fresh nonce must be embedded.
+    - ``strict``: unknown measurements are failures instead of ignored.
+    """
+
+    reference_values: Dict[Tuple[str, str], bytes] = field(default_factory=dict)
+    required_signers: Tuple[str, ...] = ()
+    require_nonce: bool = False
+    strict: bool = False
+
+
+class Appraiser:
+    """A RATS appraiser bound to trust anchors and reference values."""
+
+    def __init__(
+        self,
+        name: str,
+        anchors: KeyRegistry,
+        policy: AppraisalPolicy,
+        nonces: Optional[NonceManager] = None,
+    ) -> None:
+        self.name = name
+        self.anchors = anchors
+        self.policy = policy
+        self.nonces = nonces
+        self.appraisals_performed = 0
+
+    def appraise(
+        self, evidence: Evidence, claim: Optional[Claim] = None
+    ) -> AppraisalVerdict:
+        """Produce a verdict for one evidence bundle."""
+        self.appraisals_performed += 1
+        failures: List[str] = []
+        checked_measurements = 0
+        checked_signatures = 0
+
+        # 1. Signatures: every SignedEvidence node must verify against
+        #    the anchor registered for its claimed place.
+        seen_signers = set()
+        for node in evidence.walk():
+            if isinstance(node, SignedEvidence):
+                checked_signatures += 1
+                if not self.anchors.verify(
+                    node.place, node.signed_payload(), node.signature
+                ):
+                    failures.append(
+                        f"signature by {node.place!r} failed verification"
+                    )
+                else:
+                    seen_signers.add(node.place)
+        for signer in self.policy.required_signers:
+            if signer not in seen_signers:
+                failures.append(f"missing required signature from {signer!r}")
+
+        # 2. Measurements against reference values.
+        for node in evidence.walk():
+            if isinstance(node, MeasurementEvidence):
+                expected = self.policy.reference_values.get(
+                    (node.asp, node.target)
+                )
+                if expected is None:
+                    if self.policy.strict and node.target:
+                        failures.append(
+                            f"no reference value for ({node.asp!r}, "
+                            f"{node.target!r})"
+                        )
+                    continue
+                checked_measurements += 1
+                if node.value != expected:
+                    failures.append(
+                        f"measurement of {node.target!r} by {node.asp!r} "
+                        "does not match the reference value"
+                    )
+
+        # 3. Nonce freshness.
+        if self.policy.require_nonce:
+            nonce_nodes = [
+                node for node in evidence.walk()
+                if isinstance(node, NonceEvidence)
+            ]
+            if not nonce_nodes:
+                failures.append("no nonce embedded in evidence")
+            elif self.nonces is None:
+                failures.append("appraiser has no nonce state to check against")
+            else:
+                for node in nonce_nodes:
+                    problem = self.nonces.check(node.value)
+                    if problem is not None:
+                        failures.append(problem)
+                if not failures:
+                    for node in nonce_nodes:
+                        self.nonces.consume(node.value)
+
+        return AppraisalVerdict(
+            accepted=not failures,
+            claim=claim,
+            failures=tuple(failures),
+            checked_measurements=checked_measurements,
+            checked_signatures=checked_signatures,
+        )

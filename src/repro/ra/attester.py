@@ -1,0 +1,198 @@
+"""Host-based attestation over the network.
+
+UC5 composes host evidence with network evidence. This module makes
+the host side a real network service rather than an in-process call:
+an :class:`AttestingHost` owns measurable components and a signing key
+and answers :class:`AttestationRequest` control messages with signed
+:class:`AttestationResponse` evidence; a :class:`VerifierHost` issues
+nonce-fresh requests and appraises responses against golden values.
+
+The message flow is the Fig. 1 loop run over the simulator's control
+channel, so latency, message counts and replay behaviour are all
+observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.crypto.hashing import digest
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.net.host import Host
+from repro.ra.nonce import NonceManager
+from repro.util.errors import VerificationError
+
+_MEASURE_DOMAIN = "host-component-measurement"
+_RESPONSE_DOMAIN = b"host-attestation-response|"
+
+
+@dataclass(frozen=True)
+class AttestationRequest:
+    """Verifier → attester: measure these components, bind this nonce."""
+
+    nonce: bytes
+    targets: Tuple[str, ...]
+    reply_to: str
+
+
+@dataclass(frozen=True)
+class AttestationResponse:
+    """Attester → verifier: signed measurements bound to the nonce."""
+
+    attester: str
+    nonce: bytes
+    measurements: Tuple[Tuple[str, bytes], ...]  # (component, digest)
+    signature: bytes
+
+    @staticmethod
+    def payload(
+        attester: str, nonce: bytes, measurements: Tuple[Tuple[str, bytes], ...]
+    ) -> bytes:
+        parts = [_RESPONSE_DOMAIN, attester.encode(), b"|", nonce]
+        for name, value in measurements:
+            parts += [b"|", name.encode(), b"=", value]
+        return b"".join(parts)
+
+    def verify(self, anchors: KeyRegistry) -> bool:
+        return anchors.verify(
+            self.attester,
+            self.payload(self.attester, self.nonce, self.measurements),
+            self.signature,
+        )
+
+
+class AttestingHost(Host):
+    """A host that measures its own components on request.
+
+    Components model installed software (a TLS stack, a browser
+    monitor); :meth:`corrupt` swaps one out the way malware would.
+    The host's root of trust measures whatever is *actually* installed
+    — the trustworthy-component assumption of the paper's §3.
+    """
+
+    def __init__(self, name: str, mac: int, ip: int) -> None:
+        super().__init__(name, mac, ip)
+        self.keys = KeyPair.generate(name)
+        self.components: Dict[str, bytes] = {}
+        self.requests_served = 0
+
+    def install(self, component: str, content: bytes) -> None:
+        self.components[component] = content
+
+    def corrupt(self, component: str, content: bytes = b"MALWARE") -> None:
+        if component not in self.components:
+            raise VerificationError(
+                f"host {self.name!r} has no component {component!r}"
+            )
+        self.components[component] = content
+
+    def handle_control(self, sender: str, message: Any) -> None:
+        if isinstance(message, AttestationRequest):
+            self._serve(message)
+            return
+        super().handle_control(sender, message)
+
+    def _serve(self, request: AttestationRequest) -> None:
+        measurements: List[Tuple[str, bytes]] = []
+        for target in request.targets:
+            content = self.components.get(target)
+            value = (
+                digest(content, domain=_MEASURE_DOMAIN)
+                if content is not None
+                else b""
+            )
+            measurements.append((target, value))
+        response = AttestationResponse(
+            attester=self.name,
+            nonce=request.nonce,
+            measurements=tuple(measurements),
+            signature=self.keys.sign(
+                AttestationResponse.payload(
+                    self.name, request.nonce, tuple(measurements)
+                )
+            ),
+        )
+        self.requests_served += 1
+        self.sim.send_control(
+            self.name, request.reply_to, response,
+            size_hint=len(response.signature) + sum(
+                len(v) for _, v in measurements
+            ),
+        )
+
+
+def golden_value(content: bytes) -> bytes:
+    """The measurement a component with ``content`` should report."""
+    return digest(content, domain=_MEASURE_DOMAIN)
+
+
+@dataclass
+class HostVerdict:
+    accepted: bool
+    failures: Tuple[str, ...] = ()
+
+
+class VerifierHost(Host):
+    """Issues attestation requests and appraises the responses."""
+
+    def __init__(
+        self,
+        name: str,
+        mac: int,
+        ip: int,
+        anchors: KeyRegistry,
+        golden: Dict[str, Dict[str, bytes]],  # attester -> component -> value
+    ) -> None:
+        super().__init__(name, mac, ip)
+        self.anchors = anchors
+        self.golden = golden
+        self.nonces = NonceManager(seed=f"verifier-{name}")
+        self.verdicts: Dict[bytes, HostVerdict] = {}
+        self._pending: Dict[bytes, str] = {}
+
+    def request_attestation(self, attester: str, targets: Tuple[str, ...]) -> bytes:
+        """Fire a request; returns the nonce to look the verdict up by."""
+        nonce = self.nonces.issue()
+        self._pending[nonce] = attester
+        self.sim.send_control(
+            self.name,
+            attester,
+            AttestationRequest(nonce=nonce, targets=targets, reply_to=self.name),
+            size_hint=len(nonce) + sum(len(t) for t in targets),
+        )
+        return nonce
+
+    def handle_control(self, sender: str, message: Any) -> None:
+        if isinstance(message, AttestationResponse):
+            self.verdicts[message.nonce] = self._appraise(message)
+            return
+        super().handle_control(sender, message)
+
+    def _appraise(self, response: AttestationResponse) -> HostVerdict:
+        failures: List[str] = []
+        expected_attester = self._pending.pop(response.nonce, None)
+        if expected_attester is None:
+            return HostVerdict(False, ("unsolicited or replayed nonce",))
+        problem = self.nonces.check(response.nonce)
+        if problem is not None:
+            failures.append(problem)
+        else:
+            self.nonces.consume(response.nonce)
+        if response.attester != expected_attester:
+            failures.append(
+                f"response from {response.attester!r}, expected "
+                f"{expected_attester!r}"
+            )
+        if not response.verify(self.anchors):
+            failures.append("response signature invalid")
+        reference = self.golden.get(response.attester, {})
+        for component, value in response.measurements:
+            expected = reference.get(component)
+            if expected is None:
+                failures.append(f"no golden value for {component!r}")
+            elif value != expected:
+                failures.append(
+                    f"component {component!r} does not match its golden value"
+                )
+        return HostVerdict(accepted=not failures, failures=tuple(failures))

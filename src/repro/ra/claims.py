@@ -1,0 +1,50 @@
+"""Claims and appraisal verdicts.
+
+A *claim* is what the relying party wants assured ("switch S is
+running firewall_v5"); *evidence* is what the attester produces; the
+*verdict* is the appraiser's judgement (paper Fig. 1, steps ➀–➃).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Claim:
+    """What the relying party wants attested."""
+
+    attester: str  # place/device name
+    targets: Tuple[str, ...]  # e.g. ("Hardware", "Program")
+    nonce_name: str = "n"
+
+    def describe(self) -> str:
+        return f"{self.attester} runs vetted {', '.join(self.targets)}"
+
+
+@dataclass(frozen=True)
+class AppraisalVerdict:
+    """The appraiser's structured judgement of one evidence bundle."""
+
+    accepted: bool
+    claim: Optional[Claim] = None
+    failures: Tuple[str, ...] = ()
+    checked_measurements: int = 0
+    checked_signatures: int = 0
+
+    @classmethod
+    def reject(cls, *failures: str, claim: Optional[Claim] = None) -> "AppraisalVerdict":
+        return cls(accepted=False, claim=claim, failures=tuple(failures))
+
+    def describe(self) -> str:
+        status = "ACCEPTED" if self.accepted else "REJECTED"
+        lines = [status]
+        if self.claim is not None:
+            lines.append(f"claim: {self.claim.describe()}")
+        lines.append(
+            f"checked: {self.checked_measurements} measurements, "
+            f"{self.checked_signatures} signatures"
+        )
+        lines.extend(f"failure: {f}" for f in self.failures)
+        return "\n".join(lines)

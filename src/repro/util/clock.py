@@ -1,0 +1,34 @@
+"""Simulated clock shared by the network simulator and evidence caches.
+
+Evidence freshness (paper Fig. 4, "Inertia") is defined relative to
+simulation time, never wall-clock time, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

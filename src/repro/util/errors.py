@@ -1,0 +1,43 @@
+"""Exception hierarchy for the whole library.
+
+Every subsystem raises subclasses of :class:`ReproError` so applications
+can catch library failures with a single ``except`` clause while tests
+can still assert on the precise failure class.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class CodecError(ReproError):
+    """Raised when encoding or decoding a wire format fails."""
+
+
+class ConfigError(ReproError):
+    """Raised when a component is configured inconsistently."""
+
+
+class CryptoError(ReproError):
+    """Raised on cryptographic failures (bad key, bad signature format)."""
+
+
+class NetworkError(ReproError):
+    """Raised by the network substrate (unknown node, no route, ...)."""
+
+
+class PipelineError(ReproError):
+    """Raised by the PISA pipeline (bad table entry, parser error, ...)."""
+
+
+class PolicyError(ReproError):
+    """Raised when a Copland/NetKAT/hybrid policy is malformed."""
+
+
+class VerificationError(ReproError):
+    """Raised when evidence or a signature fails verification.
+
+    Appraisers generally *return* a verdict rather than raising, but
+    lower layers raise this when an operation cannot even be attempted
+    (e.g. a signature blob of the wrong length).
+    """

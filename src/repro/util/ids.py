@@ -1,0 +1,43 @@
+"""Deterministic identifier allocation.
+
+Simulations must be reproducible, so identifiers are never drawn from
+``uuid4`` or time. :class:`IdAllocator` hands out sequential ids per
+namespace; :func:`short_id` derives a stable short token from content.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import defaultdict
+from typing import DefaultDict
+
+
+class IdAllocator:
+    """Sequential id allocator with independent per-namespace counters.
+
+    >>> alloc = IdAllocator()
+    >>> alloc.next("flow"), alloc.next("flow"), alloc.next("pkt")
+    (1, 2, 1)
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._start = start
+        self._counters: DefaultDict[str, int] = defaultdict(lambda: start - 1)
+
+    def next(self, namespace: str = "default") -> int:
+        self._counters[namespace] += 1
+        return self._counters[namespace]
+
+    def peek(self, namespace: str = "default") -> int:
+        """Return the id that the next call to :meth:`next` would allocate."""
+        return self._counters[namespace] + 1
+
+    def reset(self, namespace: str = "default") -> None:
+        self._counters[namespace] = self._start - 1
+
+
+def short_id(content: bytes, length: int = 8) -> str:
+    """Derive a stable hex token of ``length`` chars from ``content``."""
+    if length < 1 or length > 64:
+        raise ValueError(f"short_id length {length} out of range [1, 64]")
+    return hashlib.sha256(content).hexdigest()[:length]

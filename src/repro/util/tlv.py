@@ -1,0 +1,73 @@
+"""A small type-length-value codec.
+
+Compiled attestation policies and in-band evidence ride in an options
+header on the traffic itself (paper §5.2: "serialized into an options
+header in the transport layer"). Both use this TLV format:
+
+    +--------+--------+--------+----------------+
+    | type (1B)       | length (2B, big-endian) | value (length bytes)
+    +--------+--------+--------+----------------+
+
+Nesting is by convention: a TLV value may itself be a TLV stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.util.errors import CodecError
+
+_HEADER_LEN = 3
+_MAX_VALUE_LEN = 0xFFFF
+
+
+@dataclass(frozen=True)
+class Tlv:
+    """One type-length-value element."""
+
+    type: int
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.type <= 0xFF:
+            raise CodecError(f"TLV type {self.type} out of range [0, 255]")
+        if len(self.value) > _MAX_VALUE_LEN:
+            raise CodecError(
+                f"TLV value of {len(self.value)} bytes exceeds {_MAX_VALUE_LEN}"
+            )
+
+    def encode(self) -> bytes:
+        return bytes([self.type]) + len(self.value).to_bytes(2, "big") + self.value
+
+
+class TlvCodec:
+    """Encode and decode streams of :class:`Tlv` elements."""
+
+    @staticmethod
+    def encode(elements: Sequence[Tlv]) -> bytes:
+        return b"".join(element.encode() for element in elements)
+
+    @staticmethod
+    def decode(data: bytes) -> List[Tlv]:
+        return list(TlvCodec.iter_decode(data))
+
+    @staticmethod
+    def iter_decode(data: bytes) -> Iterator[Tlv]:
+        offset = 0
+        while offset < len(data):
+            if offset + _HEADER_LEN > len(data):
+                raise CodecError(
+                    f"truncated TLV header at offset {offset} (have {len(data)} bytes)"
+                )
+            tlv_type = data[offset]
+            length = int.from_bytes(data[offset + 1 : offset + 3], "big")
+            start = offset + _HEADER_LEN
+            end = start + length
+            if end > len(data):
+                raise CodecError(
+                    f"truncated TLV value at offset {offset}: "
+                    f"declared {length} bytes, only {len(data) - start} remain"
+                )
+            yield Tlv(tlv_type, data[start:end])
+            offset = end

@@ -1,0 +1,151 @@
+"""Tests for the Copland concrete syntax."""
+
+import pytest
+
+from repro.copland.ast import (
+    Asp,
+    At,
+    BranchPar,
+    BranchSeq,
+    Copy,
+    Hash,
+    Linear,
+    Measure,
+    Null,
+    Sign,
+)
+from repro.copland.parser import parse_phrase, parse_request
+from repro.util.errors import PolicyError
+
+
+class TestAtoms:
+    def test_measurement_triple(self):
+        assert parse_phrase("av us bmon") == Measure(
+            asp="av", target_place="us", target="bmon"
+        )
+
+    def test_bare_service_asp(self):
+        assert parse_phrase("appraise") == Asp("appraise")
+
+    def test_service_asp_with_args(self):
+        assert parse_phrase("certify(n)") == Asp("certify", ("n",))
+        assert parse_phrase("attest(Hardware, Program)") == Asp(
+            "attest", ("Hardware", "Program")
+        )
+
+    def test_sign_hash_copy_null(self):
+        assert parse_phrase("!") == Sign()
+        assert parse_phrase("#") == Hash()
+        assert parse_phrase("_") == Copy()
+        assert parse_phrase("{}") == Null()
+
+    def test_at_place(self):
+        assert parse_phrase("@ks [av us bmon]") == At(
+            "ks", Measure("av", "us", "bmon")
+        )
+
+
+class TestCompositions:
+    def test_linear(self):
+        phrase = parse_phrase("av us bmon -> !")
+        assert phrase == Linear(Measure("av", "us", "bmon"), Sign())
+
+    def test_linear_chain_left_assoc(self):
+        phrase = parse_phrase("attest -> # -> !")
+        assert phrase == Linear(Linear(Asp("attest"), Hash()), Sign())
+
+    def test_branch_parallel(self):
+        phrase = parse_phrase("av us bmon -~- bmon us exts")
+        assert phrase == BranchPar(
+            Measure("av", "us", "bmon"),
+            Measure("bmon", "us", "exts"),
+            left_split="-",
+            right_split="-",
+        )
+
+    def test_branch_sequential(self):
+        phrase = parse_phrase("av us bmon -<- bmon us exts")
+        assert isinstance(phrase, BranchSeq)
+        assert phrase.left_split == "-" and phrase.right_split == "-"
+
+    def test_branch_gt_is_sequential(self):
+        phrase = parse_phrase("attest +>+ appraise")
+        assert isinstance(phrase, BranchSeq)
+        assert phrase.left_split == "+" and phrase.right_split == "+"
+
+    def test_arrow_binds_tighter_than_branch(self):
+        phrase = parse_phrase("a us b -> ! -<- c us d -> !")
+        assert isinstance(phrase, BranchSeq)
+        assert isinstance(phrase.left, Linear)
+        assert isinstance(phrase.right, Linear)
+
+    def test_parens_override(self):
+        phrase = parse_phrase("(av us bmon -~- bmon us exts) -> !")
+        assert isinstance(phrase, Linear)
+        assert isinstance(phrase.left, BranchPar)
+
+
+class TestPaperExpressions:
+    def test_expression_1(self):
+        phrase = parse_phrase("@ks [av us bmon] -~- @us [bmon us exts]")
+        assert phrase == BranchPar(
+            At("ks", Measure("av", "us", "bmon")),
+            At("us", Measure("bmon", "us", "exts")),
+            left_split="-",
+            right_split="-",
+        )
+
+    def test_expression_2(self):
+        phrase = parse_phrase(
+            "@ks [av us bmon -> !] -<- @us [bmon us exts -> !]"
+        )
+        assert isinstance(phrase, BranchSeq)
+        assert phrase.left == At("ks", Linear(Measure("av", "us", "bmon"), Sign()))
+
+    def test_expression_3_out_of_band(self):
+        request = parse_request(
+            "*RP1 <n> : @Switch [attest(Hardware, Program) -> # -> !] "
+            "+>+ @Appraiser [appraise -> certify(n) -> ! -> store(n)]"
+        )
+        assert request.relying_party == "RP1"
+        assert request.params == ("n",)
+        assert isinstance(request.phrase, BranchSeq)
+
+    def test_expression_4_in_band(self):
+        request = parse_request(
+            "*RP1 : @Switch [attest(Hardware, Program) -> # -> !] "
+            "-> @RP2 [@Appraiser [appraise -> certify -> !]]"
+        )
+        assert isinstance(request.phrase, Linear)
+        inner = request.phrase.right
+        assert isinstance(inner, At) and inner.place == "RP2"
+        assert isinstance(inner.phrase, At) and inner.phrase.place == "Appraiser"
+
+
+class TestRequests:
+    def test_simple_request(self):
+        request = parse_request("*bank : av us bmon")
+        assert request.relying_party == "bank"
+        assert request.params == ()
+
+    def test_multi_param_request(self):
+        request = parse_request("*bank <n, X> : attest(X) -> !")
+        assert request.params == ("n", "X")
+
+    def test_places_collected(self):
+        phrase = parse_phrase("@ks [av us bmon] -~- @us [bmon us exts]")
+        assert phrase.places() == ("ks", "us")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "@", "@ks", "@ks [", "av us", "-> !", "a -<", "*: x",
+        "certify(", "av us bmon extra",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(PolicyError):
+            parse_phrase(bad)
+
+    def test_request_needs_star(self):
+        with pytest.raises(PolicyError):
+            parse_request("bank : av us bmon")

@@ -1,0 +1,170 @@
+"""Tests for the static evidence-type semantics.
+
+The headline property: for random phrases, the type inferred *before*
+execution exactly matches the shape of the evidence the VM produces —
+Copland's typed-evidence guarantee, checked dynamically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.copland.ast import (
+    At,
+    BranchPar,
+    BranchSeq,
+    Copy,
+    Hash,
+    Linear,
+    Measure,
+    Null,
+    Sign,
+)
+from repro.copland.parser import parse_phrase
+from repro.copland.types import (
+    AspT,
+    HshT,
+    MtT,
+    NonceT,
+    ParT,
+    SeqT,
+    SigT,
+    count_signatures,
+    evidence_inhabits,
+    infer_evidence_type,
+    signing_places,
+)
+from repro.copland.vm import CoplandVM, Place
+
+
+def make_vm():
+    vm = CoplandVM()
+    vm.register(Place("bank"))
+    ks = vm.register(Place("ks"))
+    us = vm.register(Place("us"))
+    ks.install_component("av", b"antivirus")
+    us.install_component("bmon", b"monitor")
+    us.install_component("exts", b"extensions")
+    return vm
+
+
+class TestInference:
+    def test_measurement_type(self):
+        etype = infer_evidence_type(parse_phrase("av us bmon"), "ks")
+        assert etype == AspT(asp="av", place="ks", prior=MtT())
+
+    def test_at_changes_place(self):
+        etype = infer_evidence_type(parse_phrase("@us [bmon us exts]"), "bank")
+        assert etype.place == "us"
+
+    def test_linear_threads_evidence(self):
+        etype = infer_evidence_type(parse_phrase("av us bmon -> !"), "ks")
+        assert etype == SigT(
+            place="ks", body=AspT(asp="av", place="ks", prior=MtT())
+        )
+
+    def test_hash_forgets_structure(self):
+        etype = infer_evidence_type(parse_phrase("av us bmon -> #"), "ks")
+        assert etype == HshT(place="ks")
+
+    def test_branch_splits(self):
+        etype = infer_evidence_type(
+            parse_phrase("_ +~- _"), "p", incoming=NonceT()
+        )
+        assert etype == ParT(left=NonceT(), right=MtT())
+
+    def test_chained_branch_feeds_right(self):
+        etype = infer_evidence_type(
+            parse_phrase("av us bmon +>+ !"), "ks"
+        )
+        assert isinstance(etype, SeqT)
+        assert etype.right == SigT(place="ks", body=etype.left)
+
+    def test_expression_2_type(self):
+        etype = infer_evidence_type(parse_phrase(
+            "@ks [av us bmon -> !] -<- @us [bmon us exts -> !]"
+        ), "bank")
+        assert count_signatures(etype) == 2
+        assert signing_places(etype) == ("ks", "us")
+
+    def test_null_discards(self):
+        etype = infer_evidence_type(
+            parse_phrase("{}"), "p", incoming=NonceT()
+        )
+        assert etype == MtT()
+
+    def test_describe_readable(self):
+        etype = infer_evidence_type(parse_phrase(
+            "@ks [av us bmon -> !]"
+        ), "bank")
+        assert etype.describe() == "sig_ks(av@ks[mt])"
+
+
+class TestVmAgreement:
+    def test_concrete_examples(self):
+        vm = make_vm()
+        for text in [
+            "av us bmon",
+            "@ks [av us bmon -> !]",
+            "@ks [av us bmon] -~- @us [bmon us exts]",
+            "@ks [av us bmon -> !] -<- @us [bmon us exts -> !]",
+            "@ks [av us bmon -> # -> !]",
+            "_",
+            "{}",
+        ]:
+            phrase = parse_phrase(text)
+            etype = infer_evidence_type(phrase, "bank")
+            evidence = vm.execute(phrase, "bank")
+            assert evidence_inhabits(evidence, etype), text
+
+    # Random phrase generator over the banking places/components.
+    measurements = st.sampled_from([
+        Measure("av", "us", "bmon"),
+        Measure("bmon", "us", "exts"),
+        Measure("av", "us", "exts"),
+    ])
+
+    phrases = st.deferred(lambda: st.one_of(
+        TestVmAgreement.measurements,
+        st.just(Sign()),
+        st.just(Hash()),
+        st.just(Copy()),
+        st.just(Null()),
+        st.builds(
+            At,
+            st.sampled_from(["ks", "us", "bank"]),
+            TestVmAgreement.phrases,
+        ),
+        st.builds(Linear, TestVmAgreement.phrases, TestVmAgreement.phrases),
+        st.builds(
+            BranchSeq,
+            TestVmAgreement.phrases,
+            TestVmAgreement.phrases,
+            st.sampled_from(["+", "-"]),
+            st.sampled_from(["+", "-"]),
+            st.booleans(),
+        ),
+        st.builds(
+            BranchPar,
+            TestVmAgreement.phrases,
+            TestVmAgreement.phrases,
+            st.sampled_from(["+", "-"]),
+            st.sampled_from(["+", "-"]),
+        ),
+    ))
+
+    @settings(max_examples=80, deadline=None)
+    @given(phrases)
+    def test_random_phrases_inhabit_inferred_type(self, phrase):
+        vm = make_vm()
+        etype = infer_evidence_type(phrase, "bank")
+        evidence = vm.execute(phrase, "bank")
+        assert evidence_inhabits(evidence, etype)
+
+    @settings(max_examples=40, deadline=None)
+    @given(phrases)
+    def test_signature_count_matches(self, phrase):
+        vm = make_vm()
+        etype = infer_evidence_type(phrase, "bank")
+        evidence = vm.execute(phrase, "bank")
+        assert len(evidence.find_signatures()) == count_signatures(etype)

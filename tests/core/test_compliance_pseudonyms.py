@@ -1,0 +1,160 @@
+"""Integration tests: compliance redaction and pseudonymous paths.
+
+These weave together the paper's footnotes 1-2 (pseudonyms lifted by
+warrant) and UC5's redaction with the full attestation pipeline.
+"""
+
+import pytest
+
+from repro.core.appraisal import (
+    PathAppraisalPolicy,
+    PathAppraiser,
+    hardware_reference,
+    program_reference,
+)
+from repro.core.compiler import compile_policy_for_path
+from repro.core.policies import ap1_bank_path_attestation
+from repro.core.raswitch import NetworkAwarePeraSwitch
+from repro.core.usecases import run_compliance_redaction
+from repro.core.wire import encode_compiled_policy
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.pseudonym import PseudonymAuthority
+from repro.net.headers import RaShimHeader, ip_to_int
+from repro.net.host import Host
+from repro.net.simulator import Simulator
+from repro.net.topology import linear_topology
+from repro.pera.config import CompositionMode, EvidenceConfig
+from repro.pera.inertia import InertiaClass
+from repro.pera.records import decode_record_stack
+from repro.pisa.programs import ipv4_forwarding_program
+from repro.pisa.runtime import TableEntry
+from repro.pisa.tables import MatchKey, MatchKind
+
+
+class TestComplianceRedaction:
+    def test_two_of_five_disclosed_verifies(self):
+        result = run_compliance_redaction(switch_count=5, disclose=(0, 4))
+        assert result.compliant, result.officer_failures
+        assert result.total_hops == 5
+        assert result.disclosed_hops == 2
+        assert not result.hidden_places_leaked
+
+    def test_full_disclosure_also_works(self):
+        result = run_compliance_redaction(
+            switch_count=3, disclose=(0, 1, 2)
+        )
+        assert result.compliant
+        assert result.disclosed_hops == 3
+
+
+class TestPseudonymousPath:
+    """Footnotes 1-2: switches appear under per-user pseudonyms; an
+    auditor lifts them with a warrant; the appraiser verifies through
+    the operator-provided mapping."""
+
+    def build(self):
+        authority = PseudonymAuthority(b"operator-secret-0123456789abcdef")
+        topo = linear_topology(2)
+        sim = Simulator(topo)
+        src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
+        dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
+        sim.bind(src)
+        sim.bind(dst)
+        switches, programs, pseudonyms = [], [], {}
+        for i in (1, 2):
+            name = f"s{i}"
+            pseudonym = authority.pseudonym_for("bank", name)
+            pseudonyms[pseudonym] = name
+            switch = NetworkAwarePeraSwitch(
+                name,
+                config=EvidenceConfig(composition=CompositionMode.CHAINED),
+                pseudonym=pseudonym,
+            )
+            sim.bind(switch)
+            switch.runtime.arbitrate("ctl", 1)
+            program = ipv4_forwarding_program()
+            switch.runtime.set_forwarding_pipeline_config("ctl", program)
+            switch.runtime.write("ctl", TableEntry(
+                table="ipv4_lpm",
+                keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"),
+                               prefix_len=24),),
+                action="forward", params=(2,),
+            ))
+            switches.append(switch)
+            programs.append(program)
+        return authority, sim, src, dst, switches, programs, pseudonyms
+
+    def test_records_carry_pseudonyms_not_serials(self):
+        authority, sim, src, dst, switches, programs, pseudonyms = self.build()
+        compiled = compile_policy_for_path(
+            ap1_bank_path_attestation(),
+            path=["h-src", "s1", "s2", "h-dst"],
+            bindings={"client": "h-dst"},
+            composition=CompositionMode.CHAINED,
+        )
+        src.send_udp(
+            dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2,
+            ra_shim=RaShimHeader(
+                flags=RaShimHeader.FLAG_POLICY,
+                body=encode_compiled_policy(compiled),
+            ),
+        )
+        sim.run()
+        records = decode_record_stack(dst.received_packets[0].ra_shim.body)
+        assert all(r.place.startswith("pseu-") for r in records)
+        assert not any(r.place in ("s1", "s2") for r in records)
+
+        # The appraiser (given the operator's mapping) still verifies.
+        anchors = KeyRegistry()
+        references = {}
+        names = {}
+        for switch, program in zip(switches, programs):
+            anchors.register_pair(switch.keys)
+            references[switch.name] = {
+                InertiaClass.HARDWARE: hardware_reference(
+                    switch.engine.hardware_identity
+                ),
+                InertiaClass.PROGRAM: program_reference(program),
+            }
+            names[program_reference(program)] = program.full_name
+        appraiser = PathAppraiser("Appraiser", PathAppraisalPolicy(
+            anchors=anchors,
+            reference_measurements=references,
+            program_names=names,
+            pseudonym_signers=pseudonyms,
+        ))
+        verdict = appraiser.appraise_packet(dst.received_packets[0], compiled)
+        assert verdict.accepted, verdict.failures
+
+    def test_auditor_lifts_with_warrant(self):
+        authority, sim, src, dst, switches, programs, pseudonyms = self.build()
+        pseudonym = switches[0].pseudonym
+        real = authority.lift("bank", pseudonym, warrant="court-order-17")
+        assert real == "s1"
+
+    def test_without_mapping_appraisal_fails(self):
+        authority, sim, src, dst, switches, programs, _ = self.build()
+        compiled = compile_policy_for_path(
+            ap1_bank_path_attestation(),
+            path=["h-src", "s1", "s2", "h-dst"],
+            bindings={"client": "h-dst"},
+            composition=CompositionMode.CHAINED,
+        )
+        src.send_udp(
+            dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2,
+            ra_shim=RaShimHeader(
+                flags=RaShimHeader.FLAG_POLICY,
+                body=encode_compiled_policy(compiled),
+            ),
+        )
+        sim.run()
+        anchors = KeyRegistry()
+        for switch in switches:
+            anchors.register_pair(switch.keys)
+        appraiser = PathAppraiser("Appraiser", PathAppraisalPolicy(
+            anchors=anchors, reference_measurements={},
+            pseudonym_signers={},  # no operator mapping
+            strict_places=False,
+        ))
+        verdict = appraiser.appraise_packet(dst.received_packets[0], compiled)
+        assert not verdict.accepted  # signatures unresolvable

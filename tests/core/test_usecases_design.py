@@ -1,0 +1,177 @@
+"""Tests for the UC1-UC5 scenario builders and the design-space sweep."""
+
+import pytest
+
+from repro.core.design_space import (
+    format_table,
+    run_design_point,
+    sweep,
+)
+from repro.core.usecases import (
+    run_ap1_complete,
+    run_audit_trail,
+    run_config_assurance,
+    run_cross_referenced,
+    run_ddos_mitigation,
+    run_path_authentication,
+)
+from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.sampling import SamplingMode, SamplingSpec
+
+
+class TestUc1ConfigAssurance:
+    def test_honest_run_all_accepted(self):
+        result = run_config_assurance(packets=5, swap_at=None)
+        assert result.first_rejection is None
+        assert all(v.accepted for v in result.verdicts)
+        assert result.exfiltrated == 0
+
+    def test_swap_detected_at_first_rogue_packet(self):
+        result = run_config_assurance(packets=10, swap_at=4)
+        assert result.first_rejection == 4
+        assert result.detection_delay == 0
+        # Packets before the swap were fine.
+        assert all(v.accepted for v in result.verdicts[:4])
+        assert not any(v.accepted for v in result.verdicts[4:])
+
+    def test_exfiltration_actually_happens(self):
+        # The rogue program really does clone traffic — RA detects it,
+        # it does not prevent it.
+        result = run_config_assurance(packets=10, swap_at=4)
+        assert result.exfiltrated == 6
+
+    def test_sampling_delays_detection(self):
+        result = run_config_assurance(
+            packets=12, swap_at=2,
+            sampling=SamplingSpec(mode=SamplingMode.ONE_IN_N, n=4),
+        )
+        assert result.first_rejection is not None
+        assert result.detection_delay > 0
+
+
+class TestUc2PathAuthentication:
+    def test_home_path_grants_access(self):
+        result = run_path_authentication(from_home_path=True)
+        assert result.access_granted
+        assert result.hops_attested == 3
+
+    def test_unknown_path_denied(self):
+        result = run_path_authentication(from_home_path=False)
+        assert not result.access_granted
+
+
+class TestAp1Complete:
+    def test_both_halves_clean_accepted(self):
+        result = run_ap1_complete(client_compromised=False)
+        assert result.path_verdict.accepted
+        assert result.client_bmon_clean and result.client_exts_clean
+        assert result.accepted
+
+    def test_compromised_client_rejected_path_still_fine(self):
+        result = run_ap1_complete(client_compromised=True)
+        assert result.path_verdict.accepted  # the network is honest...
+        # ...but the sequenced host protocol catches the corrupt bmon.
+        assert not result.client_bmon_clean
+        assert not result.accepted
+
+
+class TestUc3Ddos:
+    def test_gating_drops_attack_keeps_goodput(self):
+        result = run_ddos_mitigation(under_attack=True)
+        assert result.goodput_kept == 1.0
+        assert result.attack_passed == 0.0
+        assert result.gated_drops == result.attack_sent
+
+    def test_no_gating_lets_attack_through(self):
+        result = run_ddos_mitigation(under_attack=False)
+        assert result.attack_passed == 1.0
+
+
+class TestUc4AuditTrail:
+    def test_c2_matches_counted_and_committed(self):
+        result = run_audit_trail(c2_flows=3, benign_flows=5)
+        assert result.matches == 3
+        assert result.proofs_verify
+        assert result.verdict_accepted
+
+    def test_no_matches_no_findings(self):
+        result = run_audit_trail(c2_flows=0, benign_flows=4)
+        assert result.matches == 0
+
+
+class TestUc5CrossReferenced:
+    def test_verified_tls_allowed(self):
+        result = run_cross_referenced(verified_tls=True)
+        assert result.host_evidence_ok
+        assert result.path_verdict.accepted
+        assert result.flow_allowed
+
+    def test_unverified_tls_blocked(self):
+        result = run_cross_referenced(verified_tls=False)
+        assert not result.host_evidence_ok
+        assert not result.flow_allowed
+        # The network path itself was fine — only the host failed.
+        assert result.path_verdict.accepted
+
+
+class TestDesignSpace:
+    def test_pointwise_caches(self):
+        result = run_design_point(
+            EvidenceConfig(composition=CompositionMode.POINTWISE),
+            packet_count=20, switch_count=2,
+        )
+        assert result.signatures_per_packet < 0.5
+        assert result.cache_hit_rate > 0.8
+
+    def test_traffic_path_signs_every_packet(self):
+        result = run_design_point(
+            EvidenceConfig(composition=CompositionMode.TRAFFIC_PATH),
+            packet_count=10, switch_count=2,
+        )
+        assert result.signatures_per_packet == pytest.approx(2.0)
+
+    def test_sampling_cuts_cost(self):
+        full = run_design_point(
+            EvidenceConfig(composition=CompositionMode.CHAINED),
+            packet_count=20, switch_count=2,
+        )
+        sampled = run_design_point(
+            EvidenceConfig(
+                composition=CompositionMode.CHAINED,
+                sampling=SamplingSpec(mode=SamplingMode.ONE_IN_N, n=4),
+            ),
+            packet_count=20, switch_count=2,
+        )
+        assert sampled.ra_cost_per_packet < full.ra_cost_per_packet / 2
+
+    def test_detail_grows_evidence(self):
+        minimal = run_design_point(
+            EvidenceConfig(detail=DetailLevel.MINIMAL,
+                           composition=CompositionMode.CHAINED),
+            packet_count=10, switch_count=2,
+        )
+        expansive = run_design_point(
+            EvidenceConfig(detail=DetailLevel.EXPANSIVE,
+                           composition=CompositionMode.CHAINED),
+            packet_count=10, switch_count=2,
+        )
+        assert expansive.evidence_bytes_per_packet > minimal.evidence_bytes_per_packet
+
+    def test_sweep_covers_grid(self):
+        results = sweep(
+            details=[DetailLevel.MINIMAL],
+            compositions=list(CompositionMode),
+            packet_count=5, switch_count=2,
+        )
+        assert len(results) == 3
+        assert all(r.packets_delivered == 5 for r in results)
+
+    def test_format_table(self):
+        results = sweep(
+            details=[DetailLevel.MINIMAL],
+            compositions=[CompositionMode.POINTWISE],
+            packet_count=3, switch_count=2,
+        )
+        table = format_table(results)
+        assert "detail" in table and "pointwise" in table
+        assert format_table([]) == "(no results)"

@@ -1,0 +1,113 @@
+"""Tests for the packet model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.headers import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    RA_UDP_PORT,
+    RaShimHeader,
+    ip_to_int,
+)
+from repro.net.packet import Packet
+from repro.util.errors import CodecError
+
+
+def make_udp(payload=b"hello", shim=None):
+    return Packet.udp_packet(
+        src_mac=0x1, dst_mac=0x2,
+        src_ip=ip_to_int("10.0.0.1"), dst_ip=ip_to_int("10.0.0.2"),
+        src_port=5555, dst_port=7777, payload=payload, ra_shim=shim,
+    )
+
+
+class TestPacketEncodeDecode:
+    def test_udp_round_trip(self):
+        pkt = make_udp()
+        assert Packet.decode(pkt.encode()) == pkt
+
+    def test_tcp_round_trip(self):
+        pkt = Packet.tcp_packet(
+            src_mac=1, dst_mac=2, src_ip=3, dst_ip=4,
+            src_port=80, dst_port=443, payload=b"data", flags=0x02,
+        )
+        assert Packet.decode(pkt.encode()) == pkt
+
+    def test_udp_with_shim_round_trip(self):
+        shim = RaShimHeader(flags=RaShimHeader.FLAG_POLICY, body=b"policy-bytes")
+        pkt = make_udp(shim=shim)
+        decoded = Packet.decode(pkt.encode())
+        assert decoded.ra_shim == shim
+        assert decoded == pkt
+
+    def test_shim_forces_ra_port(self):
+        pkt = make_udp(shim=RaShimHeader())
+        assert pkt.udp.dst_port == RA_UDP_PORT
+
+    def test_wire_length_matches_encoding(self):
+        for pkt in [make_udp(), make_udp(shim=RaShimHeader(body=b"x" * 20))]:
+            assert pkt.wire_length == len(pkt.encode())
+
+    def test_length_fields_consistent(self):
+        pkt = make_udp(payload=b"x" * 10)
+        assert pkt.ipv4.total_length == 20 + 8 + 10
+        assert pkt.udp.length == 8 + 10
+
+    def test_unknown_ethertype_kept_as_payload(self):
+        from repro.net.headers import EthernetHeader
+
+        raw = EthernetHeader(dst=1, src=2, ethertype=0x86DD).encode() + b"v6stuff"
+        pkt = Packet.decode(raw)
+        assert pkt.ipv4 is None
+        assert pkt.payload == b"v6stuff"
+
+
+class TestPacketOperations:
+    def test_five_tuple(self):
+        pkt = make_udp()
+        assert pkt.five_tuple == (
+            ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), IPPROTO_UDP, 5555, 7777,
+        )
+
+    def test_ttl_decrement_returns_new(self):
+        pkt = make_udp()
+        pkt2 = pkt.with_ttl_decremented()
+        assert pkt2.ipv4.ttl == pkt.ipv4.ttl - 1
+        assert pkt.ipv4.ttl == 64  # original untouched
+
+    def test_with_shim_adjusts_lengths(self):
+        pkt = make_udp(payload=b"x" * 4)
+        shim = RaShimHeader(body=b"y" * 10)
+        pkt2 = pkt.with_shim(shim)
+        assert pkt2.udp.length == pkt.udp.length + shim.wire_length
+        assert pkt2.ipv4.total_length == pkt.ipv4.total_length + shim.wire_length
+        assert pkt2.wire_length == len(pkt2.encode())
+
+    def test_with_shim_strip(self):
+        shim = RaShimHeader(body=b"y" * 10)
+        pkt = make_udp(shim=shim)
+        stripped = pkt.with_shim(None)
+        assert stripped.ra_shim is None
+        assert stripped.wire_length == pkt.wire_length - shim.wire_length
+
+    def test_with_shim_replace(self):
+        pkt = make_udp(shim=RaShimHeader(body=b"a" * 4))
+        pkt2 = pkt.with_shim(RaShimHeader(body=b"b" * 8))
+        assert pkt2.wire_length == pkt.wire_length + 4
+        assert Packet.decode(pkt2.encode()) == pkt2
+
+    def test_with_shim_on_tcp_rejected(self):
+        pkt = Packet.tcp_packet(1, 2, 3, 4, 80, 443)
+        with pytest.raises(CodecError):
+            pkt.with_shim(RaShimHeader())
+
+    def test_repr_compact(self):
+        text = repr(make_udp(shim=RaShimHeader(body=b"xy")))
+        assert "ra(" in text and "udp(" in text
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_round_trip_with_arbitrary_payload_and_body(self, payload, body):
+        pkt = make_udp(payload=payload, shim=RaShimHeader(body=body))
+        assert Packet.decode(pkt.encode()) == pkt

@@ -1,0 +1,216 @@
+"""Tests for the discrete-event simulator, routing, hosts and flows."""
+
+import pytest
+
+from repro.net.flows import Flow, FlowGenerator
+from repro.net.headers import ip_to_int
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.net.routing import all_pairs_next_hop, path_ports, shortest_path
+from repro.net.simulator import Node, Simulator
+from repro.net.topology import Topology, linear_topology
+from repro.util.errors import NetworkError
+
+
+class Repeater(Node):
+    """Forwards every packet out the other port (2-port node)."""
+
+    def handle_packet(self, packet, in_port):
+        out = 2 if in_port == 1 else 1
+        self.sim.transmit(self.name, out, packet)
+
+
+def two_hosts_one_switch():
+    topo = Topology()
+    topo.add_node("h1", kind="host")
+    topo.add_node("h2", kind="host")
+    topo.add_node("s1")
+    topo.add_link("h1", 1, "s1", 1, latency_s=1e-6)
+    topo.add_link("s1", 2, "h2", 1, latency_s=1e-6)
+    sim = Simulator(topo)
+    h1 = Host("h1", mac=0x1, ip=ip_to_int("10.0.0.1"))
+    h2 = Host("h2", mac=0x2, ip=ip_to_int("10.0.0.2"))
+    sim.bind(h1)
+    sim.bind(h2)
+    sim.bind(Repeater("s1"))
+    return sim, h1, h2
+
+
+class TestSimulatorCore:
+    def test_end_to_end_delivery(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        h1.send_udp(dst_mac=h2.mac, dst_ip=h2.ip, src_port=1000, dst_port=2000,
+                    payload=b"ping")
+        sim.run()
+        assert len(h2.received_packets) == 1
+        assert h2.received_packets[0].payload == b"ping"
+
+    def test_latency_accumulates(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        h1.send_udp(dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2)
+        sim.run()
+        arrival = h2.received[0][0]
+        assert arrival >= 2e-6  # two link propagation delays
+
+    def test_unbound_node_drops(self):
+        topo = Topology()
+        topo.add_node("h1", kind="host")
+        topo.add_node("dark")
+        topo.add_link("h1", 1, "dark", 1)
+        sim = Simulator(topo)
+        h1 = Host("h1", mac=1, ip=2)
+        sim.bind(h1)
+        h1.send_udp(dst_mac=9, dst_ip=9, src_port=1, dst_port=2)
+        sim.run()
+        assert sim.stats.packets_dropped == 1
+
+    def test_unwired_port_drops(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        assert not sim.transmit("s1", 99, Packet.udp_packet(1, 2, 3, 4, 5, 6))
+        assert sim.stats.packets_dropped == 1
+
+    def test_bind_validations(self):
+        sim, h1, _ = two_hosts_one_switch()
+        with pytest.raises(NetworkError):
+            sim.bind(Host("h1", mac=1, ip=1))  # already bound
+        with pytest.raises(NetworkError):
+            sim.bind(Host("ghost", mac=1, ip=1))  # not in topology
+
+    def test_schedule_negative_rejected(self):
+        sim, _, _ = two_hosts_one_switch()
+        with pytest.raises(NetworkError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_bounds_time(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        sim.schedule(10.0, lambda: h1.send_udp(dst_mac=2, dst_ip=2, src_port=1, dst_port=2))
+        processed = sim.run(until=5.0)
+        assert processed == 0
+        assert sim.clock.now == 5.0
+
+    def test_event_ordering_deterministic(self):
+        sim, _, _ = two_hosts_one_switch()
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.schedule(0.5, lambda: order.append("c"))
+        sim.run()
+        assert order == ["c", "a", "b"]  # ties break by insertion order
+
+    def test_control_channel(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        sim.send_control("h1", "h2", {"kind": "evidence"}, size_hint=100)
+        sim.run()
+        assert len(h2.control_received) == 1
+        assert h2.control_received[0][1] == "h1"
+        assert sim.stats.control_bytes == 100
+
+    def test_control_unknown_recipient(self):
+        sim, _, _ = two_hosts_one_switch()
+        with pytest.raises(NetworkError):
+            sim.send_control("h1", "ghost", "x")
+
+    def test_stats_accumulate(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        for _ in range(3):
+            h1.send_udp(dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2)
+        sim.run()
+        assert sim.stats.packets_transmitted == 6  # 3 pkts x 2 links
+        assert sim.stats.bytes_transmitted > 0
+
+
+class TestRouting:
+    def test_shortest_path_linear(self):
+        topo = linear_topology(3)
+        assert shortest_path(topo, "h-src", "h-dst") == [
+            "h-src", "s1", "s2", "s3", "h-dst",
+        ]
+
+    def test_same_node(self):
+        topo = linear_topology(2)
+        assert shortest_path(topo, "s1", "s1") == ["s1"]
+
+    def test_no_path(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        with pytest.raises(NetworkError, match="no path"):
+            shortest_path(topo, "a", "b")
+
+    def test_unknown_node(self):
+        topo = linear_topology(2)
+        with pytest.raises(NetworkError):
+            shortest_path(topo, "ghost", "s1")
+
+    def test_prefers_low_latency(self):
+        topo = Topology()
+        for name in ["a", "b", "fast", "slow"]:
+            topo.add_node(name)
+        topo.add_link("a", 1, "slow", 1, latency_s=10e-6)
+        topo.add_link("slow", 2, "b", 1, latency_s=10e-6)
+        topo.add_link("a", 2, "fast", 1, latency_s=1e-6)
+        topo.add_link("fast", 2, "b", 2, latency_s=1e-6)
+        assert shortest_path(topo, "a", "b") == ["a", "fast", "b"]
+
+    def test_path_ports(self):
+        topo = linear_topology(2)
+        hops = path_ports(topo, ["h-src", "s1", "s2", "h-dst"])
+        assert hops == [("h-src", 1), ("s1", 2), ("s2", 2)]
+
+    def test_all_pairs_next_hop(self):
+        topo = linear_topology(2)
+        table = all_pairs_next_hop(topo)
+        assert table[("s1", "h-dst")] == 2
+        assert table[("s2", "h-src")] == 1
+        assert ("s1", "s1") not in table
+
+
+class TestFlows:
+    def test_flow_delivery(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        gen = FlowGenerator(sim)
+        gen.schedule_flow(Flow(
+            src_host="h1", dst_host="h2", src_port=1000, dst_port=2000,
+            packet_count=5, interval_s=1e-4,
+        ))
+        sim.run()
+        assert len(h2.received_packets) == 5
+        assert gen.total_sent() == 5
+
+    def test_flow_timing(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        gen = FlowGenerator(sim)
+        gen.schedule_flow(Flow(
+            src_host="h1", dst_host="h2", src_port=1, dst_port=2,
+            packet_count=2, interval_s=1.0, start_s=0.5,
+        ))
+        sim.run()
+        times = [t for t, _ in h2.received]
+        assert times[0] >= 0.5
+        assert times[1] - times[0] == pytest.approx(1.0, rel=1e-3)
+
+    def test_flow_validation(self):
+        with pytest.raises(NetworkError):
+            Flow(src_host="a", dst_host="b", src_port=1, dst_port=2,
+                 packet_count=-1)
+
+    def test_flow_endpoints_must_be_hosts(self):
+        sim, _, _ = two_hosts_one_switch()
+        gen = FlowGenerator(sim)
+        with pytest.raises(NetworkError):
+            gen.schedule_flow(Flow(
+                src_host="s1", dst_host="h2", src_port=1, dst_port=2, packet_count=1,
+            ))
+
+    def test_jitter_deterministic_with_seed(self):
+        def run_once():
+            sim, h1, h2 = two_hosts_one_switch()
+            gen = FlowGenerator(sim, seed=42)
+            gen.schedule_flow(Flow(
+                src_host="h1", dst_host="h2", src_port=1, dst_port=2,
+                packet_count=5, interval_s=1e-3, jitter_s=1e-4,
+            ))
+            sim.run()
+            return [t for t, _ in h2.received]
+
+        assert run_once() == run_once()

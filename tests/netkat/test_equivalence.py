@@ -1,0 +1,164 @@
+"""KAT/NetKAT axioms, checked against the implementation.
+
+Each axiom of the NetKAT equational theory (Anderson et al. 2014,
+Fig. 3) is verified for randomly generated policies via the decision
+procedure — so the compiler provably respects the algebra on the
+sampled space.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.netkat.ast import (
+    DROP,
+    ID,
+    Filter,
+    Seq,
+    Star,
+    Union,
+    mod,
+    pand,
+    pnot,
+    por,
+    seq,
+    star,
+    test as tst,
+    union,
+    TRUE,
+)
+from repro.netkat.equivalence import equivalent, implies
+from repro.util.errors import PolicyError
+
+FIELDS = ["a", "b"]
+VALUES = [0, 1]
+
+# Bounded recursion (max_leaves) keeps example sizes — and hence the
+# FDD equivalence checks — small and fast.
+predicates = st.recursive(
+    st.builds(tst, st.sampled_from(FIELDS), st.sampled_from(VALUES)),
+    lambda inner: st.one_of(
+        st.builds(pand, inner, inner),
+        st.builds(por, inner, inner),
+        st.builds(pnot, inner),
+    ),
+    max_leaves=6,
+)
+
+policies = st.recursive(
+    st.one_of(
+        st.builds(Filter, predicates),
+        st.builds(mod, st.sampled_from(FIELDS), st.sampled_from(VALUES)),
+    ),
+    lambda inner: st.one_of(
+        st.builds(union, inner, inner),
+        st.builds(seq, inner, inner),
+        st.builds(star, inner),
+    ),
+    max_leaves=8,
+)
+
+# Recursive policy strategies occasionally generate large examples;
+# suppress the size/speed health checks rather than let them flake.
+SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+        HealthCheck.large_base_example,
+    ],
+)
+
+
+class TestKatAxioms:
+    @settings(**SETTINGS)
+    @given(policies)
+    def test_union_idempotent(self, p):
+        assert equivalent(union(p, p), p)
+
+    @settings(**SETTINGS)
+    @given(policies, policies)
+    def test_union_commutative(self, p, q):
+        assert equivalent(union(p, q), union(q, p))
+
+    @settings(**SETTINGS)
+    @given(policies, policies, policies)
+    def test_union_associative(self, p, q, r):
+        assert equivalent(Union(Union(p, q), r), Union(p, Union(q, r)))
+
+    @settings(**SETTINGS)
+    @given(policies)
+    def test_seq_identity(self, p):
+        assert equivalent(Seq(p, ID), p)
+        assert equivalent(Seq(ID, p), p)
+
+    @settings(**SETTINGS)
+    @given(policies)
+    def test_seq_annihilator(self, p):
+        assert equivalent(Seq(p, DROP), DROP)
+        assert equivalent(Seq(DROP, p), DROP)
+
+    @settings(**SETTINGS)
+    @given(policies, policies, policies)
+    def test_seq_distributes_over_union(self, p, q, r):
+        assert equivalent(Seq(p, Union(q, r)), Union(Seq(p, q), Seq(p, r)))
+        assert equivalent(Seq(Union(p, q), r), Union(Seq(p, r), Seq(q, r)))
+
+    @settings(**SETTINGS)
+    @given(policies)
+    def test_star_unfolding(self, p):
+        assert equivalent(star(p), union(ID, seq(p, star(p))))
+
+    @settings(**SETTINGS)
+    @given(policies)
+    def test_star_idempotent(self, p):
+        assert equivalent(star(star(p)), star(p))
+
+    @settings(**SETTINGS)
+    @given(predicates)
+    def test_excluded_middle(self, a):
+        assert equivalent(Filter(por(a, pnot(a))), ID)
+        assert equivalent(Filter(pand(a, pnot(a))), DROP)
+
+    def test_mod_then_test_absorbs(self):
+        # f:=1 ; filter f=1 ≡ f:=1 (the NetKAT packet-algebra axiom).
+        assert equivalent(
+            seq(mod("a", 1), Filter(tst("a", 1))), mod("a", 1)
+        )
+
+    def test_mod_overwrite(self):
+        assert equivalent(seq(mod("a", 1), mod("a", 2)), mod("a", 2))
+
+    def test_distinct_mods_not_equivalent(self):
+        assert not equivalent(mod("a", 1), mod("a", 0))
+
+
+class TestInclusion:
+    @settings(**SETTINGS)
+    @given(policies, policies)
+    def test_left_below_union(self, p, q):
+        assert implies(p, union(p, q))
+
+    @settings(**SETTINGS)
+    @given(policies)
+    def test_drop_is_bottom(self, p):
+        assert implies(DROP, p)
+
+    @settings(**SETTINGS)
+    @given(policies)
+    def test_p_below_star(self, p):
+        assert implies(p, star(p))
+
+    def test_strict_inclusion(self):
+        small = seq(Filter(tst("a", 1)), mod("b", 1))
+        big = mod("b", 1)
+        assert implies(small, big)
+        assert not implies(big, small)
+
+    def test_dup_rejected(self):
+        from repro.netkat.ast import Dup
+
+        with pytest.raises(PolicyError):
+            equivalent(Dup(), ID)

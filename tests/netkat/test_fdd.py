@@ -1,0 +1,184 @@
+"""Tests for FDD compilation — including a property test that the
+compiled FDD and the flattened flow rules agree with the denotational
+semantics on random policies and packets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netkat.ast import (
+    DROP,
+    ID,
+    Dup,
+    Filter,
+    ite,
+    mod,
+    pand,
+    pnot,
+    por,
+    seq,
+    star,
+    test as tst,
+    union,
+    TRUE,
+    FALSE,
+)
+from repro.netkat.fdd import (
+    LEAF_DROP,
+    LEAF_ID,
+    compile_policy,
+    compile_predicate,
+    eval_fdd,
+    eval_flow_rules,
+    fdd_to_flow_rules,
+)
+from repro.netkat.semantics import NkPacket, run
+from repro.util.errors import PolicyError
+
+
+def pk(**fields):
+    return NkPacket(fields)
+
+
+class TestFddBasics:
+    def test_id_drop(self):
+        assert compile_policy(ID) == LEAF_ID
+        assert compile_policy(DROP) == LEAF_DROP
+
+    def test_filter(self):
+        fdd = compile_policy(Filter(tst("a", 1)))
+        assert eval_fdd(fdd, pk(a=1)) == {pk(a=1)}
+        assert eval_fdd(fdd, pk(a=2)) == set()
+
+    def test_mod(self):
+        fdd = compile_policy(mod("a", 5))
+        assert eval_fdd(fdd, pk()) == {pk(a=5)}
+
+    def test_negation(self):
+        fdd = compile_policy(Filter(pnot(tst("a", 1))))
+        assert eval_fdd(fdd, pk(a=2)) == {pk(a=2)}
+        assert eval_fdd(fdd, pk(a=1)) == set()
+
+    def test_negate_non_predicate_rejected(self):
+        from repro.netkat.fdd import fdd_negate
+
+        with pytest.raises(PolicyError):
+            fdd_negate(compile_policy(mod("a", 1)))
+
+    def test_seq_mod_then_filter(self):
+        # a:=1 ; filter a=1 ≡ a:=1
+        fdd = compile_policy(seq(mod("a", 1), Filter(tst("a", 1))))
+        assert eval_fdd(fdd, pk(a=9)) == {pk(a=1)}
+
+    def test_seq_mod_then_contradicting_filter(self):
+        fdd = compile_policy(seq(mod("a", 1), Filter(tst("a", 2))))
+        assert eval_fdd(fdd, pk(a=2)) == set()
+
+    def test_union_multicast(self):
+        fdd = compile_policy(union(mod("p", 1), mod("p", 2)))
+        assert eval_fdd(fdd, pk()) == {pk(p=1), pk(p=2)}
+
+    def test_local_star(self):
+        step = union(*[
+            seq(Filter(tst("a", i)), mod("a", i + 1)) for i in range(3)
+        ])
+        fdd = compile_policy(star(step))
+        assert eval_fdd(fdd, pk(a=0)) == {pk(a=0), pk(a=1), pk(a=2), pk(a=3)}
+
+    def test_dup_rejected(self):
+        with pytest.raises(PolicyError, match="dup"):
+            compile_policy(Dup())
+
+    def test_branch_collapse(self):
+        # filter (a=1 or not a=1) ≡ id, and the FDD should collapse.
+        fdd = compile_policy(Filter(por(tst("a", 1), pnot(tst("a", 1)))))
+        assert fdd == LEAF_ID
+
+
+class TestFlowRules:
+    def test_simple_rules(self):
+        policy = ite(tst("dst", 1), mod("port", 1), mod("port", 2))
+        rules = fdd_to_flow_rules(compile_policy(policy))
+        assert eval_flow_rules(rules, pk(dst=1)) == {pk(dst=1, port=1)}
+        assert eval_flow_rules(rules, pk(dst=2)) == {pk(dst=2, port=2)}
+
+    def test_priorities_strictly_decreasing(self):
+        policy = union(
+            seq(Filter(tst("dst", 1)), mod("port", 1)),
+            seq(Filter(tst("dst", 2)), mod("port", 2)),
+        )
+        rules = fdd_to_flow_rules(compile_policy(policy))
+        priorities = [rule.priority for rule in rules]
+        assert priorities == sorted(priorities, reverse=True)
+        assert len(set(priorities)) == len(priorities)
+
+    def test_drop_rule_emitted(self):
+        rules = fdd_to_flow_rules(compile_policy(Filter(tst("a", 1))))
+        # There must be a catch-all with empty actions (drop).
+        assert any(not rule.actions for rule in rules)
+
+
+# --- property-based equivalence: semantics == FDD == flow rules ---------------
+
+FIELDS = ["a", "b"]
+VALUES = [0, 1, 2]
+
+# Bounded recursion (max_leaves) keeps compile times predictable.
+predicates = st.recursive(
+    st.one_of(
+        st.just(TRUE),
+        st.just(FALSE),
+        st.builds(tst, st.sampled_from(FIELDS), st.sampled_from(VALUES)),
+    ),
+    lambda inner: st.one_of(
+        st.builds(pand, inner, inner),
+        st.builds(por, inner, inner),
+        st.builds(pnot, inner),
+    ),
+    max_leaves=8,
+)
+
+policies = st.recursive(
+    st.one_of(
+        st.builds(Filter, predicates),
+        st.builds(mod, st.sampled_from(FIELDS), st.sampled_from(VALUES)),
+    ),
+    lambda inner: st.one_of(
+        st.builds(union, inner, inner),
+        st.builds(seq, inner, inner),
+        st.builds(star, inner),
+    ),
+    max_leaves=10,
+)
+
+packets = st.builds(
+    lambda a, b: NkPacket({"a": a, "b": b}),
+    st.sampled_from(VALUES),
+    st.sampled_from(VALUES),
+)
+
+
+class TestCompilerEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(policies, packets)
+    def test_fdd_matches_semantics(self, policy, packet):
+        fdd = compile_policy(policy)
+        assert eval_fdd(fdd, packet) == run(policy, packet)
+
+    @settings(max_examples=60, deadline=None)
+    @given(policies, packets)
+    def test_flow_rules_match_semantics(self, policy, packet):
+        rules = fdd_to_flow_rules(compile_policy(policy))
+        assert eval_flow_rules(rules, packet) == run(policy, packet)
+
+    @settings(max_examples=60, deadline=None)
+    @given(predicates, packets)
+    def test_predicate_fdd_is_id_or_drop(self, pred, packet):
+        from repro.netkat.semantics import eval_predicate
+
+        fdd = compile_predicate(pred)
+        out = eval_fdd(fdd, packet)
+        if eval_predicate(pred, packet):
+            assert out == {packet}
+        else:
+            assert out == set()

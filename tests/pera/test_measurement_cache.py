@@ -1,0 +1,183 @@
+"""Tests for the measurement engine, evidence cache and sampler."""
+
+import pytest
+
+from repro.net.headers import ip_to_int
+from repro.net.packet import Packet
+from repro.pera.cache import EvidenceCache
+from repro.pera.inertia import DEFAULT_TTLS, InertiaClass
+from repro.pera.measurement import MeasurementEngine
+from repro.pera.sampling import Sampler, SamplingMode, SamplingSpec
+from repro.pisa.pipeline import PacketContext, Pipeline
+from repro.pisa.programs import firewall_program, ipv4_forwarding_program
+from repro.pisa.runtime import P4Runtime, TableEntry
+from repro.pisa.tables import MatchKey, MatchKind
+from repro.util.clock import SimClock
+from repro.util.errors import ConfigError, PipelineError
+
+
+def make_ctx():
+    packet = Packet.udp_packet(
+        src_mac=1, dst_mac=2, src_ip=ip_to_int("10.0.0.1"),
+        dst_ip=ip_to_int("10.0.1.1"), src_port=1, dst_port=2, payload=b"x",
+    )
+    return PacketContext.from_packet(packet, ingress_port=1)
+
+
+class TestMeasurementEngine:
+    def test_hardware_stable(self):
+        engine = MeasurementEngine(b"serial-1")
+        pipeline = Pipeline(ipv4_forwarding_program())
+        a = engine.measure(InertiaClass.HARDWARE, pipeline)
+        b = engine.measure(InertiaClass.HARDWARE, pipeline)
+        assert a == b
+
+    def test_different_hardware_differs(self):
+        pipeline = Pipeline(ipv4_forwarding_program())
+        a = MeasurementEngine(b"serial-1").measure(InertiaClass.HARDWARE, pipeline)
+        b = MeasurementEngine(b"serial-2").measure(InertiaClass.HARDWARE, pipeline)
+        assert a != b
+
+    def test_program_swap_changes_measurement(self):
+        engine = MeasurementEngine(b"s")
+        a = engine.measure(
+            InertiaClass.PROGRAM, Pipeline(ipv4_forwarding_program())
+        )
+        b = engine.measure(InertiaClass.PROGRAM, Pipeline(firewall_program()))
+        assert a != b
+
+    def test_table_write_changes_tables_measurement(self):
+        pipeline = Pipeline(ipv4_forwarding_program())
+        engine = MeasurementEngine(b"s")
+        before = engine.measure(InertiaClass.TABLES, pipeline)
+        runtime = P4Runtime("s")
+        runtime.arbitrate("ctl", 1)
+        runtime.pipeline = pipeline
+        runtime.write("ctl", TableEntry(
+            table="ipv4_lpm",
+            keys=(MatchKey(MatchKind.LPM, 0, prefix_len=0),),
+            action="forward", params=(1,),
+        ))
+        after = engine.measure(InertiaClass.TABLES, pipeline)
+        assert before != after
+
+    def test_register_write_changes_state_measurement(self):
+        from repro.pisa.registers import Register
+
+        pipeline = Pipeline(ipv4_forwarding_program())
+        pipeline.add_register(Register("r", size=4))
+        engine = MeasurementEngine(b"s")
+        before = engine.measure(InertiaClass.PROG_STATE, pipeline)
+        pipeline.registers["r"].write(0, 42)
+        after = engine.measure(InertiaClass.PROG_STATE, pipeline)
+        assert before != after
+
+    def test_packet_measurement_binds_packet(self):
+        engine = MeasurementEngine(b"s")
+        pipeline = Pipeline(ipv4_forwarding_program())
+        a = engine.measure(InertiaClass.PACKETS, pipeline, make_ctx())
+        ctx2 = make_ctx()
+        ctx2.payload = b"different"
+        import dataclasses
+
+        ctx2.packet = dataclasses.replace(ctx2.packet, payload=b"different")
+        b = engine.measure(InertiaClass.PACKETS, pipeline, ctx2)
+        assert a != b
+
+    def test_packet_measurement_requires_ctx(self):
+        engine = MeasurementEngine(b"s")
+        with pytest.raises(PipelineError):
+            engine.measure(InertiaClass.PACKETS, Pipeline(ipv4_forwarding_program()))
+
+    def test_program_measurement_requires_pipeline(self):
+        with pytest.raises(PipelineError):
+            MeasurementEngine(b"s").measure(InertiaClass.PROGRAM, None)
+
+
+class TestEvidenceCache:
+    def test_miss_then_hit(self):
+        cache = EvidenceCache(SimClock())
+        assert cache.get(InertiaClass.PROGRAM, b"") is None
+        cache.put(InertiaClass.PROGRAM, b"", "record")
+        assert cache.get(InertiaClass.PROGRAM, b"") == "record"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_ttl_expiry(self):
+        clock = SimClock()
+        cache = EvidenceCache(clock, ttls={InertiaClass.PROGRAM: 10.0})
+        cache.put(InertiaClass.PROGRAM, b"", "record")
+        clock.advance(11.0)
+        assert cache.get(InertiaClass.PROGRAM, b"") is None
+
+    def test_high_inertia_outlives_low(self):
+        clock = SimClock()
+        cache = EvidenceCache(clock)
+        cache.put(InertiaClass.HARDWARE, b"", "hw")
+        cache.put(InertiaClass.TABLES, b"", "tables")
+        clock.advance(DEFAULT_TTLS[InertiaClass.TABLES] + 0.1)
+        assert cache.get(InertiaClass.HARDWARE, b"") == "hw"
+        assert cache.get(InertiaClass.TABLES, b"") is None
+
+    def test_packets_never_cached(self):
+        cache = EvidenceCache(SimClock())
+        cache.put(InertiaClass.PACKETS, b"", "record")
+        assert cache.get(InertiaClass.PACKETS, b"") is None
+
+    def test_state_digest_invalidation(self):
+        cache = EvidenceCache(SimClock())
+        cache.put(InertiaClass.TABLES, b"state-1", "record")
+        assert cache.get(InertiaClass.TABLES, b"state-2") is None
+        assert cache.stats.invalidations == 1
+
+    def test_explicit_invalidate(self):
+        cache = EvidenceCache(SimClock())
+        cache.put(InertiaClass.PROGRAM, b"", "a")
+        cache.put(InertiaClass.HARDWARE, b"", "b")
+        cache.invalidate(InertiaClass.PROGRAM)
+        assert cache.get(InertiaClass.PROGRAM, b"") is None
+        assert cache.get(InertiaClass.HARDWARE, b"") == "b"
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = EvidenceCache(SimClock())
+        cache.put(InertiaClass.PROGRAM, b"", "x")
+        cache.get(InertiaClass.PROGRAM, b"")
+        cache.get(InertiaClass.HARDWARE, b"")
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestSampler:
+    def test_every_packet(self):
+        sampler = Sampler(SamplingSpec(mode=SamplingMode.EVERY_PACKET))
+        assert all(sampler.should_attest(0.0) for _ in range(5))
+        assert sampler.sample_rate == 1.0
+
+    def test_one_in_n(self):
+        sampler = Sampler(SamplingSpec(mode=SamplingMode.ONE_IN_N, n=3))
+        decisions = [sampler.should_attest(0.0) for _ in range(9)]
+        assert decisions.count(True) == 3
+        assert decisions == [False, False, True] * 3
+
+    def test_one_in_one_is_every_packet(self):
+        sampler = Sampler(SamplingSpec(mode=SamplingMode.ONE_IN_N, n=1))
+        assert all(sampler.should_attest(0.0) for _ in range(3))
+
+    def test_periodic(self):
+        sampler = Sampler(SamplingSpec(mode=SamplingMode.PERIODIC, period_s=1.0))
+        assert sampler.should_attest(0.0)
+        assert not sampler.should_attest(0.5)
+        assert sampler.should_attest(1.5)
+
+    def test_first_of_flow(self):
+        sampler = Sampler(SamplingSpec(mode=SamplingMode.FIRST_OF_FLOW))
+        assert sampler.should_attest(0.0, flow_key=("a",))
+        assert not sampler.should_attest(0.0, flow_key=("a",))
+        assert sampler.should_attest(0.0, flow_key=("b",))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SamplingSpec(mode=SamplingMode.ONE_IN_N, n=0)
+        with pytest.raises(ConfigError):
+            SamplingSpec(mode=SamplingMode.PERIODIC, period_s=0)

@@ -1,0 +1,145 @@
+"""Tests for the programmable parser state machine."""
+
+import pytest
+
+from repro.net.headers import IPPROTO_UDP, RA_UDP_PORT, RaShimHeader, ip_to_int
+from repro.net.packet import Packet
+from repro.pisa.parser_engine import (
+    ACCEPT,
+    REJECT,
+    FieldExtract,
+    ParserSpec,
+    ParserState,
+)
+from repro.pisa.programs import standard_parser
+from repro.util.errors import PipelineError
+
+
+def make_packet(shim=None, payload=b"pp"):
+    return Packet.udp_packet(
+        src_mac=0xA, dst_mac=0xB,
+        src_ip=ip_to_int("10.0.0.1"), dst_ip=ip_to_int("10.0.0.2"),
+        src_port=53, dst_port=5353, payload=payload, ra_shim=shim,
+    )
+
+
+class TestStandardParser:
+    def test_parses_udp_packet(self):
+        fields, headers, payload = standard_parser().parse(make_packet().encode())
+        assert headers == ["eth", "ipv4", "udp"]
+        assert fields["ipv4.src"] == ip_to_int("10.0.0.1")
+        assert fields["udp.dst_port"] == 5353
+        assert payload == b"pp"
+
+    def test_parses_ra_shim(self):
+        shim = RaShimHeader(flags=3, hop_count=2, body=b"body")
+        fields, headers, payload = standard_parser().parse(
+            make_packet(shim=shim).encode()
+        )
+        assert "ra" in headers
+        assert fields["ra.flags"] == 3
+        assert fields["ra.hop_count"] == 2
+        # The shim body is left in the payload view (varlen tail).
+        assert payload.startswith(b"body")
+
+    def test_parses_tcp_packet(self):
+        pkt = Packet.tcp_packet(1, 2, 3, 4, 80, 443, payload=b"xyz", flags=0x12)
+        fields, headers, payload = standard_parser().parse(pkt.encode())
+        assert headers == ["eth", "ipv4", "tcp"]
+        assert fields["tcp.dst_port"] == 443
+        assert payload == b"xyz"
+
+    def test_non_ip_accepted_at_eth(self):
+        from repro.net.headers import EthernetHeader
+
+        raw = EthernetHeader(dst=1, src=2, ethertype=0x86DD).encode() + b"rest"
+        fields, headers, payload = standard_parser().parse(raw)
+        assert headers == ["eth"]
+        assert payload == b"rest"
+
+    def test_truncated_packet_rejected(self):
+        wire = make_packet().encode()
+        with pytest.raises(PipelineError, match="truncated"):
+            standard_parser().parse(wire[:20])
+
+    def test_field_values_match_packet_model(self):
+        pkt = make_packet()
+        fields, _, _ = standard_parser().parse(pkt.encode())
+        assert fields["eth.dst"] == pkt.eth.dst
+        assert fields["ipv4.ttl"] == pkt.ipv4.ttl
+        assert fields["ipv4.protocol"] == IPPROTO_UDP
+
+
+class TestParserSpecValidation:
+    def test_duplicate_state_names_rejected(self):
+        state = ParserState("s", "h", (FieldExtract("f", 8),))
+        with pytest.raises(PipelineError, match="duplicate"):
+            ParserSpec(states=(state, state), start="s")
+
+    def test_unknown_start_rejected(self):
+        state = ParserState("s", "h", (FieldExtract("f", 8),))
+        with pytest.raises(PipelineError, match="start"):
+            ParserSpec(states=(state,), start="ghost")
+
+    def test_unknown_transition_rejected(self):
+        state = ParserState(
+            "s", "h", (FieldExtract("f", 8),),
+            select_field="h.f", transitions=((1, "ghost"),),
+        )
+        with pytest.raises(PipelineError, match="unknown"):
+            ParserSpec(states=(state,), start="s")
+
+    def test_non_byte_aligned_header_rejected(self):
+        state = ParserState("s", "h", (FieldExtract("f", 4),))
+        spec = ParserSpec(states=(state,), start="s")
+        with pytest.raises(PipelineError, match="byte-aligned"):
+            spec.parse(b"\x00")
+
+    def test_reject_state(self):
+        state = ParserState(
+            "s", "h", (FieldExtract("f", 8),),
+            select_field="h.f", transitions=((0xFF, REJECT),), default_next=ACCEPT,
+        )
+        spec = ParserSpec(states=(state,), start="s")
+        with pytest.raises(PipelineError, match="rejected"):
+            spec.parse(b"\xff")
+        fields, headers, _ = spec.parse(b"\x01")
+        assert fields["h.f"] == 1
+
+    def test_loop_guard(self):
+        state = ParserState("s", "h", (FieldExtract("f", 8),), default_next="s")
+        spec = ParserSpec(states=(state,), start="s")
+        with pytest.raises(PipelineError, match="loop"):
+            spec.parse(b"\x00" * 200)
+
+    def test_zero_width_field_rejected(self):
+        with pytest.raises(PipelineError):
+            FieldExtract("f", 0)
+
+    def test_describe_changes_with_structure(self):
+        base = standard_parser()
+        # Removing a transition must change the canonical description.
+        altered_states = []
+        for state in base.states:
+            if state.name == "parse_udp":
+                altered_states.append(
+                    ParserState(
+                        name=state.name, header=state.header, fields=state.fields,
+                        select_field=None, transitions=(), default_next=ACCEPT,
+                    )
+                )
+            else:
+                altered_states.append(state)
+        altered = ParserSpec(states=tuple(altered_states), start=base.start)
+        assert base.describe() != altered.describe()
+
+    def test_multibit_field_extraction(self):
+        state = ParserState(
+            "s", "h",
+            (FieldExtract("hi", 4), FieldExtract("lo", 4), FieldExtract("word", 16)),
+        )
+        spec = ParserSpec(states=(state,), start="s")
+        fields, _, _ = spec.parse(bytes([0xAB, 0x12, 0x34]))
+        assert fields["h.hi"] == 0xA
+        assert fields["h.lo"] == 0xB
+        assert fields["h.word"] == 0x1234

@@ -1,0 +1,204 @@
+"""Tests for the P4Runtime API and the simulator-bound switch."""
+
+import pytest
+
+from repro.net.headers import ip_to_int
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology
+from repro.pisa.programs import (
+    athens_rogue_program,
+    firewall_program,
+    ipv4_forwarding_program,
+)
+from repro.pisa.runtime import P4Runtime, TableEntry
+from repro.pisa.switch import PisaSwitch
+from repro.pisa.tables import MatchKey, MatchKind
+from repro.util.errors import PipelineError
+
+
+class TestArbitration:
+    def test_first_controller_becomes_master(self):
+        runtime = P4Runtime("s1")
+        assert runtime.arbitrate("ctl-a", 1)
+        assert runtime.master == "ctl-a"
+
+    def test_higher_election_id_takes_over(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl-a", 1)
+        assert runtime.arbitrate("rogue", 2)
+        assert runtime.master == "rogue"
+
+    def test_lower_election_id_rejected(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl-a", 5)
+        assert not runtime.arbitrate("late", 3)
+        assert runtime.master == "ctl-a"
+
+    def test_non_master_writes_rejected(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl-a", 1)
+        with pytest.raises(PipelineError, match="not master"):
+            runtime.set_forwarding_pipeline_config("intruder", ipv4_forwarding_program())
+
+    def test_invalid_election_id(self):
+        with pytest.raises(PipelineError):
+            P4Runtime("s1").arbitrate("x", 0)
+
+
+class TestPipelineConfig:
+    def test_install_and_read_back(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl", 1)
+        program = firewall_program()
+        runtime.set_forwarding_pipeline_config("ctl", program)
+        assert runtime.get_forwarding_pipeline_config() is program
+        assert runtime.config_history == ["firewall_v5"]
+
+    def test_swap_clears_entries(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl", 1)
+        runtime.set_forwarding_pipeline_config("ctl", ipv4_forwarding_program())
+        runtime.write("ctl", TableEntry(
+            table="ipv4_lpm",
+            keys=(MatchKey(MatchKind.LPM, 0, prefix_len=0),),
+            action="forward", params=(1,),
+        ))
+        runtime.set_forwarding_pipeline_config("ctl", ipv4_forwarding_program())
+        assert runtime.read_entries("ipv4_lpm") == []
+
+    def test_write_requires_pipeline(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl", 1)
+        with pytest.raises(PipelineError, match="no forwarding pipeline"):
+            runtime.write("ctl", TableEntry(
+                table="t", keys=(), action="drop",
+            ))
+
+    def test_disallowed_action_rejected(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl", 1)
+        runtime.set_forwarding_pipeline_config("ctl", ipv4_forwarding_program())
+        with pytest.raises(PipelineError, match="not allowed"):
+            runtime.write("ctl", TableEntry(
+                table="ipv4_lpm",
+                keys=(MatchKey(MatchKind.LPM, 0, prefix_len=0),),
+                action="to_cpu",
+            ))
+
+    def test_delete_entry(self):
+        runtime = P4Runtime("s1")
+        runtime.arbitrate("ctl", 1)
+        runtime.set_forwarding_pipeline_config("ctl", ipv4_forwarding_program())
+        entry = TableEntry(
+            table="ipv4_lpm",
+            keys=(MatchKey(MatchKind.LPM, 0, prefix_len=0),),
+            action="forward", params=(1,),
+        )
+        runtime.write("ctl", entry)
+        assert runtime.delete("ctl", entry)
+        assert runtime.read_entries("ipv4_lpm") == []
+
+    def test_digest_subscription(self):
+        runtime = P4Runtime("s1")
+        seen = []
+        runtime.subscribe_digest("packet_in", seen.append)
+        count = runtime.emit_digest("packet_in", {"port": 3})
+        assert count == 1
+        assert seen[0].payload == {"port": 3}
+        assert runtime.emit_digest("other", {}) == 0
+
+
+def build_forwarding_network():
+    """h-src — s1 — h-dst with an installed router program."""
+    topo = Topology()
+    topo.add_node("h-src", kind="host")
+    topo.add_node("h-dst", kind="host")
+    topo.add_node("s1")
+    topo.add_link("h-src", 1, "s1", 1)
+    topo.add_link("s1", 2, "h-dst", 1)
+    sim = Simulator(topo)
+    src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
+    dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
+    switch = PisaSwitch("s1")
+    sim.bind(src)
+    sim.bind(dst)
+    sim.bind(switch)
+    switch.runtime.arbitrate("ctl", 1)
+    switch.runtime.set_forwarding_pipeline_config("ctl", ipv4_forwarding_program())
+    switch.runtime.write("ctl", TableEntry(
+        table="ipv4_lpm",
+        keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+        action="forward", params=(2,),
+    ))
+    return sim, src, dst, switch
+
+
+class TestPisaSwitchInSimulator:
+    def test_forwarding_end_to_end(self):
+        sim, src, dst, switch = build_forwarding_network()
+        src.send_udp(dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2,
+                     payload=b"hi")
+        sim.run()
+        assert len(dst.received_packets) == 1
+        assert switch.packets_processed == 1
+
+    def test_unrouted_dropped(self):
+        sim, src, dst, switch = build_forwarding_network()
+        src.send_udp(dst_mac=dst.mac, dst_ip=ip_to_int("172.16.0.1"),
+                     src_port=1, dst_port=2)
+        sim.run()
+        assert dst.received_packets == []
+        assert switch.packets_dropped == 1
+
+    def test_no_pipeline_drops(self):
+        topo = Topology()
+        topo.add_node("h", kind="host")
+        topo.add_node("s1")
+        topo.add_link("h", 1, "s1", 1)
+        sim = Simulator(topo)
+        host = Host("h", mac=1, ip=2)
+        switch = PisaSwitch("s1")
+        sim.bind(host)
+        sim.bind(switch)
+        host.send_udp(dst_mac=9, dst_ip=9, src_port=1, dst_port=2)
+        sim.run()
+        assert switch.packets_dropped == 1
+
+    def test_rogue_clone_exfiltrates(self):
+        """The Athens scenario: the rogue program duplicates traffic."""
+        topo = Topology()
+        for name, kind in [("h-src", "host"), ("h-dst", "host"),
+                           ("h-spy", "host"), ("s1", "switch")]:
+            topo.add_node(name, kind=kind)
+        topo.add_link("h-src", 1, "s1", 1)
+        topo.add_link("s1", 2, "h-dst", 1)
+        topo.add_link("s1", 3, "h-spy", 1)
+        sim = Simulator(topo)
+        src = Host("h-src", mac=1, ip=ip_to_int("10.0.0.1"))
+        dst = Host("h-dst", mac=2, ip=ip_to_int("10.0.1.1"))
+        spy = Host("h-spy", mac=3, ip=ip_to_int("10.9.9.9"))
+        switch = PisaSwitch("s1")
+        for node in (src, dst, spy, switch):
+            sim.bind(node)
+        switch.runtime.arbitrate("attacker", 99)
+        switch.runtime.set_forwarding_pipeline_config("attacker", athens_rogue_program())
+        switch.runtime.write("attacker", TableEntry(
+            table="ipv4_lpm",
+            keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+            action="forward", params=(2,),
+        ))
+        switch.runtime.write("attacker", TableEntry(
+            table="intercept",
+            keys=(MatchKey(MatchKind.TERNARY, ip_to_int("10.0.0.1"),
+                           mask=0xFFFFFFFF),),
+            action="clone_to", params=(3,), priority=1,
+        ))
+        src.send_udp(dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2,
+                     payload=b"secret call")
+        sim.run()
+        # Traffic arrives normally AND is duplicated to the spy.
+        assert len(dst.received_packets) == 1
+        assert len(spy.received_packets) == 1
+        assert spy.received_packets[0].payload == b"secret call"

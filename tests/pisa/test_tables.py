@@ -1,0 +1,161 @@
+"""Tests for match-action tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pisa.actions import ActionCall, drop_action, forward_action, noop_action
+from repro.pisa.tables import InstalledEntry, MatchKey, MatchKind, MatchTable
+from repro.util.errors import PipelineError
+
+
+def fwd(port):
+    return ActionCall(action=forward_action(), params=(port,))
+
+
+def default_drop():
+    return ActionCall(action=drop_action(), params=())
+
+
+class TestMatchKey:
+    def test_exact(self):
+        key = MatchKey(MatchKind.EXACT, value=5)
+        assert key.matches(5)
+        assert not key.matches(6)
+
+    def test_lpm(self):
+        key = MatchKey(MatchKind.LPM, value=0x0A000000, prefix_len=8)
+        assert key.matches(0x0A123456)
+        assert not key.matches(0x0B000000)
+
+    def test_lpm_zero_prefix_matches_all(self):
+        key = MatchKey(MatchKind.LPM, value=0, prefix_len=0)
+        assert key.matches(0xFFFFFFFF)
+
+    def test_ternary(self):
+        key = MatchKey(MatchKind.TERNARY, value=0x80, mask=0xF0)
+        assert key.matches(0x8F)
+        assert not key.matches(0x70)
+
+    def test_lpm_requires_prefix(self):
+        with pytest.raises(PipelineError):
+            MatchKey(MatchKind.LPM, value=0)
+
+    def test_ternary_requires_mask(self):
+        with pytest.raises(PipelineError):
+            MatchKey(MatchKind.TERNARY, value=0)
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(PipelineError):
+            MatchKey(MatchKind.LPM, value=0, prefix_len=33)
+
+    def test_specificity(self):
+        assert MatchKey(MatchKind.EXACT, value=1).specificity() == 32
+        assert MatchKey(MatchKind.LPM, value=0, prefix_len=24).specificity() == 24
+        assert MatchKey(MatchKind.TERNARY, value=0, mask=0xFF).specificity() == 8
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=32))
+    def test_lpm_matches_own_prefix(self, value, prefix):
+        key = MatchKey(MatchKind.LPM, value=value, prefix_len=prefix)
+        assert key.matches(value)
+
+
+class TestMatchTable:
+    def test_exact_hit_and_miss(self):
+        table = MatchTable("t", ["f"], default_drop())
+        table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, 7),), fwd(3)))
+        call, hit = table.lookup([7])
+        assert hit and call.params == (3,)
+        call, hit = table.lookup([8])
+        assert not hit and call.action.name == "drop"
+
+    def test_lpm_longest_prefix_wins(self):
+        table = MatchTable("t", ["f"], default_drop())
+        table.insert(InstalledEntry(
+            (MatchKey(MatchKind.LPM, 0x0A000000, prefix_len=8),), fwd(1)))
+        table.insert(InstalledEntry(
+            (MatchKey(MatchKind.LPM, 0x0A0A0000, prefix_len=16),), fwd(2)))
+        call, hit = table.lookup([0x0A0A0001])
+        assert hit and call.params == (2,)
+        call, hit = table.lookup([0x0A0B0001])
+        assert hit and call.params == (1,)
+
+    def test_ternary_priority_wins(self):
+        table = MatchTable("t", ["f"], default_drop())
+        table.insert(InstalledEntry(
+            (MatchKey(MatchKind.TERNARY, 0, mask=0),), fwd(1), priority=1))
+        table.insert(InstalledEntry(
+            (MatchKey(MatchKind.TERNARY, 5, mask=0xFF),), fwd(2), priority=10))
+        call, hit = table.lookup([5])
+        assert call.params == (2,)
+        call, hit = table.lookup([6])
+        assert call.params == (1,)
+
+    def test_multi_field_keys(self):
+        table = MatchTable("t", ["a", "b"], default_drop())
+        table.insert(InstalledEntry(
+            (MatchKey(MatchKind.EXACT, 1), MatchKey(MatchKind.EXACT, 2)), fwd(9)))
+        assert table.lookup([1, 2])[1]
+        assert not table.lookup([1, 3])[1]
+
+    def test_key_arity_checked(self):
+        table = MatchTable("t", ["a", "b"], default_drop())
+        with pytest.raises(PipelineError):
+            table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, 1),), fwd(1)))
+        with pytest.raises(PipelineError):
+            table.lookup([1])
+
+    def test_duplicate_exact_rejected(self):
+        table = MatchTable("t", ["f"], default_drop())
+        entry = InstalledEntry((MatchKey(MatchKind.EXACT, 1),), fwd(1))
+        table.insert(entry)
+        with pytest.raises(PipelineError, match="duplicate"):
+            table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, 1),), fwd(2)))
+
+    def test_capacity_enforced(self):
+        table = MatchTable("t", ["f"], default_drop(), max_entries=2)
+        for i in range(2):
+            table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, i),), fwd(1)))
+        with pytest.raises(PipelineError, match="full"):
+            table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, 99),), fwd(1)))
+
+    def test_remove(self):
+        table = MatchTable("t", ["f"], default_drop())
+        entry = InstalledEntry((MatchKey(MatchKind.EXACT, 1),), fwd(1))
+        table.insert(entry)
+        assert table.remove(entry)
+        assert not table.lookup([1])[1]
+        assert not table.remove(entry)
+
+    def test_clear(self):
+        table = MatchTable("t", ["f"], default_drop())
+        table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, 1),), fwd(1)))
+        table.clear()
+        assert len(table) == 0
+        assert not table.lookup([1])[1]
+
+    def test_exact_beats_ternary_at_equal_priority(self):
+        table = MatchTable("t", ["f"], default_drop())
+        table.insert(InstalledEntry(
+            (MatchKey(MatchKind.TERNARY, 0, mask=0),), fwd(1), priority=0))
+        table.insert(InstalledEntry(
+            (MatchKey(MatchKind.EXACT, 5),), fwd(2), priority=0))
+        call, _ = table.lookup([5])
+        assert call.params == (2,)  # exact is maximally specific
+
+    def test_measure_content_order_independent(self):
+        def build(order):
+            table = MatchTable("t", ["f"], default_drop())
+            for i in order:
+                table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, i),), fwd(i)))
+            return table.measure_content()
+
+        assert build([1, 2, 3]) == build([3, 1, 2])
+
+    def test_measure_content_detects_change(self):
+        table = MatchTable("t", ["f"], default_drop())
+        table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, 1),), fwd(1)))
+        before = dict(table.measure_content())
+        table.insert(InstalledEntry((MatchKey(MatchKind.EXACT, 2),), fwd(2)))
+        assert table.measure_content() != before

@@ -1,0 +1,137 @@
+"""Tests for host-based attestation over the network (UC5 host side)."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.net.headers import ip_to_int
+from repro.net.simulator import Simulator
+from repro.net.topology import star_topology
+from repro.ra.attester import (
+    AttestationRequest,
+    AttestationResponse,
+    AttestingHost,
+    VerifierHost,
+    golden_value,
+)
+from repro.util.errors import VerificationError
+
+
+class Repeater:
+    pass
+
+
+def build():
+    """verifier (h1) and attester (h2) joined through a relay switch."""
+    from repro.net.simulator import Node
+
+    class Relay(Node):
+        def handle_packet(self, packet, in_port):
+            out = 2 if in_port == 1 else 1
+            self.sim.transmit(self.name, out, packet)
+
+    topo = star_topology(2)
+    sim = Simulator(topo)
+    attester = AttestingHost("h2", mac=2, ip=ip_to_int("10.0.0.2"))
+    attester.install("tls", b"verified-tls-1.3")
+    attester.install("browser", b"firefox-130")
+    anchors = KeyRegistry()
+    anchors.register_pair(attester.keys)
+    golden = {
+        "h2": {
+            "tls": golden_value(b"verified-tls-1.3"),
+            "browser": golden_value(b"firefox-130"),
+        }
+    }
+    verifier = VerifierHost(
+        "h1", mac=1, ip=ip_to_int("10.0.0.1"),
+        anchors=anchors, golden=golden,
+    )
+    sim.bind(verifier)
+    sim.bind(attester)
+    sim.bind(Relay("core"))
+    return sim, verifier, attester
+
+
+class TestHostAttestation:
+    def test_honest_host_accepted(self):
+        sim, verifier, attester = build()
+        nonce = verifier.request_attestation("h2", ("tls", "browser"))
+        sim.run()
+        verdict = verifier.verdicts[nonce]
+        assert verdict.accepted, verdict.failures
+        assert attester.requests_served == 1
+
+    def test_corrupt_component_rejected(self):
+        sim, verifier, attester = build()
+        attester.corrupt("tls", b"backdoored-tls")
+        nonce = verifier.request_attestation("h2", ("tls",))
+        sim.run()
+        verdict = verifier.verdicts[nonce]
+        assert not verdict.accepted
+        assert any("golden" in f for f in verdict.failures)
+
+    def test_missing_component_reported(self):
+        sim, verifier, attester = build()
+        nonce = verifier.request_attestation("h2", ("ghost",))
+        sim.run()
+        assert not verifier.verdicts[nonce].accepted
+
+    def test_response_replay_rejected(self):
+        sim, verifier, attester = build()
+        nonce = verifier.request_attestation("h2", ("tls",))
+        sim.run()
+        assert verifier.verdicts[nonce].accepted
+        # Replay the same response: the nonce is consumed/unsolicited.
+        measurements = (("tls", golden_value(b"verified-tls-1.3")),)
+        replay = AttestationResponse(
+            attester="h2", nonce=nonce, measurements=measurements,
+            signature=attester.keys.sign(AttestationResponse.payload(
+                "h2", nonce, measurements
+            )),
+        )
+        verifier.handle_control("h2", replay)
+        assert not verifier.verdicts[nonce].accepted
+
+    def test_forged_signature_rejected(self):
+        sim, verifier, attester = build()
+        nonce = verifier.request_attestation("h2", ("tls",))
+        # Intercept: deliver a forged response instead of running sim.
+        from repro.crypto.keys import KeyPair
+
+        mallory = KeyPair.generate("mallory")
+        measurements = (("tls", golden_value(b"verified-tls-1.3")),)
+        forged = AttestationResponse(
+            attester="h2", nonce=nonce, measurements=measurements,
+            signature=mallory.sign(AttestationResponse.payload(
+                "h2", nonce, measurements
+            )),
+        )
+        verifier.handle_control("mallory", forged)
+        verdict = verifier.verdicts[nonce]
+        assert not verdict.accepted
+        assert any("signature" in f for f in verdict.failures)
+
+    def test_wrong_attester_name_rejected(self):
+        sim, verifier, attester = build()
+        nonce = verifier.request_attestation("h2", ("tls",))
+        measurements = (("tls", golden_value(b"verified-tls-1.3")),)
+        response = AttestationResponse(
+            attester="h9", nonce=nonce, measurements=measurements,
+            signature=attester.keys.sign(AttestationResponse.payload(
+                "h9", nonce, measurements
+            )),
+        )
+        verifier.handle_control("h9", response)
+        assert not verifier.verdicts[nonce].accepted
+
+    def test_corrupt_unknown_component_raises(self):
+        _, _, attester = build()
+        with pytest.raises(VerificationError):
+            attester.corrupt("nope")
+
+    def test_control_message_counting(self):
+        sim, verifier, attester = build()
+        verifier.request_attestation("h2", ("tls",))
+        sim.run()
+        # One request + one response on the control channel.
+        assert sim.stats.control_messages == 2

@@ -1,0 +1,36 @@
+"""Every example script must run clean — examples are documentation.
+
+Each runs in a subprocess with a real interpreter, so import errors,
+API drift and assertion failures in examples fail CI rather than
+rotting silently.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES]
+)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 8
+    assert (EXAMPLES_DIR / "quickstart.py") in EXAMPLES

@@ -1,0 +1,81 @@
+"""Fuzz tests: every wire decoder fails *cleanly* on arbitrary bytes.
+
+Attestation parsers sit directly on the attack surface (the RA shim
+arrives from the network), so decoders must never raise anything but
+:class:`~repro.util.errors.CodecError` — no IndexError, no
+UnicodeDecodeError, no silent nonsense.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wire import decode_compiled_policy
+from repro.net.headers import (
+    EthernetHeader,
+    Ipv4Header,
+    RaShimHeader,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.net.packet import Packet
+from repro.pera.records import HopRecord, decode_record_stack
+from repro.util.errors import CodecError
+from repro.util.tlv import TlvCodec
+
+DECODERS = [
+    ("tlv", TlvCodec.decode),
+    ("ethernet", EthernetHeader.decode),
+    ("ipv4", Ipv4Header.decode),
+    ("udp", UdpHeader.decode),
+    ("tcp", TcpHeader.decode),
+    ("ra_shim", RaShimHeader.decode),
+    ("packet", Packet.decode),
+    ("hop_record", HopRecord.decode),
+    ("record_stack", decode_record_stack),
+    ("compiled_policy", decode_compiled_policy),
+]
+
+
+@pytest.mark.parametrize("name,decoder", DECODERS, ids=[n for n, _ in DECODERS])
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=256))
+def test_decoder_raises_only_codec_error(name, decoder, data):
+    try:
+        decoder(data)
+    except CodecError:
+        pass  # the one acceptable failure mode
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=14, max_size=128))
+def test_packet_decode_round_trips_when_it_succeeds(data):
+    """If arbitrary bytes *do* parse as a packet, re-encoding the parse
+    must reproduce a byte string that parses identically."""
+    try:
+        packet = Packet.decode(data)
+    except CodecError:
+        return
+    again = Packet.decode(packet.encode())
+    assert again == packet
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_bitflipped_real_records_never_crash(data):
+    """Mutations of a genuine record stack fail cleanly too."""
+    from repro.crypto.keys import KeyPair
+    from repro.pera.inertia import InertiaClass
+    from repro.pera.records import encode_record_stack
+
+    record = HopRecord(
+        place="s1",
+        measurements=((InertiaClass.PROGRAM, b"\x01" * 32),),
+    ).sign_with(KeyPair.generate("s1"))
+    genuine = bytearray(encode_record_stack([record]))
+    for index, byte in enumerate(data[: len(genuine)]):
+        genuine[index % len(genuine)] ^= byte
+    try:
+        decode_record_stack(bytes(genuine))
+    except CodecError:
+        pass

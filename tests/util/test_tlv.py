@@ -1,0 +1,68 @@
+"""Unit and property tests for the TLV codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import CodecError
+from repro.util.tlv import Tlv, TlvCodec
+
+tlv_strategy = st.builds(
+    Tlv,
+    type=st.integers(min_value=0, max_value=255),
+    value=st.binary(max_size=256),
+)
+
+
+class TestTlvElement:
+    def test_encode_layout(self):
+        assert Tlv(7, b"ab").encode() == b"\x07\x00\x02ab"
+
+    def test_empty_value(self):
+        assert Tlv(0, b"").encode() == b"\x00\x00\x00"
+
+    def test_type_out_of_range(self):
+        with pytest.raises(CodecError):
+            Tlv(256, b"")
+        with pytest.raises(CodecError):
+            Tlv(-1, b"")
+
+    def test_value_too_long(self):
+        with pytest.raises(CodecError):
+            Tlv(0, b"x" * 65536)
+
+
+class TestTlvCodec:
+    def test_round_trip_two_elements(self):
+        elements = [Tlv(1, b"abc"), Tlv(2, b"")]
+        assert TlvCodec.decode(TlvCodec.encode(elements)) == elements
+
+    def test_decode_empty_stream(self):
+        assert TlvCodec.decode(b"") == []
+
+    def test_truncated_header(self):
+        with pytest.raises(CodecError, match="truncated TLV header"):
+            TlvCodec.decode(b"\x01\x00")
+
+    def test_truncated_value(self):
+        with pytest.raises(CodecError, match="truncated TLV value"):
+            TlvCodec.decode(b"\x01\x00\x05ab")
+
+    def test_trailing_garbage_is_truncation(self):
+        good = Tlv(1, b"x").encode()
+        with pytest.raises(CodecError):
+            TlvCodec.decode(good + b"\x01")
+
+    def test_nested_tlvs(self):
+        inner = TlvCodec.encode([Tlv(10, b"deep")])
+        outer = TlvCodec.decode(TlvCodec.encode([Tlv(1, inner)]))
+        assert TlvCodec.decode(outer[0].value) == [Tlv(10, b"deep")]
+
+    @given(st.lists(tlv_strategy, max_size=20))
+    def test_round_trip_property(self, elements):
+        assert TlvCodec.decode(TlvCodec.encode(elements)) == elements
+
+    @given(st.lists(tlv_strategy, min_size=1, max_size=10))
+    def test_iter_decode_is_lazy_but_complete(self, elements):
+        encoded = TlvCodec.encode(elements)
+        assert list(TlvCodec.iter_decode(encoded)) == elements
