@@ -16,7 +16,6 @@ each step up the axis costs more signatures (see bench_fig3).
 
 from dataclasses import replace as dc_replace
 
-import pytest
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,

@@ -7,7 +7,6 @@ itself); the sequenced-and-signed (2) requires a RECENT adversary
 simulation of 1000 attack trials backs the static analysis.
 """
 
-import pytest
 
 from repro.analysis.trust import hardening_report
 from repro.copland.adversary import (

@@ -9,9 +9,8 @@ operations — which is *why* the evidence cache exists.
 
 import time
 
-import pytest
 
-from repro.copland.parser import parse_phrase, parse_request
+from repro.copland.parser import parse_request
 from repro.crypto.ed25519 import SigningKey
 from repro.crypto.hashing import HashChain, digest
 from repro.crypto.merkle import MerkleTree

@@ -5,7 +5,6 @@ through attesting switches, appraise. Sweeps path length to show the
 linear growth of evidence size and verification work.
 """
 
-import pytest
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,
@@ -14,11 +13,7 @@ from repro.core.appraisal import (
     program_reference,
 )
 from repro.core.compiler import compile_policy_for_path
-from repro.core.policies import (
-    ap1_bank_path_attestation,
-    ap2_scanner_audit,
-    ap3_path_check,
-)
+from repro.core.policies import ap1_bank_path_attestation, ap3_path_check
 from repro.core.raswitch import NetworkAwarePeraSwitch
 from repro.core.wire import encode_compiled_policy
 from repro.crypto.keys import KeyRegistry

@@ -5,7 +5,6 @@ packet (delay 0); 1-in-N sampling detects within ~N packets, trading
 detection latency for per-packet cost (the Fig. 4 sampling axis).
 """
 
-import pytest
 
 from repro.core.usecases import run_config_assurance
 from repro.pera.sampling import SamplingMode, SamplingSpec

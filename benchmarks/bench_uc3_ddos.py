@@ -6,7 +6,6 @@ evidence) drops to zero while legitimate goodput is fully retained —
 at any attack intensity.
 """
 
-import pytest
 
 from repro.core.usecases import run_ddos_mitigation
 

@@ -6,22 +6,34 @@ DESIGN.md §4). Each prints the rows it reproduces via
 them inline; the same text is also appended to
 ``benchmarks/_reported.txt`` so a plain ``--benchmark-only`` run still
 leaves the reproduced tables on disk.
+
+At session end the harness also dumps ``benchmarks/BENCH_results.json``
+— the reproduced tables plus pytest-benchmark's timing stats in one
+machine-readable file, so CI (and perf-regression tooling) can diff
+runs without scraping stdout.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
-from typing import Iterable, Mapping
+from typing import Iterable, List, Mapping
 
 _REPORT_PATH = pathlib.Path(__file__).parent / "_reported.txt"
+_RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_results.json"
+
+# Tables reproduced during this session, in report() order.
+_reported: List[dict] = []
 
 
 def report(title: str, lines: Iterable[str]) -> None:
     """Print a reproduced table and append it to the report file."""
+    lines = list(lines)
     text = "\n".join([f"--- {title} ---", *lines, ""])
     print("\n" + text)
     with _REPORT_PATH.open("a", encoding="utf-8") as handle:
         handle.write(text + "\n")
+    _reported.append({"title": title, "lines": lines})
 
 
 def table(rows: Iterable[Mapping[str, object]]) -> Iterable[str]:
@@ -40,3 +52,32 @@ def table(rows: Iterable[Mapping[str, object]]) -> Iterable[str]:
     for row in rows:
         lines.append("  ".join(str(row[h]).ljust(widths[h]) for h in headers))
     return lines
+
+
+def _benchmark_stats(config) -> List[dict]:
+    """Serialize pytest-benchmark's per-test stats, if any ran."""
+    session = getattr(config, "_benchmarksession", None)
+    if session is None:
+        return []
+    out = []
+    for bench in getattr(session, "benchmarks", []):
+        try:
+            out.append(bench.as_dict(include_data=False))
+        except Exception:  # stats API drift must not fail the run
+            out.append({"name": getattr(bench, "name", "?")})
+    return out
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump everything this run reproduced as one JSON document."""
+    benchmarks = _benchmark_stats(session.config)
+    if not benchmarks and not _reported:
+        return  # collection-only / non-benchmark invocation
+    document = {
+        "exit_status": int(exitstatus),
+        "reported_tables": _reported,
+        "benchmarks": benchmarks,
+    }
+    with _RESULTS_PATH.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

@@ -17,7 +17,7 @@ Two capabilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.copland.adversary import (
     AdversaryTier,
@@ -29,11 +29,8 @@ from repro.copland.ast import (
     At,
     BranchPar,
     BranchSeq,
-    Copy,
-    Hash,
     Linear,
     Measure,
-    Null,
     Phrase,
     Sign,
 )

@@ -9,8 +9,8 @@ Layered Attestations"):
   linear (``→``), branch-sequential (``<``), branch-parallel (``~``)
   with evidence-splitting annotations, ``!`` (sign), ``#`` (hash).
 - :mod:`repro.copland.parser` — the paper's concrete syntax.
-- :mod:`repro.copland.evidence` — evidence terms and their canonical
-  byte encodings.
+- :mod:`repro.copland.evidence` — evidence terms (views over the
+  unified :mod:`repro.evidence` substrate).
 - :mod:`repro.copland.manifest` — place manifests: which ASPs and keys
   live where (executability checking).
 - :mod:`repro.copland.vm` — the attestation virtual machine: executes
@@ -36,7 +36,7 @@ from repro.copland.ast import (
     Request,
 )
 from repro.copland.parser import parse_phrase, parse_request
-from repro.copland.evidence import (
+from repro.evidence import (
     Evidence,
     EmptyEvidence,
     NonceEvidence,

@@ -22,8 +22,7 @@ weakest :class:`AdversaryTier` that defeats it.
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.copland.ast import Phrase

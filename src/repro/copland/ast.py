@@ -21,8 +21,8 @@ for phrase ``C``, with optional parameters (e.g. a nonce name).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.util.errors import PolicyError
 

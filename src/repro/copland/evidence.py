@@ -1,199 +1,33 @@
-"""Copland evidence terms.
+"""Copland evidence terms — now views over the unified substrate.
 
-Executing a phrase transforms evidence; these classes are the concrete
-evidence values the VM builds. Every node has a canonical byte encoding
-(:meth:`Evidence.encode`) so signatures and hashes are well-defined,
-and a :meth:`summary` for appraisal reports.
-
-The shape mirrors the Copland evidence grammar: mt, nonce, measurement
-(asp applied at a place, wrapping prior evidence), signature, hash,
-sequential pair and parallel pair.
+Executing a phrase transforms evidence; the concrete values the VM
+builds are the canonical nodes of :mod:`repro.evidence`, which mirror
+the Copland evidence grammar exactly (mt, nonce, measurement,
+signature, hash, sequential pair, parallel pair). This module is a
+compatibility shim: the historical import path keeps working, but
+there is only one evidence model and one wire codec in the system.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from repro.evidence.nodes import (
+    EmptyEvidence,
+    Evidence,
+    HashEvidence,
+    MeasurementEvidence,
+    NonceEvidence,
+    ParallelEvidence,
+    SequenceEvidence,
+    SignedEvidence,
+)
 
-from repro.crypto.hashing import digest
-from repro.util.errors import PolicyError
-
-
-class Evidence:
-    """Base class of evidence terms."""
-
-    def encode(self) -> bytes:
-        raise NotImplementedError
-
-    def summary(self) -> str:
-        raise NotImplementedError
-
-    def walk(self) -> Iterator["Evidence"]:
-        """Pre-order traversal of the evidence tree."""
-        yield self
-        for child in self._children():
-            yield from child.walk()
-
-    def _children(self) -> Tuple["Evidence", ...]:
-        return ()
-
-    def find_measurements(self) -> Tuple["MeasurementEvidence", ...]:
-        return tuple(
-            node for node in self.walk() if isinstance(node, MeasurementEvidence)
-        )
-
-    def find_signatures(self) -> Tuple["SignedEvidence", ...]:
-        return tuple(
-            node for node in self.walk() if isinstance(node, SignedEvidence)
-        )
-
-
-@dataclass(frozen=True)
-class EmptyEvidence(Evidence):
-    """mt — the empty evidence."""
-
-    def encode(self) -> bytes:
-        return b"\x00mt"
-
-    def summary(self) -> str:
-        return "mt"
-
-
-@dataclass(frozen=True)
-class NonceEvidence(Evidence):
-    """A relying-party nonce bound into the evidence (freshness)."""
-
-    name: str
-    value: bytes
-
-    def encode(self) -> bytes:
-        return b"\x01n|" + self.name.encode() + b"|" + self.value
-
-    def summary(self) -> str:
-        return f"nonce({self.name})"
-
-
-@dataclass(frozen=True)
-class MeasurementEvidence(Evidence):
-    """An ASP's output: who measured what, where, and the raw value."""
-
-    asp: str
-    place: str  # place where the ASP ran
-    target: str  # component measured ("" for service ASPs)
-    target_place: str
-    value: bytes  # the measurement itself (e.g. a digest)
-    prior: Evidence = field(default_factory=EmptyEvidence)
-
-    def encode(self) -> bytes:
-        head = "|".join(
-            [self.asp, self.place, self.target, self.target_place]
-        ).encode()
-        return (
-            b"\x02meas|"
-            + head
-            + b"|"
-            + len(self.value).to_bytes(4, "big")
-            + self.value
-            + self.prior.encode()
-        )
-
-    def summary(self) -> str:
-        target = f" {self.target_place} {self.target}" if self.target else ""
-        return f"{self.asp}{target}@{self.place}[{self.prior.summary()}]"
-
-    def _children(self) -> Tuple[Evidence, ...]:
-        return (self.prior,)
-
-
-@dataclass(frozen=True)
-class SignedEvidence(Evidence):
-    """``!`` — evidence signed by the key of ``place``."""
-
-    evidence: Evidence
-    place: str
-    signature: bytes
-
-    def encode(self) -> bytes:
-        return (
-            b"\x03sig|"
-            + self.place.encode()
-            + b"|"
-            + self.signature
-            + self.evidence.encode()
-        )
-
-    def summary(self) -> str:
-        return f"sig_{self.place}({self.evidence.summary()})"
-
-    def _children(self) -> Tuple[Evidence, ...]:
-        return (self.evidence,)
-
-    def signed_payload(self) -> bytes:
-        """The bytes the signature covers."""
-        return self.evidence.encode()
-
-
-@dataclass(frozen=True)
-class HashEvidence(Evidence):
-    """``#`` — evidence replaced by its digest (size reduction)."""
-
-    digest_value: bytes
-    place: str
-
-    @classmethod
-    def of(cls, evidence: Evidence, place: str) -> "HashEvidence":
-        return cls(
-            digest_value=digest(evidence.encode(), domain="copland-hash"),
-            place=place,
-        )
-
-    def encode(self) -> bytes:
-        return b"\x04hsh|" + self.place.encode() + b"|" + self.digest_value
-
-    def summary(self) -> str:
-        return f"hsh_{self.place}"
-
-    @staticmethod
-    def matches(evidence: Evidence, digest_value: bytes) -> bool:
-        """Would hashing ``evidence`` yield ``digest_value``?"""
-        return digest(evidence.encode(), domain="copland-hash") == digest_value
-
-
-@dataclass(frozen=True)
-class SequenceEvidence(Evidence):
-    """``ss`` — evidence of a branch-sequential composition."""
-
-    left: Evidence
-    right: Evidence
-
-    def encode(self) -> bytes:
-        left = self.left.encode()
-        return (
-            b"\x05ss|" + len(left).to_bytes(4, "big") + left + self.right.encode()
-        )
-
-    def summary(self) -> str:
-        return f"({self.left.summary()} ; {self.right.summary()})"
-
-    def _children(self) -> Tuple[Evidence, ...]:
-        return (self.left, self.right)
-
-
-@dataclass(frozen=True)
-class ParallelEvidence(Evidence):
-    """``pp`` — evidence of a branch-parallel composition."""
-
-    left: Evidence
-    right: Evidence
-
-    def encode(self) -> bytes:
-        left = self.left.encode()
-        return (
-            b"\x06pp|" + len(left).to_bytes(4, "big") + left + self.right.encode()
-        )
-
-    def summary(self) -> str:
-        return f"({self.left.summary()} || {self.right.summary()})"
-
-    def _children(self) -> Tuple[Evidence, ...]:
-        return (self.left, self.right)
+__all__ = [
+    "Evidence",
+    "EmptyEvidence",
+    "NonceEvidence",
+    "MeasurementEvidence",
+    "SignedEvidence",
+    "HashEvidence",
+    "SequenceEvidence",
+    "ParallelEvidence",
+]

@@ -8,8 +8,8 @@ such ASP. :class:`Manifest` reproduces that executability check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
 
 from repro.copland.ast import (
     Asp,

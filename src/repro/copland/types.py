@@ -31,7 +31,7 @@ from repro.copland.ast import (
     Phrase,
     Sign,
 )
-from repro.copland.evidence import (
+from repro.evidence import (
     EmptyEvidence,
     Evidence,
     HashEvidence,

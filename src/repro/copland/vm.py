@@ -33,7 +33,7 @@ from repro.copland.ast import (
     Request,
     Sign,
 )
-from repro.copland.evidence import (
+from repro.evidence import (
     EmptyEvidence,
     Evidence,
     HashEvidence,

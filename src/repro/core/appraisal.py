@@ -20,7 +20,7 @@ appraisal judges the *sequence* of hop records a packet accumulated:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.compiler import CompiledPolicy
 from repro.crypto.hashing import HashChain, digest
@@ -30,7 +30,6 @@ from repro.pera.inertia import InertiaClass
 from repro.pera.records import HopRecord, decode_record_stack
 from repro.pisa.program import DataplaneProgram
 from repro.ra.nonce import NonceManager
-from repro.util.errors import VerificationError
 
 
 def program_reference(program: DataplaneProgram) -> bytes:
@@ -147,11 +146,8 @@ class PathAppraiser:
             # be reconstructed reliably, so the coverage check (not
             # this one) is the arbiter there.
             return
-        from dataclasses import replace as dc_replace
-
         from repro.core.wire import decode_compiled_policy, encode_compiled_policy
         from repro.net.headers import RaShimHeader
-        from repro.pera.records import encode_record_stack
 
         shim = packet.ra_shim
         carried = decode_compiled_policy(shim.body)
@@ -159,24 +155,28 @@ class PathAppraiser:
             encode_compiled_policy(carried) if carried is not None else b""
         )
         base_flags = shim.flags & ~RaShimHeader.FLAG_EVIDENCE
+        # Grow the record-stack prefix incrementally from each record's
+        # cached node wire: the old per-step re-encode of records[:i]
+        # made this walk quadratic in path length.
+        body = policy_bytes
         for index, record in enumerate(records):
-            if record.packet_digest is None:
-                continue
-            flags = base_flags if index == 0 else (
-                base_flags | RaShimHeader.FLAG_EVIDENCE
-            )
-            view = packet.with_shim(RaShimHeader(
-                flags=flags,
-                hop_count=index,
-                body=policy_bytes + encode_record_stack(records[:index]),
-            ))
-            expected = digest(view.encode(), domain="pera-packet")
-            if record.packet_digest != expected:
-                failures.append(
-                    f"record {index} ({record.place}): packet digest does "
-                    "not match this traffic (evidence spliced?)"
+            if record.packet_digest is not None:
+                flags = base_flags if index == 0 else (
+                    base_flags | RaShimHeader.FLAG_EVIDENCE
                 )
-                return
+                view = packet.with_shim(RaShimHeader(
+                    flags=flags,
+                    hop_count=index,
+                    body=body,
+                ))
+                expected = digest(view.encode(), domain="pera-packet")
+                if record.packet_digest != expected:
+                    failures.append(
+                        f"record {index} ({record.place}): packet digest does "
+                        "not match this traffic (evidence spliced?)"
+                    )
+                    return
+            body += record.wire
 
     def appraise_records(
         self,
@@ -248,11 +248,10 @@ class PathAppraiser:
             return
         head = HashChain.GENESIS
         for index, record in enumerate(records):
-            link = digest(
-                b"".join(value for _, value in record.measurements),
-                domain="hop-measurements",
-            )
-            head = HashChain(head=head).extend(link)
+            # The link is the record's cached content digest over its
+            # measurement values — hashed once per record object, not
+            # once per verification step.
+            head = HashChain(head=head).extend(record.link_digest())
             if record.chain_head != head:
                 failures.append(
                     f"record {index} ({record.place}): chain head does not "

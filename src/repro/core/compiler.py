@@ -16,7 +16,7 @@ checks afterwards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.copland.ast import Asp, At, Linear, Phrase, Sign

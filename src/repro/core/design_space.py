@@ -10,15 +10,14 @@ per packet, evidence bytes per packet, and RA processing cost.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.net.headers import RaShimHeader, ip_to_int
 from repro.net.host import Host
 from repro.net.simulator import Simulator
 from repro.net.topology import linear_topology
 from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
-from repro.pera.inertia import InertiaClass
 from repro.pera.sampling import SamplingMode, SamplingSpec
 from repro.pera.switch import PeraSwitch
 from repro.pisa.programs import ipv4_forwarding_program

@@ -17,8 +17,8 @@ RP-chosen parameters (the ``⟨n, X⟩`` of AP1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Set, Tuple
 
 from repro.copland.ast import Phrase
 from repro.netkat.ast import Predicate

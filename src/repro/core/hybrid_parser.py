@@ -32,7 +32,7 @@ Grammar::
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.copland.parser import parse_phrase
 from repro.core.hybrid_ast import (

@@ -22,7 +22,6 @@ from repro.pera.config import EvidenceConfig
 from repro.pera.records import HopRecord
 from repro.pera.switch import PeraSwitch
 from repro.pisa.pipeline import DROP_PORT, PacketContext
-from repro.util.errors import PolicyError
 
 
 class NetworkAwarePeraSwitch(PeraSwitch):

@@ -20,7 +20,7 @@ appraisal happens automatically on arrival at the destination host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.appraisal import PathAppraisalPolicy, PathAppraiser, PathVerdict
 from repro.core.compiler import CompiledPolicy, compile_policy_for_path

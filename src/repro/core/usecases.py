@@ -18,7 +18,7 @@ their parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.copland.parser import parse_phrase
@@ -31,15 +31,14 @@ from repro.core.appraisal import (
     program_reference,
 )
 from repro.core.compiler import compile_policy_for_path
-from repro.core.policies import ap1_bank_path_attestation, ap2_scanner_audit
+from repro.core.policies import ap1_bank_path_attestation
 from repro.core.raswitch import NetworkAwarePeraSwitch
 from repro.core.wire import encode_compiled_policy
 from repro.crypto.hashing import digest
 from repro.crypto.keys import KeyRegistry
-from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.merkle import MerkleTree
 from repro.net.headers import RaShimHeader, ip_to_int
 from repro.net.host import Host
-from repro.net.routing import shortest_path
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology, linear_topology
 from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
@@ -47,7 +46,6 @@ from repro.pera.inertia import InertiaClass
 from repro.pera.records import decode_record_stack
 from repro.pera.sampling import SamplingMode, SamplingSpec
 from repro.pisa.programs import (
-    acl_program,
     athens_rogue_program,
     firewall_program,
     ipv4_forwarding_program,

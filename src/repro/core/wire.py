@@ -1,10 +1,12 @@
-"""Wire format for compiled policies (the §5.2 options header).
+"""Policy-only wire framing (the §5.2 options header).
 
-A compiled policy serializes as one TLV (type ``0x20``) whose value is
-a nested TLV stream. It shares the RA shim header body with the hop
-record stack (record TLVs are type ``0x10``), so a packet carries
-``[policy TLV][record TLV]*`` and each decoder skips the other's
-types.
+A compiled policy serializes as one TLV (type
+:data:`~repro.evidence.codec.POLICY_TLV_TYPE`, ``0x20``) whose value is
+a nested TLV stream. Evidence itself no longer lives here: hop records
+are canonical :mod:`repro.evidence` nodes and their framing (type
+``0x10``) belongs to :mod:`repro.evidence.codec`. Both share the RA
+shim header body — a packet carries ``[policy TLV][record TLV]*`` and
+each decoder skips the other's types.
 """
 
 from __future__ import annotations
@@ -12,11 +14,10 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.core.compiler import CompiledPolicy, HopDirective
+from repro.evidence.codec import POLICY_TLV_TYPE
 from repro.pera.config import CompositionMode, DetailLevel
 from repro.util.errors import CodecError
 from repro.util.tlv import Tlv, TlvCodec
-
-POLICY_TLV_TYPE = 0x20
 
 _T_POLICY_ID = 1
 _T_RELYING_PARTY = 2

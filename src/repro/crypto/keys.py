@@ -9,7 +9,7 @@ is exactly the trust relationship the paper's Fig. 1 establishes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.crypto.ed25519 import SigningKey, VerifyKey

@@ -1,0 +1,232 @@
+"""The one evidence wire codec.
+
+Encoding lives on the nodes themselves (:attr:`Evidence.wire`, cached);
+this module is the matching decoder plus the shim-body framing shared
+by every layer. The shim body of an attested packet is a flat TLV
+stream ``[policy TLV][hop TLV]*``: compiled policies are type ``0x20``
+(:data:`POLICY_TLV_TYPE`, decoded by :mod:`repro.core.wire`), hop
+records are type ``0x10`` (:data:`RECORD_TLV_TYPE` ==
+:data:`~repro.evidence.nodes.KIND_HOP`, decoded here). Each decoder
+skips the other's types, exactly as the paper's §5.2 options header
+requires.
+
+Decoders raise only :class:`~repro.util.errors.CodecError` on malformed
+input — they sit directly on the attack surface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.evidence.nodes import (
+    F_CHILD,
+    HOP_F_CHAIN_HEAD,
+    HOP_F_INGRESS_PORT,
+    HOP_F_MEASUREMENT,
+    HOP_F_PACKET_DIGEST,
+    HOP_F_PLACE,
+    HOP_F_SEQUENCE,
+    HOP_F_SIGNATURE,
+    KIND_EMPTY,
+    KIND_HASH,
+    KIND_HOP,
+    KIND_MEASUREMENT,
+    KIND_NONCE,
+    KIND_PARALLEL,
+    KIND_SEQUENCE,
+    KIND_SIGNATURE,
+    EmptyEvidence,
+    Evidence,
+    HashEvidence,
+    HopEvidence,
+    MeasurementEvidence,
+    NonceEvidence,
+    ParallelEvidence,
+    SequenceEvidence,
+    SignedEvidence,
+)
+from repro.util.errors import CodecError
+from repro.util.tlv import Tlv, TlvCodec
+
+# Shim-body framing types (one namespace for everything riding in the
+# RA options header).
+RECORD_TLV_TYPE = KIND_HOP  # 0x10 — one hop record
+POLICY_TLV_TYPE = 0x20  # one compiled policy (see repro.core.wire)
+
+# Guard against adversarial deep nesting blowing the Python stack.
+_MAX_DEPTH = 64
+
+
+def _text(value: bytes, what: str) -> str:
+    try:
+        return value.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"{what} is not valid UTF-8") from exc
+
+
+def encode_node(node: Evidence) -> bytes:
+    """Canonical encoding of one node (cached on the node itself)."""
+    return node.wire
+
+
+def decode_node(data: bytes) -> Evidence:
+    """Decode exactly one evidence node from ``data``."""
+    elements = TlvCodec.decode(data)
+    if len(elements) != 1:
+        raise CodecError(
+            f"expected exactly one evidence node TLV, found {len(elements)}"
+        )
+    return _node_from_tlv(elements[0], depth=0)
+
+
+def iter_decode_nodes(data: bytes) -> Iterator[Evidence]:
+    """Decode a flat stream of evidence node TLVs."""
+    for element in TlvCodec.iter_decode(data):
+        yield _node_from_tlv(element, depth=0)
+
+
+def _child_nodes(elements: Sequence[Tlv], depth: int) -> List[Evidence]:
+    return [
+        _node_from_tlv(_single_tlv(e.value), depth + 1)
+        for e in elements
+        if e.type == F_CHILD
+    ]
+
+
+def _single_tlv(data: bytes) -> Tlv:
+    elements = TlvCodec.decode(data)
+    if len(elements) != 1:
+        raise CodecError(
+            f"child field must hold exactly one node TLV, found {len(elements)}"
+        )
+    return elements[0]
+
+
+def _fields(elements: Sequence[Tlv]) -> dict:
+    found = {}
+    for element in elements:
+        if element.type != F_CHILD:
+            found.setdefault(element.type, element.value)
+    return found
+
+
+def _node_from_tlv(element: Tlv, depth: int) -> Evidence:
+    if depth > _MAX_DEPTH:
+        raise CodecError(f"evidence tree deeper than {_MAX_DEPTH} levels")
+    kind = element.type
+    if kind == KIND_HOP:
+        return decode_hop_body(element.value)
+    body = TlvCodec.decode(element.value)
+    fields = _fields(body)
+    if kind == KIND_EMPTY:
+        return EmptyEvidence()
+    if kind == KIND_NONCE:
+        if 1 not in fields or 2 not in fields:
+            raise CodecError("nonce node missing name or value")
+        return NonceEvidence(name=_text(fields[1], "nonce name"), value=fields[2])
+    if kind == KIND_MEASUREMENT:
+        children = _child_nodes(body, depth)
+        if len(children) != 1:
+            raise CodecError("measurement node needs exactly one prior child")
+        missing = [f for f in (1, 2, 3, 4, 5) if f not in fields]
+        if missing:
+            raise CodecError(f"measurement node missing fields {missing}")
+        return MeasurementEvidence(
+            asp=_text(fields[1], "asp name"),
+            place=_text(fields[2], "place name"),
+            target=_text(fields[3], "target name"),
+            target_place=_text(fields[4], "target place"),
+            value=fields[5],
+            prior=children[0],
+        )
+    if kind == KIND_SIGNATURE:
+        children = _child_nodes(body, depth)
+        if len(children) != 1:
+            raise CodecError("signature node needs exactly one child")
+        if 1 not in fields or 2 not in fields:
+            raise CodecError("signature node missing place or signature")
+        return SignedEvidence(
+            evidence=children[0],
+            place=_text(fields[1], "signer place"),
+            signature=fields[2],
+        )
+    if kind == KIND_HASH:
+        if 1 not in fields or 2 not in fields:
+            raise CodecError("hash node missing place or digest")
+        return HashEvidence(
+            digest_value=fields[2], place=_text(fields[1], "hasher place")
+        )
+    if kind in (KIND_SEQUENCE, KIND_PARALLEL):
+        children = _child_nodes(body, depth)
+        if len(children) != 2:
+            raise CodecError("pair node needs exactly two children")
+        cls = SequenceEvidence if kind == KIND_SEQUENCE else ParallelEvidence
+        return cls(left=children[0], right=children[1])
+    raise CodecError(f"unknown evidence node kind {kind:#04x}")
+
+
+# --- hop records (the in-band fast path) ------------------------------
+
+
+def encode_hop_body(hop: HopEvidence) -> bytes:
+    """The flat hop-record TLV stream (payload + signature field)."""
+    return hop.signed_payload() + Tlv(HOP_F_SIGNATURE, hop.signature).encode()
+
+
+def decode_hop_body(data: bytes) -> HopEvidence:
+    """Decode the flat hop-record field stream into a canonical node."""
+    place = None
+    measurements: List[tuple] = []
+    sequence = 0
+    ingress_port = None
+    chain_head = None
+    packet_digest = None
+    signature = b""
+    for element in TlvCodec.iter_decode(data):
+        if element.type == HOP_F_PLACE:
+            place = _text(element.value, "hop place")
+        elif element.type == HOP_F_MEASUREMENT:
+            if len(element.value) < 1:
+                raise CodecError("measurement TLV too short")
+            measurements.append((element.value[0], element.value[1:]))
+        elif element.type == HOP_F_SEQUENCE:
+            sequence = int.from_bytes(element.value, "big")
+        elif element.type == HOP_F_INGRESS_PORT:
+            ingress_port = int.from_bytes(element.value, "big")
+        elif element.type == HOP_F_CHAIN_HEAD:
+            chain_head = element.value
+        elif element.type == HOP_F_PACKET_DIGEST:
+            packet_digest = element.value
+        elif element.type == HOP_F_SIGNATURE:
+            signature = element.value
+        else:
+            raise CodecError(f"unknown hop-record TLV type {element.type}")
+    if place is None:
+        raise CodecError("hop record missing place")
+    return HopEvidence(
+        place=place,
+        measurements=tuple(measurements),
+        sequence=sequence,
+        ingress_port=ingress_port,
+        chain_head=chain_head,
+        packet_digest=packet_digest,
+        signature=signature,
+    )
+
+
+def encode_record_stack(hops: Sequence[HopEvidence]) -> bytes:
+    """Serialize hop nodes as the shim-body TLV stream.
+
+    Each hop's stacked form *is* its canonical node wire (one TLV of
+    kind 0x10), so this is a concatenation of cached encodings.
+    """
+    return b"".join(hop.wire for hop in hops)
+
+
+def decode_record_stack(data: bytes) -> List[HopEvidence]:
+    """Parse a shim-body TLV stream; non-record TLVs are skipped."""
+    hops: List[HopEvidence] = []
+    for element in TlvCodec.iter_decode(data):
+        if element.type == RECORD_TLV_TYPE:
+            hops.append(decode_hop_body(element.value))
+    return hops

@@ -1,0 +1,368 @@
+"""Canonical evidence nodes — the one evidence model every layer shares.
+
+The paper's whole mechanism is evidence flowing between layers: Copland
+phrases *produce* it, PERA switches *create/inspect/compose* it, RA
+principals *appraise* it. These classes are the single concrete
+representation all of them use. The shape mirrors the Copland evidence
+grammar (mt, nonce, measurement, signature, hash, sequential pair,
+parallel pair) plus one network-native node — :class:`HopEvidence`, the
+hop-composed record a PERA switch contributes per attesting hop.
+
+Two properties make this the system's hot-path substrate:
+
+- **One wire form.** Every node encodes as a single TLV
+  (:data:`~repro.evidence.nodes` kind tags, bodies built on
+  :mod:`repro.util.tlv`); :mod:`repro.evidence.codec` is the matching
+  decoder. No layer carries a private encoding any more.
+- **Content addressing.** Nodes are frozen; :attr:`Evidence.wire` and
+  :attr:`Evidence.content_digest` are computed once per object and
+  cached, so signing, hashing, chain replay and appraisal all reuse the
+  same bytes instead of re-encoding subtrees per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterator, Optional, Tuple
+
+from repro.crypto.hashing import digest
+from repro.util.tlv import Tlv, TlvCodec
+
+# One TLV-type namespace for evidence nodes. 0x10 and 0x20 match the
+# legacy shim-body framing (hop records / compiled policies), so wire
+# forms stay compatible with pre-substrate captures.
+KIND_EMPTY = 0x01
+KIND_NONCE = 0x02
+KIND_MEASUREMENT = 0x03
+KIND_SIGNATURE = 0x04
+KIND_HASH = 0x05
+KIND_SEQUENCE = 0x06
+KIND_PARALLEL = 0x07
+KIND_HOP = 0x10
+
+# The per-field TLV types inside node bodies. Child nodes always ride
+# in a CHILD field (their value is the child's full node TLV), so field
+# types and node kinds can never be confused while decoding.
+_F_A = 1
+_F_B = 2
+_F_C = 3
+_F_D = 4
+_F_E = 5
+F_CHILD = 8
+
+# Hop-record body field types (kept identical to the original
+# repro.pera.records layout so hop wire forms are stable).
+HOP_F_PLACE = 1
+HOP_F_MEASUREMENT = 2  # value: class code (1B) + digest
+HOP_F_CHAIN_HEAD = 3
+HOP_F_PACKET_DIGEST = 4
+HOP_F_SIGNATURE = 5
+HOP_F_SEQUENCE = 6  # value: 4-byte attestation sequence number
+HOP_F_INGRESS_PORT = 7  # value: 2-byte ingress port
+
+DIGEST_DOMAIN = "evidence-node"
+
+
+class Evidence:
+    """Base class of canonical evidence nodes.
+
+    Subclasses are frozen dataclasses; the canonical wire form and the
+    content digest are computed lazily once and cached on the instance
+    (safe because the fields never change).
+    """
+
+    KIND: ClassVar[int] = 0
+
+    # --- canonical bytes -------------------------------------------------
+
+    def _body(self) -> bytes:
+        """The TLV body of this node (children via their cached wire)."""
+        raise NotImplementedError
+
+    @property
+    def wire(self) -> bytes:
+        """Canonical encoding: one TLV of this node's kind."""
+        cached = self.__dict__.get("_wire")
+        if cached is None:
+            cached = Tlv(self.KIND, self._body()).encode()
+            object.__setattr__(self, "_wire", cached)
+        return cached
+
+    def encode(self) -> bytes:
+        """Alias for :attr:`wire` (the historical entry point)."""
+        return self.wire
+
+    @property
+    def content_digest(self) -> bytes:
+        """SHA-256 of the canonical wire form, computed once."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = digest(self.wire, domain=DIGEST_DOMAIN)
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+    # --- structure -------------------------------------------------------
+
+    def summary(self) -> str:
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Evidence"]:
+        """Pre-order traversal of the evidence tree."""
+        yield self
+        for child in self._children():
+            yield from child.walk()
+
+    def _children(self) -> Tuple["Evidence", ...]:
+        return ()
+
+    def find_measurements(self) -> Tuple["MeasurementEvidence", ...]:
+        return tuple(
+            node for node in self.walk() if isinstance(node, MeasurementEvidence)
+        )
+
+    def find_signatures(self) -> Tuple["SignedEvidence", ...]:
+        return tuple(
+            node for node in self.walk() if isinstance(node, SignedEvidence)
+        )
+
+
+@dataclass(frozen=True)
+class EmptyEvidence(Evidence):
+    """mt — the empty evidence."""
+
+    KIND: ClassVar[int] = KIND_EMPTY
+
+    def _body(self) -> bytes:
+        return b""
+
+    def summary(self) -> str:
+        return "mt"
+
+
+@dataclass(frozen=True)
+class NonceEvidence(Evidence):
+    """A relying-party nonce bound into the evidence (freshness)."""
+
+    KIND: ClassVar[int] = KIND_NONCE
+
+    name: str
+    value: bytes
+
+    def _body(self) -> bytes:
+        return TlvCodec.encode(
+            [Tlv(_F_A, self.name.encode("utf-8")), Tlv(_F_B, self.value)]
+        )
+
+    def summary(self) -> str:
+        return f"nonce({self.name})"
+
+
+@dataclass(frozen=True)
+class MeasurementEvidence(Evidence):
+    """An ASP's output: who measured what, where, and the raw value."""
+
+    KIND: ClassVar[int] = KIND_MEASUREMENT
+
+    asp: str
+    place: str  # place where the ASP ran
+    target: str  # component measured ("" for service ASPs)
+    target_place: str
+    value: bytes  # the measurement itself (e.g. a digest)
+    prior: Evidence = field(default_factory=EmptyEvidence)
+
+    def _body(self) -> bytes:
+        return TlvCodec.encode(
+            [
+                Tlv(_F_A, self.asp.encode("utf-8")),
+                Tlv(_F_B, self.place.encode("utf-8")),
+                Tlv(_F_C, self.target.encode("utf-8")),
+                Tlv(_F_D, self.target_place.encode("utf-8")),
+                Tlv(_F_E, self.value),
+                Tlv(F_CHILD, self.prior.wire),
+            ]
+        )
+
+    def summary(self) -> str:
+        target = f" {self.target_place} {self.target}" if self.target else ""
+        return f"{self.asp}{target}@{self.place}[{self.prior.summary()}]"
+
+    def _children(self) -> Tuple[Evidence, ...]:
+        return (self.prior,)
+
+
+@dataclass(frozen=True)
+class SignedEvidence(Evidence):
+    """``!`` — evidence signed by the key of ``place``."""
+
+    KIND: ClassVar[int] = KIND_SIGNATURE
+
+    evidence: Evidence
+    place: str
+    signature: bytes
+
+    def _body(self) -> bytes:
+        return TlvCodec.encode(
+            [
+                Tlv(_F_A, self.place.encode("utf-8")),
+                Tlv(_F_B, self.signature),
+                Tlv(F_CHILD, self.evidence.wire),
+            ]
+        )
+
+    def summary(self) -> str:
+        return f"sig_{self.place}({self.evidence.summary()})"
+
+    def _children(self) -> Tuple[Evidence, ...]:
+        return (self.evidence,)
+
+    def signed_payload(self) -> bytes:
+        """The bytes the signature covers (the inner node's wire form)."""
+        return self.evidence.wire
+
+    def payload_digest(self) -> bytes:
+        """Content digest of the signed payload (cached on the child)."""
+        return self.evidence.content_digest
+
+
+@dataclass(frozen=True)
+class HashEvidence(Evidence):
+    """``#`` — evidence replaced by its digest (size reduction)."""
+
+    KIND: ClassVar[int] = KIND_HASH
+
+    digest_value: bytes
+    place: str
+
+    @classmethod
+    def of(cls, evidence: Evidence, place: str) -> "HashEvidence":
+        return cls(digest_value=evidence.content_digest, place=place)
+
+    def _body(self) -> bytes:
+        return TlvCodec.encode(
+            [Tlv(_F_A, self.place.encode("utf-8")), Tlv(_F_B, self.digest_value)]
+        )
+
+    def summary(self) -> str:
+        return f"hsh_{self.place}"
+
+    @staticmethod
+    def matches(evidence: Evidence, digest_value: bytes) -> bool:
+        """Would hashing ``evidence`` yield ``digest_value``?"""
+        return evidence.content_digest == digest_value
+
+
+@dataclass(frozen=True)
+class SequenceEvidence(Evidence):
+    """``ss`` — evidence of a branch-sequential composition."""
+
+    KIND: ClassVar[int] = KIND_SEQUENCE
+
+    left: Evidence
+    right: Evidence
+
+    def _body(self) -> bytes:
+        return TlvCodec.encode(
+            [Tlv(F_CHILD, self.left.wire), Tlv(F_CHILD, self.right.wire)]
+        )
+
+    def summary(self) -> str:
+        return f"({self.left.summary()} ; {self.right.summary()})"
+
+    def _children(self) -> Tuple[Evidence, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class ParallelEvidence(Evidence):
+    """``pp`` — evidence of a branch-parallel composition."""
+
+    KIND: ClassVar[int] = KIND_PARALLEL
+
+    left: Evidence
+    right: Evidence
+
+    def _body(self) -> bytes:
+        return TlvCodec.encode(
+            [Tlv(F_CHILD, self.left.wire), Tlv(F_CHILD, self.right.wire)]
+        )
+
+    def summary(self) -> str:
+        return f"({self.left.summary()} || {self.right.summary()})"
+
+    def _children(self) -> Tuple[Evidence, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class HopEvidence(Evidence):
+    """Hop-composed evidence: one attesting hop's signed contribution.
+
+    This is the canonical form of a PERA hop record (paper Fig. 3
+    "Create/Compose"): the attesting place (real name or pseudonym),
+    the per-inertia-class measurement digests (class codes are kept as
+    raw ints here — :mod:`repro.pera.inertia` gives them meaning), an
+    optional chain head and packet digest, and the root-of-trust
+    signature. Its body layout is exactly the original hop-record TLV
+    stream, so wire forms are stable across the refactor.
+    """
+
+    KIND: ClassVar[int] = KIND_HOP
+
+    place: str
+    measurements: Tuple[Tuple[int, bytes], ...]  # (inertia code, digest)
+    sequence: int = 0
+    ingress_port: Optional[int] = None
+    chain_head: Optional[bytes] = None
+    packet_digest: Optional[bytes] = None
+    signature: bytes = b""
+
+    def signed_payload(self) -> bytes:
+        """The bytes the signature covers (everything but itself)."""
+        cached = self.__dict__.get("_payload")
+        if cached is None:
+            elements = [Tlv(HOP_F_PLACE, self.place.encode("utf-8"))]
+            for code, value in self.measurements:
+                elements.append(Tlv(HOP_F_MEASUREMENT, bytes([code]) + value))
+            elements.append(Tlv(HOP_F_SEQUENCE, self.sequence.to_bytes(4, "big")))
+            if self.ingress_port is not None:
+                elements.append(
+                    Tlv(HOP_F_INGRESS_PORT, self.ingress_port.to_bytes(2, "big"))
+                )
+            if self.chain_head is not None:
+                elements.append(Tlv(HOP_F_CHAIN_HEAD, self.chain_head))
+            if self.packet_digest is not None:
+                elements.append(Tlv(HOP_F_PACKET_DIGEST, self.packet_digest))
+            cached = TlvCodec.encode(elements)
+            object.__setattr__(self, "_payload", cached)
+        return cached
+
+    def payload_digest(self) -> bytes:
+        """Content digest of the signed payload, computed once."""
+        cached = self.__dict__.get("_payload_digest")
+        if cached is None:
+            cached = digest(self.signed_payload(), domain=DIGEST_DOMAIN)
+            object.__setattr__(self, "_payload_digest", cached)
+        return cached
+
+    def link_digest(self) -> bytes:
+        """The hash-chain link this hop contributes, computed once.
+
+        Both the attesting switch (extending the chain) and the
+        appraiser (replaying it) need the digest of this hop's
+        concatenated measurement values; caching it here means each is
+        hashed exactly once per record object.
+        """
+        cached = self.__dict__.get("_link_digest")
+        if cached is None:
+            cached = digest(
+                b"".join(value for _, value in self.measurements),
+                domain="hop-measurements",
+            )
+            object.__setattr__(self, "_link_digest", cached)
+        return cached
+
+    def _body(self) -> bytes:
+        return self.signed_payload() + Tlv(HOP_F_SIGNATURE, self.signature).encode()
+
+    def summary(self) -> str:
+        return f"hop_{self.place}({len(self.measurements)} meas)"

@@ -1,0 +1,116 @@
+"""Memoized signature verification for the evidence substrate.
+
+Ed25519 verification is by far the most expensive per-node appraisal
+step (the from-scratch implementation in :mod:`repro.crypto.ed25519`
+costs milliseconds). But verification is a pure function of
+``(verify key, message, signature)`` — and attested paths re-present
+the same signed records to appraisers over and over (cached hop
+records, repeated appraisals, redacted views of one evidence set). So
+verdicts are memoized under a key of ``(key id, message digest,
+signature)``; content-addressed evidence nodes supply the message
+digest already cached, making a repeat verification one dict lookup.
+
+The shared cache is bounded (FIFO eviction) so long-running appraisers
+cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hashing import digest
+from repro.crypto.keys import KeyRegistry
+from repro.util.errors import CryptoError
+
+_CACHE_DOMAIN = "evidence-verify-cache"
+
+
+@dataclass
+class VerifyCacheStats:
+    """Hit/miss counters for a :class:`SignatureCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SignatureCache:
+    """A bounded memo of signature-verification verdicts."""
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        self._maxsize = maxsize
+        self._verdicts: "OrderedDict[tuple, bool]" = OrderedDict()
+        self.stats = VerifyCacheStats()
+
+    def verify(
+        self,
+        anchors: KeyRegistry,
+        owner: str,
+        message: bytes,
+        signature: bytes,
+        message_digest: Optional[bytes] = None,
+    ) -> bool:
+        """Verify ``signature`` over ``message`` against ``owner``'s
+        anchor in ``anchors``, memoizing the verdict.
+
+        ``message_digest`` lets callers holding a content-addressed
+        node skip re-hashing the message for the cache key; it must be
+        a digest of exactly ``message``.
+        """
+        key_obj = anchors.lookup(owner)
+        if key_obj is None:
+            return False  # unknown signers are uncacheable and cheap
+        if message_digest is None:
+            message_digest = digest(message, domain=_CACHE_DOMAIN)
+        cache_key = (key_obj.key_bytes, message_digest, signature)
+        cached = self._verdicts.get(cache_key)
+        if cached is not None:
+            self.stats.hits += 1
+            self._verdicts.move_to_end(cache_key)
+            return cached
+        self.stats.misses += 1
+        try:
+            verdict = key_obj.verify(message, signature)
+        except CryptoError:
+            verdict = False  # malformed signatures are just untrusted
+        self._verdicts[cache_key] = verdict
+        while len(self._verdicts) > self._maxsize:
+            self._verdicts.popitem(last=False)
+        return verdict
+
+    def clear(self) -> None:
+        self._verdicts.clear()
+        self.stats = VerifyCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+
+#: The process-wide cache every appraiser shares by default. Sound to
+#: share because the key pins the exact public key bytes, message and
+#: signature — registry contents cannot change a cached verdict's truth.
+shared_cache = SignatureCache()
+
+
+def registry_verify(
+    anchors: KeyRegistry,
+    owner: str,
+    message: bytes,
+    signature: bytes,
+    message_digest: Optional[bytes] = None,
+    cache: Optional[SignatureCache] = None,
+) -> bool:
+    """Memoized drop-in for :meth:`KeyRegistry.verify`."""
+    # Explicit None check: an *empty* cache is falsy (it has __len__)
+    # but must still be honoured as the caller's chosen cache.
+    if cache is None:
+        cache = shared_cache
+    return cache.verify(
+        anchors, owner, message, signature, message_digest=message_digest
+    )

@@ -9,7 +9,7 @@ control-plane scripting workflow. Works with any switch class built on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.net.host import Host
 from repro.net.routing import shortest_path

@@ -10,12 +10,11 @@ global RNG).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.net.headers import RaShimHeader
 from repro.net.host import Host
-from repro.net.packet import Packet
 from repro.net.simulator import Simulator
 from repro.util.errors import NetworkError
 

@@ -15,7 +15,7 @@ evidence stack).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.util.bits import checksum16
 from repro.util.errors import CodecError

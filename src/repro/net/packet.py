@@ -9,7 +9,7 @@ parser on real bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.net.headers import (
@@ -105,7 +105,16 @@ class Packet:
     # --- wire form -------------------------------------------------------
 
     def encode(self) -> bytes:
-        """Serialize to wire bytes (Ethernet frame)."""
+        """Serialize to wire bytes (Ethernet frame).
+
+        The result is cached on the (frozen, immutable) instance:
+        measurement engines, simulators and appraisers all want the
+        same bytes, and mutation always goes through
+        :func:`dataclasses.replace`, which produces a fresh object.
+        """
+        cached = self.__dict__.get("_wire")
+        if cached is not None:
+            return cached
         out = self.eth.encode()
         if self.ipv4 is not None:
             out += self.ipv4.encode()
@@ -116,6 +125,7 @@ class Packet:
             elif self.tcp is not None:
                 out += self.tcp.encode()
         out += self.payload
+        object.__setattr__(self, "_wire", out)
         return out
 
     @classmethod
@@ -151,6 +161,9 @@ class Packet:
     @property
     def wire_length(self) -> int:
         """Total frame length in bytes (without re-encoding)."""
+        cached = self.__dict__.get("_wire")
+        if cached is not None:
+            return len(cached)
         length = EthernetHeader.WIRE_LEN + len(self.payload)
         if self.ipv4 is not None:
             length += Ipv4Header.WIRE_LEN

@@ -9,7 +9,7 @@ deterministic.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.net.topology import Topology
 from repro.util.errors import NetworkError

@@ -13,7 +13,7 @@ so that mechanically built policies stay small.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union as TypingUnion
+from typing import Union as TypingUnion
 
 Value = TypingUnion[int, str]
 

@@ -16,7 +16,7 @@ belong to the semantics module, not to a single switch's table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union as TypingUnion
+from typing import Dict, FrozenSet, List, Set, Tuple, Union as TypingUnion
 
 from repro.netkat.ast import (
     And,

@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.netkat.ast import Policy
 from repro.netkat.fdd import FlowRule, compile_policy, fdd_to_flow_rules
 from repro.pisa.actions import Action, Primitive, Step
-from repro.pisa.parser_engine import ParserSpec
 from repro.pisa.program import DataplaneProgram, TableSpec
 from repro.pisa.programs import standard_parser
 from repro.pisa.runtime import P4Runtime, TableEntry

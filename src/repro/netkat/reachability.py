@@ -11,7 +11,7 @@ Prim1/Prim3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.net.topology import Topology
 from repro.netkat.ast import (

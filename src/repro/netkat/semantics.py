@@ -20,7 +20,7 @@ on policies that are genuinely non-terminating over the given packet.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+from typing import Dict, Mapping, Optional, Set, Tuple
 
 from repro.netkat.ast import (
     And,

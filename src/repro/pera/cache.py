@@ -1,10 +1,12 @@
 """The evidence cache (paper Fig. 4, "Inertia").
 
 "High-inertia attestations are more easily cached since they take
-longer to expire." The cache stores *signed* evidence records keyed by
-inertia class: a cache hit reuses both the measurement and its
-signature, which is the entire point — signing is the expensive
-per-packet operation PERA must avoid repeating.
+longer to expire." The cache stores *signed* canonical evidence nodes
+(:class:`~repro.pera.records.HopRecord`, a
+:class:`~repro.evidence.nodes.HopEvidence`) keyed by inertia class: a
+cache hit reuses the measurement, its signature, *and* the node's
+cached wire form and content digest — signing and re-encoding are the
+expensive per-packet operations PERA must avoid repeating.
 
 Entries also invalidate eagerly when the measured state's digest
 changes (a table write or program swap must never serve stale
@@ -13,8 +15,8 @@ evidence, however long its TTL).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Generic, Mapping, Optional, Tuple, TypeVar
+from dataclasses import dataclass
+from typing import Dict, Generic, Mapping, Optional, TypeVar
 
 from repro.pera.inertia import DEFAULT_TTLS, InertiaClass
 from repro.util.clock import SimClock

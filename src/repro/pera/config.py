@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
-from repro.pera.inertia import DEFAULT_TTLS, InertiaClass
-from repro.pera.sampling import SamplingMode, SamplingSpec
-from repro.util.errors import ConfigError
+from repro.pera.inertia import InertiaClass
+from repro.pera.sampling import SamplingSpec
 
 
 class DetailLevel(enum.Enum):

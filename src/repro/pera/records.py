@@ -1,4 +1,4 @@
-"""Compact signed per-hop evidence records and their wire encoding.
+"""Compact signed per-hop evidence records — views over the substrate.
 
 A :class:`HopRecord` is what one PERA switch contributes to a packet's
 in-band evidence: which place (or pseudonym) attests, which inertia
@@ -6,67 +6,45 @@ classes were measured, the measurement digests, an optional chain head
 (Fig. 4 "Chained"/"Traffic Path" composition), and a signature by the
 switch's root of trust.
 
-Records serialize as TLVs so they fit the RA shim header body and so
-the PISA parser can skip them without understanding them.
+Since the evidence-substrate refactor a record *is* a canonical
+:class:`~repro.evidence.nodes.HopEvidence` node specialized with PERA's
+:class:`~repro.pera.inertia.InertiaClass` vocabulary: the wire form,
+content digests and the record-stack framing all come from
+:mod:`repro.evidence.codec` (one codec for the whole system), and the
+cached per-node digests feed the appraiser's chain replay without
+re-hashing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.evidence import codec as evidence_codec
+from repro.evidence.codec import RECORD_TLV_TYPE  # noqa: F401  (re-export)
+from repro.evidence.nodes import HopEvidence
+from repro.evidence.verify import registry_verify
 from repro.pera.inertia import InertiaClass
 from repro.util.errors import CodecError
-from repro.util.tlv import Tlv, TlvCodec
-
-# TLV type codes inside a record.
-_T_PLACE = 1
-_T_MEASUREMENT = 2  # value: class (1B) + digest
-_T_CHAIN_HEAD = 3
-_T_PACKET_DIGEST = 4
-_T_SIGNATURE = 5
-_T_SEQUENCE = 6  # value: 4-byte attestation sequence number
-_T_INGRESS_PORT = 7  # value: 2-byte port the packet arrived on
-
-# TLV type for one whole record when stacked in a shim body.
-RECORD_TLV_TYPE = 0x10
 
 
 @dataclass(frozen=True)
-class HopRecord:
+class HopRecord(HopEvidence):
     """One hop's signed evidence contribution.
 
     ``ingress_port`` reproduces the paper's UC1 example — evidence
     "could indicate that p reached switch S1 on a specific network
     port" — and is covered by the signature like every other field.
+
+    ``measurements`` holds ``(InertiaClass, digest)`` pairs; the base
+    node stores the class codes, so a record and its canonical node
+    share one wire form and one cached content digest.
     """
 
-    place: str  # real name or per-user pseudonym
-    measurements: Tuple[Tuple[InertiaClass, bytes], ...]
-    sequence: int = 0
-    ingress_port: Optional[int] = None
-    chain_head: Optional[bytes] = None
-    packet_digest: Optional[bytes] = None
-    signature: bytes = b""
+    measurements: Tuple[Tuple[InertiaClass, bytes], ...] = ()
 
     # --- signing --------------------------------------------------------
-
-    def signed_payload(self) -> bytes:
-        """The bytes the signature covers (everything but itself)."""
-        elements = [Tlv(_T_PLACE, self.place.encode("utf-8"))]
-        for inertia, value in self.measurements:
-            elements.append(Tlv(_T_MEASUREMENT, bytes([inertia.value]) + value))
-        elements.append(Tlv(_T_SEQUENCE, self.sequence.to_bytes(4, "big")))
-        if self.ingress_port is not None:
-            elements.append(
-                Tlv(_T_INGRESS_PORT, self.ingress_port.to_bytes(2, "big"))
-            )
-        if self.chain_head is not None:
-            elements.append(Tlv(_T_CHAIN_HEAD, self.chain_head))
-        if self.packet_digest is not None:
-            elements.append(Tlv(_T_PACKET_DIGEST, self.packet_digest))
-        return TlvCodec.encode(elements)
 
     def sign_with(self, keys: KeyPair) -> "HopRecord":
         """Return a copy carrying ``keys``' signature."""
@@ -82,61 +60,44 @@ class HopRecord:
 
     def verify(self, anchors: KeyRegistry, signer: Optional[str] = None) -> bool:
         """Verify the signature against the anchor of ``signer`` (defaults
-        to the record's own place name)."""
-        return anchors.verify(
-            signer or self.place, self.signed_payload(), self.signature
+        to the record's own place name). Verdicts are memoized keyed by
+        (key id, payload digest, signature)."""
+        return registry_verify(
+            anchors,
+            signer or self.place,
+            self.signed_payload(),
+            self.signature,
+            message_digest=self.payload_digest(),
         )
 
     # --- wire form ---------------------------------------------------------
 
     def encode(self) -> bytes:
-        return self.signed_payload() + Tlv(_T_SIGNATURE, self.signature).encode()
+        """The flat hop-record TLV stream (unwrapped legacy framing)."""
+        return evidence_codec.encode_hop_body(self)
+
+    @classmethod
+    def from_node(cls, node: HopEvidence) -> "HopRecord":
+        """Specialize a canonical hop node with PERA's inertia classes."""
+        try:
+            measurements = tuple(
+                (InertiaClass(code), value) for code, value in node.measurements
+            )
+        except ValueError as exc:
+            raise CodecError(f"unknown inertia class in hop record: {exc}") from exc
+        return cls(
+            place=node.place,
+            measurements=measurements,
+            sequence=node.sequence,
+            ingress_port=node.ingress_port,
+            chain_head=node.chain_head,
+            packet_digest=node.packet_digest,
+            signature=node.signature,
+        )
 
     @classmethod
     def decode(cls, data: bytes) -> "HopRecord":
-        place: Optional[str] = None
-        measurements: List[Tuple[InertiaClass, bytes]] = []
-        sequence = 0
-        ingress_port: Optional[int] = None
-        chain_head: Optional[bytes] = None
-        packet_digest: Optional[bytes] = None
-        signature = b""
-        for element in TlvCodec.iter_decode(data):
-            if element.type == _T_PLACE:
-                place = element.value.decode("utf-8")
-            elif element.type == _T_MEASUREMENT:
-                if len(element.value) < 1:
-                    raise CodecError("measurement TLV too short")
-                try:
-                    inertia = InertiaClass(element.value[0])
-                except ValueError as exc:
-                    raise CodecError(
-                        f"unknown inertia class {element.value[0]}"
-                    ) from exc
-                measurements.append((inertia, element.value[1:]))
-            elif element.type == _T_SEQUENCE:
-                sequence = int.from_bytes(element.value, "big")
-            elif element.type == _T_INGRESS_PORT:
-                ingress_port = int.from_bytes(element.value, "big")
-            elif element.type == _T_CHAIN_HEAD:
-                chain_head = element.value
-            elif element.type == _T_PACKET_DIGEST:
-                packet_digest = element.value
-            elif element.type == _T_SIGNATURE:
-                signature = element.value
-            else:
-                raise CodecError(f"unknown hop-record TLV type {element.type}")
-        if place is None:
-            raise CodecError("hop record missing place")
-        return cls(
-            place=place,
-            measurements=tuple(measurements),
-            sequence=sequence,
-            ingress_port=ingress_port,
-            chain_head=chain_head,
-            packet_digest=packet_digest,
-            signature=signature,
-        )
+        return cls.from_node(evidence_codec.decode_hop_body(data))
 
     def measurement_for(self, inertia: InertiaClass) -> Optional[bytes]:
         for klass, value in self.measurements:
@@ -145,17 +106,15 @@ class HopRecord:
         return None
 
 
-def encode_record_stack(records: List[HopRecord]) -> bytes:
-    """Serialize a list of hop records as a TLV stream."""
-    return TlvCodec.encode(
-        [Tlv(RECORD_TLV_TYPE, record.encode()) for record in records]
-    )
+def encode_record_stack(records: Sequence[HopRecord]) -> bytes:
+    """Serialize hop records as the shared shim-body TLV stream."""
+    return evidence_codec.encode_record_stack(records)
 
 
 def decode_record_stack(data: bytes) -> List[HopRecord]:
-    """Parse a TLV stream of hop records; non-record TLVs are skipped."""
-    records: List[HopRecord] = []
-    for element in TlvCodec.iter_decode(data):
-        if element.type == RECORD_TLV_TYPE:
-            records.append(HopRecord.decode(element.value))
-    return records
+    """Parse a shim-body TLV stream of hop records; other TLVs are
+    skipped (compiled policies share the same body)."""
+    return [
+        HopRecord.from_node(node)
+        for node in evidence_codec.decode_record_stack(data)
+    ]

@@ -13,7 +13,6 @@ path composition — and so simulations replay exactly.
 from __future__ import annotations
 
 import enum
-import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 

@@ -17,7 +17,7 @@ cache avoids exactly the operations a real ASIC would want to avoid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.crypto.hashing import HashChain, digest
@@ -25,7 +25,7 @@ from repro.crypto.keys import KeyPair
 from repro.net.headers import RaShimHeader
 from repro.net.packet import Packet
 from repro.pera.cache import EvidenceCache
-from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.config import CompositionMode, EvidenceConfig
 from repro.pera.inertia import InertiaClass
 from repro.pera.measurement import MeasurementEngine
 from repro.pera.records import (

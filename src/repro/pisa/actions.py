@@ -14,12 +14,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence, Tuple, Union
+from typing import Sequence, Tuple, Union
 
 from repro.util.errors import PipelineError
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.pisa.pipeline import PacketContext
 
 
 class Primitive(enum.Enum):

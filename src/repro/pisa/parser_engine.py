@@ -10,7 +10,7 @@ as swapping a table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.util.errors import PipelineError

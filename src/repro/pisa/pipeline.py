@@ -10,13 +10,13 @@ calls "tuned to balance performance and security".
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.net.packet import Packet
-from repro.pisa.actions import Action, ActionCall, Primitive
-from repro.pisa.program import DataplaneProgram, TableSpec
+from repro.pisa.actions import ActionCall, Primitive
+from repro.pisa.program import DataplaneProgram
 from repro.pisa.registers import Counter, Meter, Register
-from repro.pisa.tables import InstalledEntry, MatchKind, MatchTable
+from repro.pisa.tables import MatchTable
 from repro.util.errors import PipelineError
 
 DROP_PORT = 511

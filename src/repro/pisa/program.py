@@ -13,8 +13,8 @@ different measurement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.crypto.hashing import digest
 from repro.pisa.actions import Action, ActionCall

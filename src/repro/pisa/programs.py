@@ -10,7 +10,6 @@ leans on.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.net.headers import ETHERTYPE_IPV4, IPPROTO_TCP, IPPROTO_UDP, RA_UDP_PORT
 from repro.pisa.actions import (

@@ -11,8 +11,8 @@ substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.pisa.actions import ActionCall
 from repro.pisa.pipeline import Pipeline

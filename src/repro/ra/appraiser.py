@@ -18,16 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.copland.evidence import (
+from repro.crypto.keys import KeyRegistry
+from repro.evidence import (
     Evidence,
     MeasurementEvidence,
     NonceEvidence,
     SignedEvidence,
+    registry_verify,
 )
-from repro.crypto.keys import KeyRegistry
 from repro.ra.claims import AppraisalVerdict, Claim
 from repro.ra.nonce import NonceManager
-from repro.util.errors import VerificationError
 
 
 @dataclass
@@ -74,13 +74,19 @@ class Appraiser:
         checked_signatures = 0
 
         # 1. Signatures: every SignedEvidence node must verify against
-        #    the anchor registered for its claimed place.
+        #    the anchor registered for its claimed place. Verification
+        #    is memoized on the node's cached content digest, so
+        #    re-appraising known evidence skips the Ed25519 math.
         seen_signers = set()
         for node in evidence.walk():
             if isinstance(node, SignedEvidence):
                 checked_signatures += 1
-                if not self.anchors.verify(
-                    node.place, node.signed_payload(), node.signature
+                if not registry_verify(
+                    self.anchors,
+                    node.place,
+                    node.signed_payload(),
+                    node.signature,
+                    message_digest=node.payload_digest(),
                 ):
                     failures.append(
                         f"signature by {node.place!r} failed verification"
@@ -136,4 +142,5 @@ class Appraiser:
             failures=tuple(failures),
             checked_measurements=checked_measurements,
             checked_signatures=checked_signatures,
+            evidence_digest=evidence.content_digest,
         )

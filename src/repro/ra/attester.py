@@ -14,8 +14,8 @@ observable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
 from repro.crypto.hashing import digest
 from repro.crypto.keys import KeyPair, KeyRegistry

@@ -9,7 +9,7 @@ second relying party can retrieve it later using the same nonce.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.ra.claims import AppraisalVerdict

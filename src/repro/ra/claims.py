@@ -1,14 +1,19 @@
 """Claims and appraisal verdicts.
 
 A *claim* is what the relying party wants assured ("switch S is
-running firewall_v5"); *evidence* is what the attester produces; the
-*verdict* is the appraiser's judgement (paper Fig. 1, steps ➀–➃).
+running firewall_v5"); *evidence* is what the attester produces — a
+tree of canonical :mod:`repro.evidence` nodes, whatever channel it
+arrived by; the *verdict* is the appraiser's judgement (paper Fig. 1,
+steps ➀–➃). Verdicts carry the content digest of the evidence they
+judged, so a result can be matched to its bundle without re-hashing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
+
+from repro.evidence import Evidence
 
 
 @dataclass(frozen=True)
@@ -32,10 +37,24 @@ class AppraisalVerdict:
     failures: Tuple[str, ...] = ()
     checked_measurements: int = 0
     checked_signatures: int = 0
+    # Content digest of the appraised evidence tree (None when the
+    # verdict was produced without a concrete bundle in hand).
+    evidence_digest: Optional[bytes] = None
 
     @classmethod
     def reject(cls, *failures: str, claim: Optional[Claim] = None) -> "AppraisalVerdict":
         return cls(accepted=False, claim=claim, failures=tuple(failures))
+
+    @classmethod
+    def for_evidence(
+        cls, evidence: Evidence, accepted: bool, **kwargs
+    ) -> "AppraisalVerdict":
+        """Build a verdict bound to ``evidence``'s content digest."""
+        return cls(
+            accepted=accepted,
+            evidence_digest=evidence.content_digest,
+            **kwargs,
+        )
 
     def describe(self) -> str:
         status = "ACCEPTED" if self.accepted else "REJECTED"

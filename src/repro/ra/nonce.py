@@ -12,7 +12,7 @@ the simulated adversary (who does not hold the seed).
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from repro.util.errors import VerificationError
 

@@ -21,14 +21,15 @@ benchmark (E2) reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
-from repro.copland.evidence import (
+from repro.evidence import (
     Evidence,
     HashEvidence,
     MeasurementEvidence,
     NonceEvidence,
+    registry_verify,
 )
 from repro.copland.parser import parse_request
 from repro.copland.vm import CoplandVM, Place
@@ -36,7 +37,7 @@ from repro.crypto.hashing import digest
 from repro.crypto.keys import KeyRegistry
 from repro.ra.appraiser import AppraisalPolicy, Appraiser
 from repro.ra.certificates import Certificate, CertificateStore
-from repro.ra.claims import AppraisalVerdict, Claim
+from repro.ra.claims import AppraisalVerdict
 from repro.ra.nonce import NonceManager
 from repro.util.errors import VerificationError
 
@@ -67,8 +68,8 @@ class AttestationScenario:
 
     def build(self) -> "ProtocolContext":
         vm = CoplandVM()
-        rp1 = vm.register(Place("RP1"))
-        rp2 = vm.register(Place("RP2"))
+        vm.register(Place("RP1"))
+        vm.register(Place("RP2"))
         switch = vm.register(Place("Switch"))
         appraiser_place = vm.register(Place("Appraiser"))
         for name, content in self.switch_targets.items():
@@ -162,8 +163,12 @@ class ProtocolContext:
             signatures = prior.find_signatures()
             switch_signed = any(
                 node.place == "Switch"
-                and self.anchors.verify(
-                    node.place, node.signed_payload(), node.signature
+                and registry_verify(
+                    self.anchors,
+                    node.place,
+                    node.signed_payload(),
+                    node.signature,
+                    message_digest=node.payload_digest(),
                 )
                 for node in signatures
             )

@@ -1,6 +1,5 @@
 """Tests for deployment linting."""
 
-import pytest
 
 from repro.analysis.lint import errors_only, lint_deployment
 from repro.core.appraisal import (

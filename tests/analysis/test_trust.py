@@ -1,6 +1,5 @@
 """Tests for trust analysis and mechanical policy hardening."""
 
-import pytest
 
 from repro.analysis.trust import (
     analyze_phrase_trust,
@@ -8,7 +7,7 @@ from repro.analysis.trust import (
     hardening_report,
 )
 from repro.copland.adversary import AdversaryTier, ProtocolModel
-from repro.copland.ast import BranchPar, BranchSeq, Linear, Sign
+from repro.copland.ast import BranchSeq, Linear, Sign
 from repro.copland.parser import parse_phrase
 
 BANKING_MODEL = ProtocolModel(

@@ -16,12 +16,7 @@ from repro.copland.adversary import (
     ProtocolModel,
     analyze_measurement_protocol,
 )
-from repro.copland.events import (
-    Event,
-    EventKind,
-    linear_extensions,
-    phrase_events,
-)
+from repro.copland.events import EventKind, linear_extensions, phrase_events
 from repro.copland.parser import parse_phrase
 from repro.util.errors import PolicyError
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.copland.ast import At, BranchPar, BranchSeq, Linear, Measure, Sign
 from repro.copland.evidence import (
     EmptyEvidence,
     HashEvidence,

@@ -5,7 +5,6 @@ execution exactly matches the shape of the evidence the VM produces —
 Copland's typed-evidence guarantee, checked dynamically.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,11 +1,9 @@
 """Unit tests for PathAppraiser edge cases (no simulator involved)."""
 
-import pytest
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,
     PathAppraiser,
-    hardware_reference,
     program_reference,
 )
 from repro.core.compiler import CompiledPolicy, HopDirective

@@ -4,7 +4,6 @@ These weave together the paper's footnotes 1-2 (pseudonyms lifted by
 warrant) and UC5's redaction with the full attestation pipeline.
 """
 
-import pytest
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,

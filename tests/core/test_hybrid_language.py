@@ -8,15 +8,11 @@ from repro.core.hybrid_ast import (
     Forall,
     Guard,
     HybridAt,
-    HybridPolicy,
     HybridSeq,
     PathStar,
 )
 from repro.core.hybrid_parser import parse_hybrid_policy
 from repro.core.policies import (
-    AP1_TEXT,
-    AP2_TEXT,
-    AP3_TEXT,
     ap1_bank_path_attestation,
     ap2_scanner_audit,
     ap3_path_check,

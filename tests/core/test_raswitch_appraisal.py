@@ -1,6 +1,5 @@
 """Integration tests: policy-driven switches + path appraisal."""
 
-import pytest
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.redaction import RedactedEvidence, redact
+from repro.core.redaction import redact
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.pera.inertia import InertiaClass
 from repro.pera.records import HopRecord

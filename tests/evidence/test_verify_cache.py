@@ -1,0 +1,115 @@
+"""The memoized signature verifier (repro.evidence.verify)."""
+
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.evidence import SignatureCache, registry_verify, shared_cache
+
+
+def make_anchors(*names):
+    anchors = KeyRegistry()
+    pairs = {}
+    for name in names:
+        pairs[name] = KeyPair.generate(name)
+        anchors.register_pair(pairs[name])
+    return anchors, pairs
+
+
+class TestSignatureCache:
+    def test_verdicts_are_memoized(self):
+        anchors, pairs = make_anchors("s1")
+        message = b"payload"
+        signature = pairs["s1"].sign(message)
+        cache = SignatureCache()
+        assert cache.verify(anchors, "s1", message, signature)
+        assert cache.verify(anchors, "s1", message, signature)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_negative_verdicts_are_memoized_too(self):
+        anchors, pairs = make_anchors("s1")
+        forged = pairs["s1"].sign(b"other")
+        cache = SignatureCache()
+        assert not cache.verify(anchors, "s1", b"payload", forged)
+        assert not cache.verify(anchors, "s1", b"payload", forged)
+        assert (cache.stats.misses, cache.stats.hits) == (1, 1)
+
+    def test_malformed_signature_is_false_not_an_exception(self):
+        anchors, _ = make_anchors("s1")
+        cache = SignatureCache()
+        assert not cache.verify(anchors, "s1", b"payload", b"\x00" * 3)
+
+    def test_unknown_signer_is_cheap_and_uncached(self):
+        anchors, _ = make_anchors("s1")
+        cache = SignatureCache()
+        assert not cache.verify(anchors, "nobody", b"payload", b"\x00" * 64)
+        assert (cache.stats.misses, cache.stats.hits) == (0, 0)
+        assert len(cache) == 0
+
+    def test_explicit_message_digest_matches_default_key(self):
+        """Callers holding a content-addressed node pass the digest they
+        already have; the cache key must agree with the recomputed one."""
+        from repro.crypto.hashing import digest
+
+        anchors, pairs = make_anchors("s1")
+        message = b"payload"
+        signature = pairs["s1"].sign(message)
+        cache = SignatureCache()
+        cache.verify(anchors, "s1", message, signature)
+        precomputed = digest(message, domain="evidence-verify-cache")
+        assert cache.verify(
+            anchors, "s1", message, signature, message_digest=precomputed
+        )
+        assert cache.stats.hits == 1
+
+    def test_bounded_eviction_is_fifo(self):
+        anchors, pairs = make_anchors("s1")
+        cache = SignatureCache(maxsize=2)
+        signatures = [pairs["s1"].sign(bytes([i])) for i in range(3)]
+        for i, signature in enumerate(signatures):
+            cache.verify(anchors, "s1", bytes([i]), signature)
+        assert len(cache) == 2
+        cache.verify(anchors, "s1", bytes([0]), signatures[0])  # evicted
+        assert cache.stats.misses == 4
+        cache.verify(anchors, "s1", bytes([2]), signatures[2])  # still in
+        assert cache.stats.hits == 1
+
+    def test_clear_resets_verdicts_and_stats(self):
+        anchors, pairs = make_anchors("s1")
+        cache = SignatureCache()
+        cache.verify(anchors, "s1", b"m", pairs["s1"].sign(b"m"))
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.stats.misses, cache.stats.hits) == (0, 0)
+
+    def test_distinct_keys_never_share_verdicts(self):
+        """Two registries binding the same owner name to different keys
+        must not cross-pollinate (the cache key pins the key bytes)."""
+        anchors_a, pairs_a = make_anchors("s1")
+        anchors_b = KeyRegistry()
+        other = KeyPair.generate("s1-other-key")
+        anchors_b.register("s1", other.verify_key)
+        message = b"payload"
+        signature = pairs_a["s1"].sign(message)
+        cache = SignatureCache()
+        assert cache.verify(anchors_a, "s1", message, signature)
+        assert not cache.verify(anchors_b, "s1", message, signature)
+
+
+class TestRegistryVerify:
+    def test_defaults_to_the_shared_cache(self):
+        anchors, pairs = make_anchors("shared-cache-probe")
+        message = b"shared payload"
+        signature = pairs["shared-cache-probe"].sign(message)
+        registry_verify(anchors, "shared-cache-probe", message, signature)
+        hits_before = shared_cache.stats.hits
+        assert registry_verify(anchors, "shared-cache-probe", message, signature)
+        assert shared_cache.stats.hits == hits_before + 1
+
+    def test_private_cache_override(self):
+        anchors, pairs = make_anchors("s1")
+        message = b"payload"
+        signature = pairs["s1"].sign(message)
+        private = SignatureCache()
+        assert registry_verify(anchors, "s1", message, signature, cache=private)
+        assert private.stats.misses == 1

@@ -80,7 +80,7 @@ class TestRoutingController:
         from repro.net.headers import RaShimHeader
         from repro.pera.config import DetailLevel, EvidenceConfig
 
-        sim = bind_hosts_and_switches(linear_topology(1))
+        bind_hosts_and_switches(linear_topology(1))
         # Rebind: need a config-detail PERA switch.
         sim2 = Simulator(linear_topology(1))
         src = Host("h-src", mac=1, ip=ip_to_int("10.0.0.1"))

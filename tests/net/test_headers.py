@@ -5,10 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.net.headers import (
-    ETHERTYPE_IPV4,
-    IPPROTO_TCP,
     IPPROTO_UDP,
-    RA_SHIM_MAGIC,
     EthernetHeader,
     Ipv4Header,
     RaShimHeader,

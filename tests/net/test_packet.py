@@ -4,13 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.net.headers import (
-    IPPROTO_TCP,
-    IPPROTO_UDP,
-    RA_UDP_PORT,
-    RaShimHeader,
-    ip_to_int,
-)
+from repro.net.headers import IPPROTO_UDP, RA_UDP_PORT, RaShimHeader, ip_to_int
 from repro.net.packet import Packet
 from repro.util.errors import CodecError
 
@@ -111,3 +105,30 @@ class TestPacketOperations:
     def test_round_trip_with_arbitrary_payload_and_body(self, payload, body):
         pkt = make_udp(payload=payload, shim=RaShimHeader(body=body))
         assert Packet.decode(pkt.encode()) == pkt
+
+
+class TestEncodeCaching:
+    def test_encode_is_memoized_on_the_instance(self):
+        pkt = make_udp()
+        first = pkt.encode()
+        assert pkt.encode() is first  # same object, not a re-build
+
+    def test_wire_length_agrees_before_and_after_encoding(self):
+        fresh = make_udp(shim=RaShimHeader(body=b"x" * 20))
+        computed = fresh.wire_length  # arithmetic path (nothing cached)
+        encoded_len = len(fresh.encode())
+        assert computed == encoded_len
+        assert fresh.wire_length == encoded_len  # cached path
+
+    def test_derived_packets_do_not_inherit_stale_bytes(self):
+        pkt = make_udp(payload=b"original")
+        pkt.encode()  # populate the cache
+        hopped = pkt.with_ttl_decremented()
+        assert hopped.encode() != pkt.encode()
+        assert Packet.decode(hopped.encode()) == hopped
+
+    def test_cache_does_not_affect_equality_or_hashing(self):
+        cold, warm = make_udp(), make_udp()
+        warm.encode()
+        assert cold == warm
+        assert hash(cold) == hash(warm)

@@ -1,6 +1,5 @@
 """Tests for packet-trace recording and analysis."""
 
-import pytest
 
 from repro.core.compiler import compile_policy_for_path
 from repro.core.policies import ap1_bank_path_attestation

@@ -15,7 +15,6 @@ from repro.netkat.ast import (
     ID,
     Filter,
     Seq,
-    Star,
     Union,
     mod,
     pand,
@@ -25,7 +24,6 @@ from repro.netkat.ast import (
     star,
     test as tst,
     union,
-    TRUE,
 )
 from repro.netkat.equivalence import equivalent, implies
 from repro.util.errors import PolicyError

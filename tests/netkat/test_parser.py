@@ -7,18 +7,13 @@ from repro.netkat.ast import (
     ID,
     Dup,
     Filter,
-    Mod,
     Seq,
-    Star,
     Union,
-    ite,
     mod,
     pand,
     pnot,
-    seq,
     star,
     test as tst,
-    union,
     TRUE,
 )
 from repro.netkat.parser import parse_policy, parse_predicate

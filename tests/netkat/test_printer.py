@@ -1,6 +1,5 @@
 """Round-trip tests for the NetKAT printers."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,10 +1,9 @@
 """Tests for topology encoding and reachability queries."""
 
-import pytest
 
 from repro.net.routing import all_pairs_next_hop
 from repro.net.topology import Topology, linear_topology, ring_topology
-from repro.netkat.ast import Filter, mod, pand, seq, test as tst, union
+from repro.netkat.ast import Filter, seq, test as tst
 from repro.netkat.reachability import (
     PORT_FIELD,
     SWITCH_FIELD,

@@ -10,7 +10,7 @@ from repro.net.headers import RaShimHeader, ip_to_int
 from repro.net.host import Host
 from repro.net.simulator import Simulator
 from repro.net.topology import linear_topology
-from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.config import CompositionMode, EvidenceConfig
 from repro.pera.inertia import InertiaClass
 from repro.pera.records import (
     HopRecord,
@@ -118,7 +118,7 @@ def build_pera_chain(switch_count=3, config=None, out_of_band=False):
     topo = linear_topology(switch_count)
     if out_of_band:
         topo.add_node("appraiser", kind="host")
-        topo.add_link("appraiser", 1, f"s1", 9)
+        topo.add_link("appraiser", 1, "s1", 9)
     sim = Simulator(topo)
     src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
     dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.headers import IPPROTO_UDP, RA_UDP_PORT, RaShimHeader, ip_to_int
+from repro.net.headers import IPPROTO_UDP, RaShimHeader, ip_to_int
 from repro.net.packet import Packet
 from repro.pisa.parser_engine import (
     ACCEPT,

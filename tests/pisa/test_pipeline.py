@@ -4,14 +4,7 @@ import pytest
 
 from repro.net.headers import ip_to_int
 from repro.net.packet import Packet
-from repro.pisa.actions import (
-    Action,
-    ActionCall,
-    Primitive,
-    Step,
-    drop_action,
-    forward_action,
-)
+from repro.pisa.actions import Action, ActionCall, Primitive, Step
 from repro.pisa.pipeline import CPU_PORT, DROP_PORT, PacketContext, Pipeline
 from repro.pisa.programs import (
     athens_rogue_program,
@@ -112,7 +105,6 @@ class TestDeparse:
         assert ctx.rebuild_packet() == ctx.packet
 
     def test_rebuild_applies_forwarding_rewrites(self):
-        import dataclasses
 
         ctx = PacketContext.from_packet(make_packet(), 1)
         ctx.fields["eth.dst"] = 0x99

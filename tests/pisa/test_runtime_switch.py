@@ -4,7 +4,6 @@ import pytest
 
 from repro.net.headers import ip_to_int
 from repro.net.host import Host
-from repro.net.packet import Packet
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology
 from repro.pisa.programs import (

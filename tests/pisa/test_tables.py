@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.pisa.actions import ActionCall, drop_action, forward_action, noop_action
+from repro.pisa.actions import ActionCall, drop_action, forward_action
 from repro.pisa.tables import InstalledEntry, MatchKey, MatchKind, MatchTable
 from repro.util.errors import PipelineError
 

@@ -7,7 +7,6 @@ from repro.net.headers import ip_to_int
 from repro.net.simulator import Simulator
 from repro.net.topology import star_topology
 from repro.ra.attester import (
-    AttestationRequest,
     AttestationResponse,
     AttestingHost,
     VerifierHost,

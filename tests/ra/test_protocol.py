@@ -1,6 +1,5 @@
 """Tests for the Fig. 2 protocol variants (expressions (3) and (4))."""
 
-import pytest
 
 from repro.ra.protocol import (
     AttestationScenario,

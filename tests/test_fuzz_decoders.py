@@ -11,6 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.wire import decode_compiled_policy
+from repro.evidence.codec import decode_hop_body, decode_node, iter_decode_nodes
 from repro.net.headers import (
     EthernetHeader,
     Ipv4Header,
@@ -34,6 +35,9 @@ DECODERS = [
     ("hop_record", HopRecord.decode),
     ("record_stack", decode_record_stack),
     ("compiled_policy", decode_compiled_policy),
+    ("evidence_node", decode_node),
+    ("evidence_stream", lambda data: list(iter_decode_nodes(data))),
+    ("evidence_hop_body", decode_hop_body),
 ]
 
 

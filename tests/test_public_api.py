@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.net",
     "repro.pisa",
     "repro.netkat",
+    "repro.evidence",
     "repro.copland",
     "repro.ra",
     "repro.pera",
