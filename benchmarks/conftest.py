@@ -10,7 +10,13 @@ leaves the reproduced tables on disk.
 At session end the harness also dumps ``benchmarks/BENCH_results.json``
 — the reproduced tables plus pytest-benchmark's timing stats in one
 machine-readable file, so CI (and perf-regression tooling) can diff
-runs without scraping stdout.
+runs without scraping stdout — and ``benchmarks/TELEMETRY.json``, the
+:mod:`repro.telemetry` export for the whole session, so a perf
+regression arrives with a breakdown (per-switch evidence counters,
+verify-cache hit rate, span aggregates) rather than just a total. Run
+with ``REPRO_TELEMETRY=1`` to capture live per-link counters and
+per-stage spans too; a ``benchmarks/TELEMETRY_trace.json`` Chrome
+trace is then written alongside.
 """
 
 from __future__ import annotations
@@ -21,6 +27,8 @@ from typing import Iterable, List, Mapping
 
 _REPORT_PATH = pathlib.Path(__file__).parent / "_reported.txt"
 _RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_results.json"
+_TELEMETRY_PATH = pathlib.Path(__file__).parent / "TELEMETRY.json"
+_TELEMETRY_TRACE_PATH = pathlib.Path(__file__).parent / "TELEMETRY_trace.json"
 
 # Tables reproduced during this session, in report() order.
 _reported: List[dict] = []
@@ -68,6 +76,33 @@ def _benchmark_stats(config) -> List[dict]:
     return out
 
 
+def _dump_telemetry() -> None:
+    """Attach the session's telemetry export next to the results.
+
+    With ``REPRO_TELEMETRY`` unset the ambient telemetry is the null
+    object; the export then still carries the process-wide shared
+    state (most usefully the memoized verify-cache hit rate) via the
+    global collectors. With it set, the full live registry — per-link
+    counters, per-switch gauges, per-stage spans — lands here, plus a
+    Chrome trace for ``chrome://tracing``.
+    """
+    from repro.telemetry import (
+        Telemetry,
+        collect_globals,
+        default_telemetry,
+        dump_json,
+        write_chrome_trace,
+    )
+
+    telemetry = default_telemetry()
+    if not telemetry.active:
+        telemetry = Telemetry()  # holder for the global collectors only
+    collect_globals(telemetry)
+    dump_json(telemetry, _TELEMETRY_PATH)
+    if len(telemetry.spans):
+        write_chrome_trace(telemetry, _TELEMETRY_TRACE_PATH)
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Dump everything this run reproduced as one JSON document."""
     benchmarks = _benchmark_stats(session.config)
@@ -81,3 +116,7 @@ def pytest_sessionfinish(session, exitstatus):
     with _RESULTS_PATH.open("w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True, default=str)
         handle.write("\n")
+    try:
+        _dump_telemetry()
+    except Exception as error:  # telemetry must never fail a bench run
+        print(f"(telemetry export skipped: {error})")

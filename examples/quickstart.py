@@ -7,7 +7,14 @@ packet carrying the compiled policy in its RA options header, and
 appraises the evidence the packet accumulated.
 
 Run:  python examples/quickstart.py
+
+With ``--trace-out trace.json`` (and/or ``--telemetry-out run.json``)
+the run is observed end to end: per-pipeline-stage spans, evidence
+counters and the verify-cache hit rate are exported as a Chrome
+``chrome://tracing`` trace / JSON metrics dump.
 """
+
+import argparse
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,
@@ -29,12 +36,26 @@ from repro.pera.inertia import InertiaClass
 from repro.pisa.programs import firewall_program
 from repro.pisa.runtime import TableEntry
 from repro.pisa.tables import MatchKey, MatchKind
+from repro.telemetry import Telemetry, dump_run
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace-event file of the run",
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="write a JSON metrics + spans dump of the run",
+    )
+    args = parser.parse_args(argv)
+    observe = args.trace_out or args.telemetry_out
+    telemetry = Telemetry() if observe else None
+
     # 1. A tiny network: h-src — s1 — h-dst.
     topology = linear_topology(1)
-    sim = Simulator(topology)
+    sim = Simulator(topology, telemetry=telemetry)
     src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
     dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
     switch = NetworkAwarePeraSwitch(
@@ -77,7 +98,7 @@ def main() -> None:
     # 5. Appraise the delivered packet's path evidence.
     anchors = KeyRegistry()
     anchors.register_pair(switch.keys)
-    appraiser = PathAppraiser("Appraiser", PathAppraisalPolicy(
+    appraiser = PathAppraiser("Appraiser", telemetry=telemetry, policy=PathAppraisalPolicy(
         anchors=anchors,
         reference_measurements={
             "s1": {
@@ -93,6 +114,16 @@ def main() -> None:
     verdict = appraiser.appraise_packet(packet, compiled=policy)
     print(verdict.describe())
     assert verdict.accepted
+
+    # 6. Export the run's own telemetry, if asked for.
+    if telemetry is not None:
+        written = dump_run(
+            telemetry,
+            json_path=args.telemetry_out,
+            trace_path=args.trace_out,
+        )
+        for path in written:
+            print(f"telemetry written to {path}")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ appraisal judges the *sequence* of hop records a packet accumulated:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.compiler import CompiledPolicy
@@ -30,6 +31,7 @@ from repro.pera.inertia import InertiaClass
 from repro.pera.records import HopRecord, decode_record_stack
 from repro.pisa.program import DataplaneProgram
 from repro.ra.nonce import NonceManager
+from repro.telemetry.instrument import Telemetry, default_telemetry
 
 
 def program_reference(program: DataplaneProgram) -> bytes:
@@ -91,10 +93,14 @@ class PathAppraiser:
         name: str,
         policy: PathAppraisalPolicy,
         nonces: Optional[NonceManager] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.name = name
         self.policy = policy
         self.nonces = nonces
+        self.telemetry = (
+            telemetry if telemetry is not None else default_telemetry()
+        )
         self.appraisals_performed = 0
 
     # --- entry points ---------------------------------------------------------
@@ -179,6 +185,35 @@ class PathAppraiser:
             body += record.wire
 
     def appraise_records(
+        self,
+        records: List[HopRecord],
+        hop_count: int,
+        compiled: Optional[CompiledPolicy] = None,
+    ) -> PathVerdict:
+        """Appraise a record stack; the shared core of both entry points.
+
+        With telemetry active, each appraisal runs inside a
+        ``core.appraise`` span and feeds a verdict counter plus a
+        wall-clock verification-latency histogram.
+        """
+        if not self.telemetry.active:
+            return self._appraise_records(records, hop_count, compiled)
+        started = perf_counter()
+        with self.telemetry.span(
+            "core.appraise", track=self.name, records=len(records)
+        ):
+            verdict = self._appraise_records(records, hop_count, compiled)
+        self.telemetry.histogram(
+            "core.path_appraise_seconds", appraiser=self.name
+        ).observe(perf_counter() - started)
+        self.telemetry.counter(
+            "core.path_verdicts",
+            appraiser=self.name,
+            accepted=verdict.accepted,
+        ).inc()
+        return verdict
+
+    def _appraise_records(
         self,
         records: List[HopRecord],
         hop_count: int,

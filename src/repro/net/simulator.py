@@ -10,7 +10,20 @@ The simulator also offers an out-of-band *control channel*
 (:meth:`send_control`) used for evidence sent "directly to the
 appraiser" (paper Fig. 2, out-of-band variant) — modelled as a
 message with its own latency, not as dataplane packets, matching the
-common deployment where the control network is separate.
+common deployment where the control network is separate. Control
+deliveries to absent nodes are *counted* (``SimStats.control_dropped``)
+symmetrically with dataplane drops, never silently lost and never a
+crash — an unobservable control plane is exactly what the paper
+argues against.
+
+Observability: the simulator owns a
+:class:`~repro.telemetry.instrument.Telemetry` domain (inert unless
+enabled) and feeds it per-link transmit/drop/control counters as they
+happen plus a full stats snapshot at the end of every :meth:`run`.
+The event trace and packet log are bounded ring buffers
+(``trace_limit`` entries each); evictions under heavy traffic are
+counted in ``SimStats.dropped_trace_entries`` instead of growing the
+heap without bound.
 """
 
 from __future__ import annotations
@@ -22,8 +35,17 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.topology import Topology
+from repro.telemetry.instrument import (
+    Telemetry,
+    collect_simulator,
+    default_telemetry,
+)
 from repro.util.clock import SimClock
 from repro.util.errors import NetworkError
+from repro.util.ring import RingBuffer
+
+#: Default bound on the event trace and the packet log, each.
+DEFAULT_TRACE_LIMIT = 65536
 
 
 class Node:
@@ -77,7 +99,9 @@ class SimStats:
     packets_dropped: int = 0
     control_messages: int = 0
     control_bytes: int = 0
+    control_dropped: int = 0
     events_processed: int = 0
+    dropped_trace_entries: int = 0
 
 
 class Simulator:
@@ -88,18 +112,22 @@ class Simulator:
         topology: Topology,
         control_latency_s: float = 50e-6,
         seed: int = 0,
+        trace_limit: int = DEFAULT_TRACE_LIMIT,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.topology = topology
         self.clock = SimClock()
         self.stats = SimStats()
         self.control_latency_s = control_latency_s
+        self.telemetry = telemetry if telemetry is not None else default_telemetry()
+        self.telemetry.bind_clock(self.clock)
         self._rng = random.Random(seed)  # loss injection only
         self._nodes: Dict[str, Node] = {}
         self._queue: List[_Event] = []
         self._seq = 0
-        self._trace: List[Tuple[float, str, str]] = []
+        self._trace: RingBuffer[Tuple[float, str, str]] = RingBuffer(trace_limit)
         self.trace_enabled = False
-        self.packet_log: List[PacketLogEntry] = []
+        self.packet_log: RingBuffer[PacketLogEntry] = RingBuffer(trace_limit)
 
     # --- setup ------------------------------------------------------------
 
@@ -149,6 +177,8 @@ class Simulator:
         if until is not None:
             self.clock.advance_to(until)
         self.stats.events_processed += processed
+        if self.telemetry.active:
+            collect_simulator(self.telemetry, self)
         return processed
 
     # --- dataplane ----------------------------------------------------------
@@ -161,12 +191,12 @@ class Simulator:
         """
         link = self.topology.link_at(from_node, out_port)
         if link is None:
-            self.stats.packets_dropped += 1
+            self._count_drop(from_node, "dark_port")
             self._note(f"{from_node} dropped {packet!r}: port {out_port} unwired")
             return False
         peer, peer_port = link.other_end(from_node)
         if link.drop_rate > 0 and self._rng.random() < link.drop_rate:
-            self.stats.packets_dropped += 1
+            self._count_drop(from_node, "link_loss")
             self._note(
                 f"{from_node}:{out_port} lost {packet!r} (link loss)"
             )
@@ -174,9 +204,16 @@ class Simulator:
         delay = link.transit_delay(packet.wire_length)
         self.stats.packets_transmitted += 1
         self.stats.bytes_transmitted += packet.wire_length
+        tel = self.telemetry
+        if tel.active:
+            link_label = f"{from_node}:{out_port}->{peer}:{peer_port}"
+            tel.counter("net.link.tx_packets", link=link_label).inc()
+            tel.counter("net.link.tx_bytes", link=link_label).inc(
+                packet.wire_length
+            )
         self._note(f"{from_node}:{out_port} -> {peer}:{peer_port} {packet!r}")
         if self.trace_enabled:
-            self.packet_log.append(PacketLogEntry(
+            if self.packet_log.append(PacketLogEntry(
                 time=self.clock.now,
                 from_node=from_node,
                 out_port=out_port,
@@ -185,12 +222,13 @@ class Simulator:
                 wire_length=packet.wire_length,
                 five_tuple=packet.five_tuple,
                 summary=repr(packet),
-            ))
+            )):
+                self.stats.dropped_trace_entries += 1
 
         def deliver() -> None:
             behaviour = self._nodes.get(peer)
             if behaviour is None:
-                self.stats.packets_dropped += 1
+                self._count_drop(peer, "unbound_node")
                 self._note(f"{peer} has no behaviour; dropped {packet!r}")
                 return
             behaviour.handle_packet(packet, peer_port)
@@ -200,30 +238,74 @@ class Simulator:
 
     def drop(self, at_node: str, packet: Packet, reason: str) -> None:
         """Record an intentional drop (policy decision, TTL expiry...)."""
-        self.stats.packets_dropped += 1
+        self._count_drop(at_node, "policy")
         self._note(f"{at_node} dropped {packet!r}: {reason}")
+
+    def _count_drop(self, at_node: str, reason: str) -> None:
+        self.stats.packets_dropped += 1
+        tel = self.telemetry
+        if tel.active:
+            tel.counter("net.link.dropped", node=at_node, reason=reason).inc()
 
     # --- control channel ------------------------------------------------------
 
-    def send_control(self, sender: str, recipient: str, message: Any, size_hint: int = 0) -> None:
-        """Deliver an out-of-band message after the control-plane latency."""
+    def send_control(
+        self, sender: str, recipient: str, message: Any, size_hint: int = 0
+    ) -> bool:
+        """Deliver an out-of-band message after the control-plane latency.
+
+        Returns ``False`` (and counts a control drop, symmetrically
+        with dataplane drops) when the recipient has no behaviour bound
+        at send *or* at delivery time — an evidence stream aimed at an
+        absent appraiser must be observable as loss, not an exception
+        and not silence.
+        """
         if recipient not in self._nodes:
-            raise NetworkError(f"no behaviour bound for control recipient {recipient!r}")
+            self._count_control_drop(recipient, "unbound_at_send")
+            self._note(
+                f"control {sender} -> {recipient}: dropped (no behaviour bound)"
+            )
+            return False
         self.stats.control_messages += 1
         self.stats.control_bytes += size_hint
+        tel = self.telemetry
+        if tel.active:
+            tel.counter(
+                "net.control.messages", sender=sender, recipient=recipient
+            ).inc()
+            tel.counter(
+                "net.control.bytes", sender=sender, recipient=recipient
+            ).inc(size_hint)
         self._note(f"control {sender} -> {recipient}: {type(message).__name__}")
 
         def deliver() -> None:
-            self._nodes[recipient].handle_control(sender, message)
+            behaviour = self._nodes.get(recipient)
+            if behaviour is None:
+                self._count_control_drop(recipient, "unbound_at_delivery")
+                self._note(
+                    f"control {sender} -> {recipient}: dropped at delivery"
+                )
+                return
+            behaviour.handle_control(sender, message)
 
         self.schedule(self.control_latency_s, deliver)
+        return True
+
+    def _count_control_drop(self, recipient: str, reason: str) -> None:
+        self.stats.control_dropped += 1
+        tel = self.telemetry
+        if tel.active:
+            tel.counter(
+                "net.control.dropped", recipient=recipient, reason=reason
+            ).inc()
 
     # --- tracing ------------------------------------------------------------
 
     def _note(self, text: str) -> None:
         if self.trace_enabled:
-            self._trace.append((self.clock.now, "event", text))
+            if self._trace.append((self.clock.now, "event", text)):
+                self.stats.dropped_trace_entries += 1
 
     @property
     def trace(self) -> List[Tuple[float, str, str]]:
-        return list(self._trace)
+        return self._trace.to_list()

@@ -19,13 +19,28 @@ from repro.net.simulator import PacketLogEntry, Simulator
 
 @dataclass
 class TraceAnalysis:
-    """A view over one run's packet log."""
+    """A view over one run's packet log.
+
+    The log is a bounded ring buffer: under heavy traffic the oldest
+    entries are evicted. ``dropped_entries`` carries the eviction
+    count so an analysis over a truncated log says so instead of
+    passing a partial view off as the whole run.
+    """
 
     entries: List[PacketLogEntry]
+    dropped_entries: int = 0
 
     @classmethod
     def of(cls, sim: Simulator) -> "TraceAnalysis":
-        return cls(entries=list(sim.packet_log))
+        return cls(
+            entries=list(sim.packet_log),
+            dropped_entries=sim.packet_log.dropped,
+        )
+
+    @property
+    def truncated(self) -> bool:
+        """True when the underlying ring buffer evicted entries."""
+        return self.dropped_entries > 0
 
     # --- flows ------------------------------------------------------------
 
@@ -88,6 +103,10 @@ class TraceAnalysis:
 
     def timeline(self, limit: int = 50) -> str:
         lines = []
+        if self.truncated:
+            lines.append(
+                f"(truncated: {self.dropped_entries} older entries evicted)"
+            )
         for entry in self.entries[:limit]:
             lines.append(
                 f"{entry.time * 1e6:10.2f}us  "

@@ -46,6 +46,7 @@ class RaStats:
 
     packets_attested: int = 0
     packets_skipped_by_sampling: int = 0
+    measurements_taken: int = 0
     records_created: int = 0
     records_from_cache: int = 0
     signatures_produced: int = 0
@@ -90,6 +91,7 @@ class PeraSwitch(PisaSwitch):
     # --- lifecycle -----------------------------------------------------------
 
     def on_bind(self, sim) -> None:
+        super().on_bind(sim)
         self._cache = EvidenceCache(sim.clock, ttls=self.config.cache_ttls)
 
     @property
@@ -166,7 +168,19 @@ class PeraSwitch(PisaSwitch):
     def _produce_record(
         self, ctx: PacketContext, prior_records: List[HopRecord]
     ) -> HopRecord:
-        """Fig. 3 'Create/Compose': build this hop's signed record."""
+        """Fig. 3 'Create/Compose': build this hop's signed record.
+
+        Bracketed in a ``pera.attest`` span (with the signing step in
+        its own nested ``pera.sign`` span) when telemetry is active —
+        the null-span fast path makes this free otherwise.
+        """
+        with self.telemetry.span("pera.attest", track=self.name) as span:
+            record = self._produce_record_inner(ctx, prior_records, span)
+        return record
+
+    def _produce_record_inner(
+        self, ctx: PacketContext, prior_records: List[HopRecord], span
+    ) -> HopRecord:
         config = self.config
         cost = self.pipeline.cost_model if self.runtime.pipeline else None
         cacheable = not config.per_packet_signature
@@ -174,6 +188,7 @@ class PeraSwitch(PisaSwitch):
             cached = self.cache.get(InertiaClass.PROGRAM, b"")
             if cached is not None:
                 self.ra_stats.records_from_cache += 1
+                span.note(cached=True)
                 return cached
 
         measurements: List[Tuple[InertiaClass, bytes]] = []
@@ -184,6 +199,7 @@ class PeraSwitch(PisaSwitch):
                 inertia, self.runtime.pipeline, ctx
             )
             measurements.append((inertia, value))
+            self.ra_stats.measurements_taken += 1
             if cost is not None:
                 self.ra_cost += cost.hash_per_byte * 64
 
@@ -211,13 +227,14 @@ class PeraSwitch(PisaSwitch):
             packet_digest = self.engine.measure(
                 InertiaClass.PACKETS, self.runtime.pipeline, ctx
             )
+            self.ra_stats.measurements_taken += 1
             if cost is not None:
                 self.ra_cost += cost.hash_per_byte * max(
                     len(ctx.payload) + 64, 64
                 )
 
         self._attest_sequence += 1
-        record = HopRecord(
+        unsigned = HopRecord(
             place=self.attesting_identity,
             measurements=tuple(measurements),
             sequence=self._attest_sequence,
@@ -226,7 +243,9 @@ class PeraSwitch(PisaSwitch):
             ingress_port=None if cacheable else ctx.ingress_port,
             chain_head=chain_head,
             packet_digest=packet_digest,
-        ).sign_with(self.keys)
+        )
+        with self.telemetry.span("pera.sign", track=self.name):
+            record = unsigned.sign_with(self.keys)
         self.ra_stats.records_created += 1
         self.ra_stats.signatures_produced += 1
         if cost is not None:

@@ -10,13 +10,14 @@ calls "tuned to balance performance and security".
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.pisa.actions import ActionCall, Primitive
 from repro.pisa.program import DataplaneProgram
 from repro.pisa.registers import Counter, Meter, Register
 from repro.pisa.tables import MatchTable
+from repro.telemetry.instrument import NULL_TELEMETRY
 from repro.util.errors import PipelineError
 
 DROP_PORT = 511
@@ -167,6 +168,9 @@ class Pipeline:
     ) -> None:
         self.program = program
         self.cost_model = cost_model or CostModel()
+        # Stamped by the owning switch on bind/install; inert otherwise.
+        self.telemetry = NULL_TELEMETRY
+        self.telemetry_track = program.name
         self.tables: Dict[str, MatchTable] = {}
         self.registers: Dict[str, Register] = {}
         self.counters: Dict[str, Counter] = {}
@@ -205,27 +209,65 @@ class Pipeline:
     # --- execution -----------------------------------------------------------
 
     def process(self, ctx: PacketContext) -> PacketContext:
-        """Run the context through parse-cost accounting and all tables."""
+        """Run the context through parse-cost accounting and all tables.
+
+        With telemetry active, each PISA stage (parse, every table,
+        deparse) is bracketed in a span and table hits/misses feed
+        labeled counters; otherwise the loop below runs untouched.
+        """
+        if self.telemetry.active:
+            return self._process_instrumented(ctx)
         ctx.cost += self.cost_model.parse_per_byte * (
             len(ctx.payload) + 64  # header bytes approximation for costing
         )
         for spec in self.program.tables:
-            table = self.tables[spec.name]
-            values = [ctx.field_value(name) for name in spec.key_fields]
-            action_call, hit = table.lookup(values)
-            ctx.cost += self.cost_model.table_lookup
-            ctx.trace.append(
-                f"{spec.name}:{'hit' if hit else 'miss'}->{action_call.action.name}"
-            )
-            self._execute(action_call, ctx)
-            terminal = {Primitive.DROP, Primitive.TO_CPU}
-            if ctx.egress_spec in (DROP_PORT, CPU_PORT) and any(
-                step.primitive in terminal
-                for step in action_call.action.steps
-            ):
+            _, terminal = self._run_stage(spec, ctx)
+            if terminal:
                 break  # dropped or punted: later stages are skipped
         ctx.cost += self.cost_model.deparse_per_byte * (len(ctx.payload) + 64)
         return ctx
+
+    def _process_instrumented(self, ctx: PacketContext) -> PacketContext:
+        """The same stage walk, bracketed in spans and counters."""
+        tel = self.telemetry
+        track = self.telemetry_track
+        with tel.span("pisa.parse", track=track):
+            ctx.cost += self.cost_model.parse_per_byte * (len(ctx.payload) + 64)
+        for spec in self.program.tables:
+            with tel.span("pisa.stage", track=track, table=spec.name) as span:
+                hit, terminal = self._run_stage(spec, ctx)
+                span.note(hit=hit)
+            tel.counter(
+                "pisa.table_lookups",
+                table=spec.name,
+                outcome="hit" if hit else "miss",
+            ).inc()
+            if terminal:
+                break
+        with tel.span("pisa.deparse", track=track):
+            ctx.cost += self.cost_model.deparse_per_byte * (
+                len(ctx.payload) + 64
+            )
+        return ctx
+
+    def _run_stage(
+        self, spec, ctx: PacketContext
+    ) -> Tuple[bool, bool]:
+        """One match-action stage; returns (table hit, pipeline done)."""
+        table = self.tables[spec.name]
+        values = [ctx.field_value(name) for name in spec.key_fields]
+        action_call, hit = table.lookup(values)
+        ctx.cost += self.cost_model.table_lookup
+        ctx.trace.append(
+            f"{spec.name}:{'hit' if hit else 'miss'}->{action_call.action.name}"
+        )
+        self._execute(action_call, ctx)
+        terminal = {Primitive.DROP, Primitive.TO_CPU}
+        done = ctx.egress_spec in (DROP_PORT, CPU_PORT) and any(
+            step.primitive in terminal
+            for step in action_call.action.steps
+        )
+        return hit, done
 
     def _execute(self, call: ActionCall, ctx: PacketContext) -> None:
         action = call.action

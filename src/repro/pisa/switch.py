@@ -15,6 +15,7 @@ from repro.net.simulator import Node
 from repro.pisa.pipeline import CPU_PORT, DROP_PORT, PacketContext, Pipeline
 from repro.pisa.program import DataplaneProgram
 from repro.pisa.runtime import P4Runtime
+from repro.telemetry.instrument import NULL_TELEMETRY
 from repro.util.errors import PipelineError
 
 
@@ -24,10 +25,23 @@ class PisaSwitch(Node):
     def __init__(self, name: str) -> None:
         super().__init__(name)
         self.runtime = P4Runtime(device_id=name)
+        self.telemetry = NULL_TELEMETRY
         self.packets_processed = 0
         self.packets_dropped = 0
         self.packets_to_cpu = 0
         self.total_cost = 0.0
+        # Pipelines are created on program install; re-stamp telemetry
+        # onto each new one so per-stage spans track this switch.
+        self.runtime.change_observers.append(self._stamp_pipeline_telemetry)
+
+    def on_bind(self, sim) -> None:
+        self.telemetry = sim.telemetry
+        self._stamp_pipeline_telemetry("config")
+
+    def _stamp_pipeline_telemetry(self, kind: str) -> None:
+        if kind == "config" and self.runtime.pipeline is not None:
+            self.runtime.pipeline.telemetry = self.telemetry
+            self.runtime.pipeline.telemetry_track = self.name
 
     @property
     def pipeline(self) -> Pipeline:

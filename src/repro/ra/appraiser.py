@@ -16,6 +16,7 @@ reference values, and the embedded nonce against freshness state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.crypto.keys import KeyRegistry
@@ -28,6 +29,7 @@ from repro.evidence import (
 )
 from repro.ra.claims import AppraisalVerdict, Claim
 from repro.ra.nonce import NonceManager
+from repro.telemetry.instrument import Telemetry, default_telemetry
 
 
 @dataclass
@@ -57,17 +59,43 @@ class Appraiser:
         anchors: KeyRegistry,
         policy: AppraisalPolicy,
         nonces: Optional[NonceManager] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.name = name
         self.anchors = anchors
         self.policy = policy
         self.nonces = nonces
+        self.telemetry = (
+            telemetry if telemetry is not None else default_telemetry()
+        )
         self.appraisals_performed = 0
 
     def appraise(
         self, evidence: Evidence, claim: Optional[Claim] = None
     ) -> AppraisalVerdict:
-        """Produce a verdict for one evidence bundle."""
+        """Produce a verdict for one evidence bundle.
+
+        With telemetry active, each appraisal feeds a verdict counter
+        and a wall-clock verification-latency histogram, both labeled
+        by appraiser.
+        """
+        if self.telemetry.active:
+            started = perf_counter()
+            verdict = self._appraise(evidence, claim)
+            self.telemetry.histogram(
+                "ra.appraise_seconds", appraiser=self.name
+            ).observe(perf_counter() - started)
+            self.telemetry.counter(
+                "ra.verdicts",
+                appraiser=self.name,
+                accepted=verdict.accepted,
+            ).inc()
+            return verdict
+        return self._appraise(evidence, claim)
+
+    def _appraise(
+        self, evidence: Evidence, claim: Optional[Claim] = None
+    ) -> AppraisalVerdict:
         self.appraisals_performed += 1
         failures: List[str] = []
         checked_measurements = 0

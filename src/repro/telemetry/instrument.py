@@ -1,0 +1,254 @@
+"""The glue between the telemetry registry and the rest of the stack.
+
+Layering rule: ``repro.telemetry.metrics``/``spans`` import nothing
+outside :mod:`repro.util`, and every *other* layer imports telemetry —
+never the reverse at module scope. The collectors below reach into
+simulator/switch/appraiser state purely by ``getattr`` duck typing, so
+no import cycle can form.
+
+Three ways instrumentation reaches a :class:`Telemetry`:
+
+1. **Explicit**: pass ``telemetry=`` to ``Simulator`` / appraisers.
+2. **Ambient**: everything defaults to :func:`default_telemetry`,
+   which is the inert :data:`NULL_TELEMETRY` unless the
+   ``REPRO_TELEMETRY`` environment variable is set (or a test/tool
+   installed one via :func:`use_default`). With the null object, the
+   entire subsystem costs one predictable branch per hot-path site.
+3. **Collectors**: existing stats structs (``SimStats``, ``RaStats``,
+   cache stats, the shared verify cache) are snapshotted into labeled
+   gauges at collection points instead of double-counting on the hot
+   path — :func:`collect_simulator` runs automatically at the end of
+   every ``Simulator.run`` when telemetry is active.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.telemetry.spans import DEFAULT_MAX_SPANS, NULL_SPAN, SpanRecorder
+from repro.util.clock import SimClock
+
+ENV_VAR = "REPRO_TELEMETRY"
+
+
+class Telemetry:
+    """One observability domain: a metrics registry plus a span recorder.
+
+    ``active=False`` builds the permanently-inert variant every
+    accessor of which returns a shared null object; the hot paths in
+    the simulator and switches check ``telemetry.active`` once and
+    skip even label construction when it is off.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        active: bool = True,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        self.active = active
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder(clock, max_spans=max_spans)
+
+    # --- clock ----------------------------------------------------------------
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Adopt a simulator's clock for span sim-timestamps."""
+        self.spans.bind_clock(clock)
+
+    # --- gated accessors --------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        if not self.active:
+            return NULL_COUNTER
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        if not self.active:
+            return NULL_GAUGE
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: object,
+    ) -> Histogram:
+        if not self.active:
+            return NULL_HISTOGRAM
+        return self.metrics.histogram(name, buckets=buckets, **labels)
+
+    def span(self, name: str, track: str = "main", **args: object):
+        if not self.active:
+            return NULL_SPAN
+        return self.spans.span(name, track=track, **args)
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(active={self.active}, metrics={len(self.metrics)}, "
+            f"spans={len(self.spans)})"
+        )
+
+
+#: The inert instance everything uses when observability is off.
+NULL_TELEMETRY = Telemetry(active=False)
+
+_global: Optional[Telemetry] = None
+_default: Optional[Telemetry] = None
+
+
+def global_telemetry() -> Telemetry:
+    """The process-wide active instance (created on first use).
+
+    Benchmarks and long sessions funnel every simulator into this one
+    registry so a single export describes the whole run.
+    """
+    global _global
+    if _global is None:
+        _global = Telemetry(active=True)
+    return _global
+
+
+def default_telemetry() -> Telemetry:
+    """What ambient instrumentation binds to when nothing is passed.
+
+    Resolution order: an instance installed via :func:`use_default`;
+    else :func:`global_telemetry` when ``REPRO_TELEMETRY`` is set to a
+    truthy value; else :data:`NULL_TELEMETRY`. The environment check
+    is cached — call :func:`reset_default` to re-read it.
+    """
+    global _default
+    if _default is None:
+        flag = os.environ.get(ENV_VAR, "").strip().lower()
+        if flag and flag not in ("0", "false", "off", "no"):
+            _default = global_telemetry()
+        else:
+            _default = NULL_TELEMETRY
+    return _default
+
+
+def use_default(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install the ambient default (tests, tools); returns the previous."""
+    global _default
+    previous = _default
+    _default = telemetry
+    return previous
+
+
+def reset_default() -> None:
+    """Forget the cached ambient default (environment is re-read)."""
+    global _default
+    _default = None
+
+
+# --- collectors: stats structs -> labeled gauges -------------------------------
+
+
+def collect_simulator(telemetry: Telemetry, sim) -> None:
+    """Snapshot a simulator and every bound node into the registry.
+
+    Runs automatically at the end of ``Simulator.run`` when telemetry
+    is active. Values are *gauges* — point-in-time copies of the
+    owning stats structs, last writer wins per label set — so a
+    process that runs many simulators reports each one's final state
+    without double counting.
+    """
+    if not telemetry.active:
+        return
+    stats = sim.stats
+    g = telemetry.gauge
+    g("net.sim.packets_transmitted").set(stats.packets_transmitted)
+    g("net.sim.bytes_transmitted").set(stats.bytes_transmitted)
+    g("net.sim.packets_dropped").set(stats.packets_dropped)
+    g("net.sim.control_messages").set(stats.control_messages)
+    g("net.sim.control_bytes").set(stats.control_bytes)
+    g("net.sim.control_dropped").set(stats.control_dropped)
+    g("net.sim.events_processed").set(stats.events_processed)
+    g("net.sim.dropped_trace_entries").set(stats.dropped_trace_entries)
+    for name in getattr(sim, "bound_nodes", []):
+        collect_node(telemetry, sim.node(name))
+
+
+def collect_node(telemetry: Telemetry, node) -> None:
+    """Snapshot one node behaviour (duck-typed, any layer)."""
+    if not telemetry.active:
+        return
+    g = telemetry.gauge
+    switch = node.name
+    if hasattr(node, "packets_processed"):  # PisaSwitch and up
+        g("pisa.packets_processed", switch=switch).set(node.packets_processed)
+        g("pisa.packets_dropped", switch=switch).set(node.packets_dropped)
+        g("pisa.packets_to_cpu", switch=switch).set(node.packets_to_cpu)
+        g("pisa.total_cost", switch=switch).set(node.total_cost)
+    ra_stats = getattr(node, "ra_stats", None)
+    if ra_stats is not None:  # PeraSwitch and up
+        g("pera.packets_attested", switch=switch).set(ra_stats.packets_attested)
+        g("pera.packets_skipped_by_sampling", switch=switch).set(
+            ra_stats.packets_skipped_by_sampling
+        )
+        g("pera.measurements_taken", switch=switch).set(
+            ra_stats.measurements_taken
+        )
+        g("pera.records_created", switch=switch).set(ra_stats.records_created)
+        g("pera.records_from_cache", switch=switch).set(
+            ra_stats.records_from_cache
+        )
+        g("pera.signatures_produced", switch=switch).set(
+            ra_stats.signatures_produced
+        )
+        g("pera.out_of_band_sent", switch=switch).set(ra_stats.out_of_band_sent)
+        g("pera.evidence_bytes_added", switch=switch).set(
+            ra_stats.evidence_bytes_added
+        )
+        g("pera.gated_drops", switch=switch).set(ra_stats.gated_drops)
+        g("pera.ra_cost", switch=switch).set(node.ra_cost)
+        cache = node.cache
+        g("pera.cache.hits", switch=switch).set(cache.stats.hits)
+        g("pera.cache.misses", switch=switch).set(cache.stats.misses)
+        g("pera.cache.invalidations", switch=switch).set(
+            cache.stats.invalidations
+        )
+        g("pera.cache.hit_rate", switch=switch).set(cache.stats.hit_rate)
+
+
+def collect_verify_cache(telemetry: Telemetry) -> None:
+    """Snapshot the shared memoized-verification cache's hit rate."""
+    if not telemetry.active:
+        return
+    from repro.evidence.verify import shared_cache  # lazy: higher layer
+
+    stats = shared_cache.stats
+    g = telemetry.gauge
+    g("evidence.verify_cache.hits").set(stats.hits)
+    g("evidence.verify_cache.misses").set(stats.misses)
+    g("evidence.verify_cache.hit_rate").set(stats.hit_rate)
+    g("evidence.verify_cache.size").set(len(shared_cache))
+
+
+def collect_globals(telemetry: Telemetry) -> None:
+    """Snapshot all process-wide shared state (exports call this)."""
+    collect_verify_cache(telemetry)
+
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "global_telemetry",
+    "default_telemetry",
+    "use_default",
+    "reset_default",
+    "collect_simulator",
+    "collect_node",
+    "collect_verify_cache",
+    "collect_globals",
+]

@@ -1,0 +1,221 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+The design target is the simulator's per-packet hot path: an increment
+must be one attribute add on a pre-resolved object. Metrics are
+resolved once (``registry.counter(name, **labels)`` get-or-creates)
+and then held by the instrumented object, so steady-state cost is
+``self._tx.inc(n)`` — a slotted ``+=``. Labeled children give the
+per-switch / per-link / per-policy breakdowns the paper's cost story
+needs (Fig. 4's axes are only legible when the numbers are split by
+where they were paid).
+
+Disabled telemetry hands out the ``NULL_*`` singletons instead, whose
+mutators are no-ops, so call sites never branch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets for wall-clock latencies in seconds
+#: (10µs .. 10s, roughly half-decade steps).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 10.0,
+)
+
+
+def _label_items(labels: Mapping[str, object]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_name(name: str, labels: LabelItems) -> str:
+    """``name{k=v,...}`` — the flat key used in snapshots and tables."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, packets, bytes)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, cache size)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style upper bounds).
+
+    ``buckets`` are sorted inclusive upper bounds; one overflow bucket
+    is added implicitly. ``observe`` is a bisect plus two adds, cheap
+    enough for per-appraisal latencies.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        chosen = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
+        if list(chosen) != sorted(chosen):
+            raise ValueError(f"histogram buckets must be sorted: {chosen}")
+        self.name = name
+        self.labels = labels
+        self.buckets = chosen
+        self.counts: List[int] = [0] * (len(chosen) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter(Counter):
+    """Shared sink for disabled telemetry: mutators are no-ops."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric in one telemetry domain.
+
+    A metric's identity is ``(name, sorted label items)``; asking for
+    the same identity twice returns the same object, so instrumented
+    code can resolve eagerly and increment forever. Asking for one
+    name with two different metric kinds is a bug and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], object] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(Counter, name, _label_items(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get_or_create(Gauge, name, _label_items(labels))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, key[1], buckets=buckets)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def _get_or_create(self, cls, name: str, labels: LabelItems):
+        key = (name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._metrics.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics by kind, keyed ``name{labels}`` — the JSON view."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for (name, labels), metric in sorted(self._metrics.items()):
+            flat = render_name(name, labels)
+            out[metric.kind + "s"][flat] = metric.snapshot()
+        return out

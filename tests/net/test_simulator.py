@@ -105,10 +105,24 @@ class TestSimulatorCore:
         assert h2.control_received[0][1] == "h1"
         assert sim.stats.control_bytes == 100
 
-    def test_control_unknown_recipient(self):
+    def test_control_unknown_recipient_counts_drop(self):
+        """Control drops are accounted symmetrically with dataplane
+        drops: observable in stats, not an exception, not silence."""
         sim, _, _ = two_hosts_one_switch()
-        with pytest.raises(NetworkError):
-            sim.send_control("h1", "ghost", "x")
+        assert sim.send_control("h1", "ghost", "x") is False
+        assert sim.stats.control_dropped == 1
+        assert sim.stats.control_messages == 0
+        assert sim.stats.control_bytes == 0
+
+    def test_control_drop_at_delivery_counts(self):
+        """A recipient that vanishes between send and delivery is a
+        counted control drop, never a crash mid-event-loop."""
+        sim, h1, h2 = two_hosts_one_switch()
+        assert sim.send_control("h1", "h2", "evidence", size_hint=10) is True
+        del sim._nodes["h2"]  # unbind between send and delivery
+        sim.run()
+        assert sim.stats.control_dropped == 1
+        assert sim.stats.control_messages == 1  # the send itself counted
 
     def test_stats_accumulate(self):
         sim, h1, h2 = two_hosts_one_switch()
@@ -117,6 +131,107 @@ class TestSimulatorCore:
         sim.run()
         assert sim.stats.packets_transmitted == 6  # 3 pkts x 2 links
         assert sim.stats.bytes_transmitted > 0
+
+
+class TestStatsAccounting:
+    """SimStats must account every byte and every drop, on every path:
+    transmit, link loss, dark ports, policy drops and the control
+    channel (satellite: symmetric drop accounting)."""
+
+    def test_transmit_counts_packets_and_bytes(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        h1.send_udp(dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2,
+                    payload=b"x" * 10)
+        sim.run()
+        assert sim.stats.packets_transmitted == 2  # two links
+        wire = h2.received_packets[0].wire_length
+        assert sim.stats.bytes_transmitted == 2 * wire
+        assert sim.stats.packets_dropped == 0
+
+    def test_link_loss_counts_drops_not_transmits(self):
+        topo = Topology()
+        topo.add_node("h1", kind="host")
+        topo.add_node("h2", kind="host")
+        topo.add_link("h1", 1, "h2", 1, drop_rate=0.999999)
+        sim = Simulator(topo, seed=7)
+        h1 = Host("h1", mac=1, ip=1)
+        h2 = Host("h2", mac=2, ip=2)
+        sim.bind(h1)
+        sim.bind(h2)
+        for _ in range(20):
+            h1.send_udp(dst_mac=2, dst_ip=2, src_port=1, dst_port=2)
+        sim.run()
+        assert sim.stats.packets_dropped > 0
+        assert (sim.stats.packets_transmitted + sim.stats.packets_dropped
+                == 20)
+        assert len(h2.received_packets) == sim.stats.packets_transmitted
+
+    def test_dark_port_drop_counted(self):
+        sim, _, _ = two_hosts_one_switch()
+        sim.transmit("s1", 42, Packet.udp_packet(1, 2, 3, 4, 5, 6))
+        assert sim.stats.packets_dropped == 1
+        assert sim.stats.packets_transmitted == 0
+
+    def test_policy_drop_counted(self):
+        sim, _, _ = two_hosts_one_switch()
+        sim.drop("s1", Packet.udp_packet(1, 2, 3, 4, 5, 6), reason="acl deny")
+        assert sim.stats.packets_dropped == 1
+
+    def test_control_accounting_symmetric_with_dataplane(self):
+        """Delivered and dropped control messages are both visible."""
+        sim, h1, h2 = two_hosts_one_switch()
+        assert sim.send_control("h1", "h2", "ok", size_hint=5) is True
+        assert sim.send_control("h1", "ghost", "lost", size_hint=5) is False
+        sim.run()
+        assert sim.stats.control_messages == 1
+        assert sim.stats.control_bytes == 5
+        assert sim.stats.control_dropped == 1
+        assert len(h2.control_received) == 1
+
+
+class TestTraceBounding:
+    """The event trace and packet log are ring buffers: memory stays
+    bounded under heavy traffic and evictions are counted."""
+
+    def test_packet_log_bounded_and_evictions_counted(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        assert sim.packet_log.capacity == 65536  # default bound
+        sim.trace_enabled = True
+        sim.packet_log = type(sim.packet_log)(4)
+        for _ in range(10):
+            h1.send_udp(dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2)
+        sim.run()
+        assert len(sim.packet_log) == 4
+        assert sim.stats.dropped_trace_entries > 0
+        # The survivors are the *newest* entries.
+        times = [entry.time for entry in sim.packet_log]
+        assert times == sorted(times)
+
+    def test_trace_limit_constructor_param(self):
+        topo = Topology()
+        topo.add_node("h1", kind="host")
+        topo.add_node("h2", kind="host")
+        topo.add_link("h1", 1, "h2", 1)
+        sim = Simulator(topo, trace_limit=3)
+        sim.trace_enabled = True
+        h1 = Host("h1", mac=1, ip=1)
+        h2 = Host("h2", mac=2, ip=2)
+        sim.bind(h1)
+        sim.bind(h2)
+        for _ in range(8):
+            h1.send_udp(dst_mac=2, dst_ip=2, src_port=1, dst_port=2)
+        sim.run()
+        assert len(sim.trace) == 3
+        assert len(sim.packet_log) == 3
+        assert sim.stats.dropped_trace_entries > 0
+
+    def test_tracing_disabled_records_nothing(self):
+        sim, h1, h2 = two_hosts_one_switch()
+        h1.send_udp(dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2)
+        sim.run()
+        assert len(sim.trace) == 0
+        assert len(sim.packet_log) == 0
+        assert sim.stats.dropped_trace_entries == 0
 
 
 class TestRouting:

@@ -105,3 +105,38 @@ class TestTraceAnalysis:
         text = TraceAnalysis.of(sim).timeline(limit=2)
         assert "h-src:1 -> s1:1" in text
         assert "more" in text  # 3 entries, limit 2
+
+    def test_not_truncated_under_bound(self):
+        sim, src, dst = build()
+        src.send_udp(dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2)
+        sim.run()
+        analysis = TraceAnalysis.of(sim)
+        assert not analysis.truncated
+        assert analysis.dropped_entries == 0
+        assert "truncated" not in analysis.timeline()
+
+
+class TestTraceTruncation:
+    """Analyses over an evicted (ring-buffer-bounded) log say so."""
+
+    def test_truncation_surfaces_in_analysis(self):
+        sim, src, dst = build()
+        sim.packet_log = type(sim.packet_log)(2)
+        for _ in range(4):
+            src.send_udp(dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2)
+        sim.run()
+        analysis = TraceAnalysis.of(sim)
+        assert analysis.truncated
+        assert analysis.dropped_entries == sim.packet_log.dropped
+        assert analysis.dropped_entries > 0
+        assert len(analysis.entries) == 2
+
+    def test_timeline_carries_truncation_notice(self):
+        sim, src, dst = build()
+        sim.packet_log = type(sim.packet_log)(2)
+        for _ in range(4):
+            src.send_udp(dst_mac=dst.mac, dst_ip=dst.ip, src_port=1, dst_port=2)
+        sim.run()
+        text = TraceAnalysis.of(sim).timeline()
+        assert text.startswith("(truncated:")
+        assert "older entries evicted" in text

@@ -1,0 +1,146 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    render_name,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("pkts")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert c.snapshot() == 3.5
+
+    def test_kind(self):
+        assert Counter("x").kind == "counter"
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.add(-3)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)   # bucket <= 1.0
+        h.observe(1.0)   # inclusive upper bound
+        h.observe(5.0)   # bucket <= 10.0
+        h.observe(99.0)  # overflow
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.5)
+        assert h.mean == pytest.approx(105.5 / 4)
+
+    def test_default_buckets(self):
+        h = Histogram("lat")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+        assert len(h.counts) == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("lat").mean == 0.0
+
+    def test_snapshot_shape(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap["buckets"] == [1.0]
+        assert snap["counts"] == [1, 0]
+        assert snap["count"] == 1
+        assert snap["mean"] == pytest.approx(0.5)
+
+
+class TestNullObjects:
+    def test_null_mutators_are_noops(self):
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(5)
+        NULL_GAUGE.add(5)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_nulls_still_quack(self):
+        # Instrumented code holds these without type checks.
+        assert NULL_COUNTER.kind == "counter"
+        assert NULL_GAUGE.kind == "gauge"
+        assert NULL_HISTOGRAM.kind == "histogram"
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("pkts", switch="s1")
+        b = reg.counter("pkts", switch="s1")
+        assert a is b
+        a.inc()
+        assert b.value == 1.0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("pkts", a="1", b="2")
+        b = reg.counter("pkts", b="2", a="1")
+        assert a is b
+
+    def test_different_labels_are_different_children(self):
+        reg = MetricsRegistry()
+        s1 = reg.counter("pkts", switch="s1")
+        s2 = reg.counter("pkts", switch="s2")
+        assert s1 is not s2
+        s1.inc()
+        assert s2.value == 0.0
+        assert len(reg) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("x")
+
+    def test_non_string_label_values_coerced(self):
+        reg = MetricsRegistry()
+        a = reg.counter("verdicts", accepted=True)
+        b = reg.counter("verdicts", accepted="True")
+        assert a is b
+
+    def test_snapshot_keys(self):
+        reg = MetricsRegistry()
+        reg.counter("pkts", switch="s1").inc(3)
+        reg.gauge("depth").set(7)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        doc = reg.snapshot()
+        assert doc["counters"] == {"pkts{switch=s1}": 3.0}
+        assert doc["gauges"] == {"depth": 7.0}
+        assert doc["histograms"]["lat"]["count"] == 1
+
+
+class TestRenderName:
+    def test_no_labels(self):
+        assert render_name("pkts", ()) == "pkts"
+
+    def test_with_labels(self):
+        assert (
+            render_name("pkts", (("link", "a->b"), ("switch", "s1")))
+            == "pkts{link=a->b,switch=s1}"
+        )

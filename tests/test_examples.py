@@ -34,3 +34,32 @@ def test_example_runs_clean(script):
 def test_examples_exist():
     assert len(EXAMPLES) >= 8
     assert (EXAMPLES_DIR / "quickstart.py") in EXAMPLES
+
+
+def test_quickstart_exports_valid_chrome_trace(tmp_path):
+    """An observed quickstart run writes a loadable Chrome trace with
+    at least one complete (ph="X") pipeline span."""
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(EXAMPLES_DIR / "quickstart.py"),
+            "--trace-out", str(trace_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"quickstart --trace-out failed:\n"
+        f"{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    document = json.loads(trace_path.read_text())
+    completes = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+    assert completes, "trace has no complete spans"
+    for event in completes:
+        assert {"name", "pid", "tid", "ts", "dur"} <= set(event)
+    # The dataplane pipeline itself was spanned, stage by stage.
+    assert any(e["name"] == "pisa.stage" for e in completes)

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.pera",
     "repro.core",
     "repro.analysis",
+    "repro.telemetry",
 ]
 
 

@@ -1,0 +1,74 @@
+"""Tests for the counted-eviction ring buffer."""
+
+import pytest
+
+from repro.util.ring import RingBuffer
+
+
+class TestRingBuffer:
+    def test_append_under_capacity(self):
+        ring = RingBuffer(3)
+        assert ring.append(1) is False
+        assert ring.append(2) is False
+        assert ring.to_list() == [1, 2]
+        assert ring.dropped == 0
+
+    def test_eviction_keeps_newest_and_counts(self):
+        ring = RingBuffer(3)
+        for i in range(7):
+            ring.append(i)
+        assert ring.to_list() == [4, 5, 6]
+        assert ring.dropped == 4
+        assert len(ring) == 3
+
+    def test_append_returns_true_on_eviction(self):
+        ring = RingBuffer(1)
+        assert ring.append("a") is False
+        assert ring.append("b") is True
+        assert ring.to_list() == ["b"]
+
+    def test_capacity_property(self):
+        assert RingBuffer(5).capacity == 5
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+        with pytest.raises(ValueError):
+            RingBuffer(-1)
+
+    def test_iteration_and_indexing(self):
+        ring = RingBuffer(4)
+        for i in range(4):
+            ring.append(i)
+        assert list(ring) == [0, 1, 2, 3]
+        assert ring[0] == 0
+        assert ring[-1] == 3
+        assert ring[1:3] == [1, 2]
+
+    def test_equality_with_list_tuple_and_ring(self):
+        ring = RingBuffer(3)
+        ring.append(1)
+        ring.append(2)
+        assert ring == [1, 2]
+        assert ring == (1, 2)
+        other = RingBuffer(9)
+        other.append(1)
+        other.append(2)
+        assert ring == other  # capacity is not part of equality
+        assert ring != [2, 1]
+
+    def test_clear_empties_but_keeps_drop_count(self):
+        ring = RingBuffer(2)
+        for i in range(5):
+            ring.append(i)
+        dropped = ring.dropped
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.dropped == dropped
+
+    def test_repr_mentions_state(self):
+        ring = RingBuffer(2)
+        ring.append(1)
+        text = repr(ring)
+        assert "capacity=2" in text
+        assert "dropped=0" in text
