@@ -16,7 +16,9 @@ regression arrives with a breakdown (per-switch evidence counters,
 verify-cache hit rate, span aggregates) rather than just a total. Run
 with ``REPRO_TELEMETRY=1`` to capture live per-link counters and
 per-stage spans too; a ``benchmarks/TELEMETRY_trace.json`` Chrome
-trace is then written alongside.
+trace and, when attestation audit events were recorded, a
+``benchmarks/AUDIT.json`` journal (render it with
+``python -m repro.telemetry.report``) are then written alongside.
 """
 
 from __future__ import annotations
@@ -29,6 +31,10 @@ _REPORT_PATH = pathlib.Path(__file__).parent / "_reported.txt"
 _RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_results.json"
 _TELEMETRY_PATH = pathlib.Path(__file__).parent / "TELEMETRY.json"
 _TELEMETRY_TRACE_PATH = pathlib.Path(__file__).parent / "TELEMETRY_trace.json"
+_AUDIT_PATH = pathlib.Path(__file__).parent / "AUDIT.json"
+
+# Version stamp for BENCH_results.json; bump on layout changes.
+_BENCH_SCHEMA = "repro.bench/v1"
 
 # Tables reproduced during this session, in report() order.
 _reported: List[dict] = []
@@ -90,6 +96,7 @@ def _dump_telemetry() -> None:
         Telemetry,
         collect_globals,
         default_telemetry,
+        dump_audit,
         dump_json,
         write_chrome_trace,
     )
@@ -101,6 +108,8 @@ def _dump_telemetry() -> None:
     dump_json(telemetry, _TELEMETRY_PATH)
     if len(telemetry.spans):
         write_chrome_trace(telemetry, _TELEMETRY_TRACE_PATH)
+    if len(telemetry.audit):
+        dump_audit(telemetry, _AUDIT_PATH)
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -109,6 +118,7 @@ def pytest_sessionfinish(session, exitstatus):
     if not benchmarks and not _reported:
         return  # collection-only / non-benchmark invocation
     document = {
+        "schema": _BENCH_SCHEMA,
         "exit_status": int(exitstatus),
         "reported_tables": _reported,
         "benchmarks": benchmarks,

@@ -8,10 +8,14 @@ appraises the evidence the packet accumulated.
 
 Run:  python examples/quickstart.py
 
-With ``--trace-out trace.json`` (and/or ``--telemetry-out run.json``)
-the run is observed end to end: per-pipeline-stage spans, evidence
-counters and the verify-cache hit rate are exported as a Chrome
-``chrome://tracing`` trace / JSON metrics dump.
+With ``--trace-out trace.json`` (and/or ``--telemetry-out run.json``,
+``--audit-out audit.json``) the run is observed end to end:
+per-pipeline-stage spans, evidence counters, the verify-cache hit rate
+and the attestation audit journal are exported as a Chrome
+``chrome://tracing`` trace / JSON dumps. Exports are registered up
+front (``Telemetry.auto_dump``) and flushed inside ``Simulator.run``'s
+``try/finally``, so even a crashed run leaves usable artifacts.
+Render the audit export with ``python -m repro.telemetry.report``.
 """
 
 import argparse
@@ -36,7 +40,7 @@ from repro.pera.inertia import InertiaClass
 from repro.pisa.programs import firewall_program
 from repro.pisa.runtime import TableEntry
 from repro.pisa.tables import MatchKey, MatchKind
-from repro.telemetry import Telemetry, dump_run
+from repro.telemetry import Telemetry
 
 
 def main(argv=None) -> None:
@@ -49,9 +53,20 @@ def main(argv=None) -> None:
         "--telemetry-out", metavar="PATH", default=None,
         help="write a JSON metrics + spans dump of the run",
     )
+    parser.add_argument(
+        "--audit-out", metavar="PATH", default=None,
+        help="write the attestation audit journal as JSON",
+    )
     args = parser.parse_args(argv)
-    observe = args.trace_out or args.telemetry_out
+    observe = args.trace_out or args.telemetry_out or args.audit_out
     telemetry = Telemetry() if observe else None
+    if telemetry is not None:
+        # Crash-safe: Simulator.run flushes these in a try/finally.
+        telemetry.auto_dump(
+            json_path=args.telemetry_out,
+            trace_path=args.trace_out,
+            audit_path=args.audit_out,
+        )
 
     # 1. A tiny network: h-src — s1 — h-dst.
     topology = linear_topology(1)
@@ -115,14 +130,13 @@ def main(argv=None) -> None:
     print(verdict.describe())
     assert verdict.accepted
 
-    # 6. Export the run's own telemetry, if asked for.
+    # 6. Explain the verdict from the audit journal, then re-flush the
+    #    exports so the appraisal-side events land in them too.
     if telemetry is not None:
-        written = dump_run(
-            telemetry,
-            json_path=args.telemetry_out,
-            trace_path=args.trace_out,
-        )
-        for path in written:
+        if verdict.trace_id is not None:
+            print("\n--- audit narrative ---")
+            print(verdict.explain(telemetry))
+        for path in telemetry.flush():
             print(f"telemetry written to {path}")
 
 

@@ -31,7 +31,9 @@ from repro.pera.inertia import InertiaClass
 from repro.pera.records import HopRecord, decode_record_stack
 from repro.pisa.program import DataplaneProgram
 from repro.ra.nonce import NonceManager
+from repro.telemetry.audit import AuditKind, Check, explain_verdict
 from repro.telemetry.instrument import Telemetry, default_telemetry
+from repro.telemetry.tracing import TraceContext
 
 
 def program_reference(program: DataplaneProgram) -> bytes:
@@ -72,6 +74,8 @@ class PathVerdict:
     records_checked: int = 0
     hop_count: int = 0
     functions_seen: Tuple[str, ...] = ()
+    #: The causal trace the appraised packet carried (when tracing ran).
+    trace_id: Optional[str] = None
 
     def describe(self) -> str:
         status = "ACCEPTED" if self.accepted else "REJECTED"
@@ -83,6 +87,38 @@ class PathVerdict:
             lines.append("functions: " + " -> ".join(self.functions_seen))
         lines.extend(f"failure: {f}" for f in self.failures)
         return "\n".join(lines)
+
+    def explain(self, audit) -> str:
+        """Join the audit journal into this verdict's per-hop story.
+
+        ``audit`` may be a :class:`~repro.telemetry.instrument.Telemetry`,
+        an :class:`~repro.telemetry.audit.AuditJournal`, or any iterable
+        of audit events / exported event dicts. The narrative walks the
+        packet's whole life — origin, each forwarding hop, every
+        measurement/signature/evidence step — and ends with which check
+        failed where (or why everything passed).
+        """
+        journal = getattr(audit, "audit", audit)
+        events = getattr(journal, "events", journal)
+        return explain_verdict(self, events)
+
+
+class _Failures(List[str]):
+    """A failure sink that remembers which check produced each message.
+
+    Checks keep appending plain strings (their public behaviour is
+    unchanged); the sink labels each with the check being run so the
+    audit journal can report failures structurally.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.current: str = Check.OTHER
+        self.detailed: List[Tuple[str, str]] = []
+
+    def append(self, message: str) -> None:
+        super().append(message)
+        self.detailed.append((self.current, message))
 
 
 class PathAppraiser:
@@ -102,6 +138,8 @@ class PathAppraiser:
             telemetry if telemetry is not None else default_telemetry()
         )
         self.appraisals_performed = 0
+        # Trace of the appraisal in flight (for per-check audit events).
+        self._current_trace: Optional[TraceContext] = None
 
     # --- entry points ---------------------------------------------------------
 
@@ -115,24 +153,61 @@ class PathAppraiser:
         packet digests, each must match the packet as that hop saw it,
         so evidence cannot be spliced onto different traffic.
         """
+        tel = self.telemetry
+        trace = packet.trace
+        trace_id = trace.trace_id if trace is not None else None
         if packet.ra_shim is None:
+            message = "packet carries no RA shim header"
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.CHECK_FAILED,
+                    self.name,
+                    trace=trace,
+                    check=Check.SHIM,
+                    message=message,
+                )
+                tel.audit_event(
+                    AuditKind.VERDICT_ISSUED,
+                    self.name,
+                    trace=trace,
+                    accepted=False,
+                    records=0,
+                    failures=1,
+                )
             return PathVerdict(
-                accepted=False, failures=("packet carries no RA shim header",)
+                accepted=False, failures=(message,), trace_id=trace_id
             )
         records = decode_record_stack(packet.ra_shim.body)
         verdict = self.appraise_records(
-            records, hop_count=packet.ra_shim.hop_count, compiled=compiled
+            records,
+            hop_count=packet.ra_shim.hop_count,
+            compiled=compiled,
+            trace=trace,
+            _emit_verdict=False,
         )
-        binding_failures: List[str] = []
+        binding_failures = _Failures()
+        binding_failures.current = Check.BINDING
         self._check_packet_binding(packet, records, binding_failures)
         if binding_failures:
+            if tel.active:
+                for check, message in binding_failures.detailed:
+                    tel.audit_event(
+                        AuditKind.CHECK_FAILED,
+                        self.name,
+                        trace=trace,
+                        check=check,
+                        message=message,
+                    )
             verdict = PathVerdict(
                 accepted=False,
                 failures=verdict.failures + tuple(binding_failures),
                 records_checked=verdict.records_checked,
                 hop_count=verdict.hop_count,
                 functions_seen=verdict.functions_seen,
+                trace_id=verdict.trace_id,
             )
+        if tel.active:
+            self._emit_verdict_event(verdict, records, trace)
         return verdict
 
     def _check_packet_binding(
@@ -189,20 +264,26 @@ class PathAppraiser:
         records: List[HopRecord],
         hop_count: int,
         compiled: Optional[CompiledPolicy] = None,
+        trace: Optional[TraceContext] = None,
+        _emit_verdict: bool = True,
     ) -> PathVerdict:
         """Appraise a record stack; the shared core of both entry points.
 
         With telemetry active, each appraisal runs inside a
         ``core.appraise`` span and feeds a verdict counter plus a
-        wall-clock verification-latency histogram.
+        wall-clock verification-latency histogram; every failed check
+        lands in the audit journal tagged with ``trace``.
+        ``_emit_verdict`` lets :meth:`appraise_packet` defer the final
+        VERDICT_ISSUED event until after its binding checks.
         """
         if not self.telemetry.active:
-            return self._appraise_records(records, hop_count, compiled)
+            return self._appraise_records(records, hop_count, compiled, trace)
         started = perf_counter()
+        tags = trace.span_args() if trace is not None else {}
         with self.telemetry.span(
-            "core.appraise", track=self.name, records=len(records)
+            "core.appraise", track=self.name, records=len(records), **tags
         ):
-            verdict = self._appraise_records(records, hop_count, compiled)
+            verdict = self._appraise_records(records, hop_count, compiled, trace)
         self.telemetry.histogram(
             "core.path_appraise_seconds", appraiser=self.name
         ).observe(perf_counter() - started)
@@ -211,30 +292,67 @@ class PathAppraiser:
             appraiser=self.name,
             accepted=verdict.accepted,
         ).inc()
+        if _emit_verdict:
+            self._emit_verdict_event(verdict, records, trace)
         return verdict
+
+    def _emit_verdict_event(
+        self,
+        verdict: PathVerdict,
+        records: List[HopRecord],
+        trace: Optional[TraceContext],
+    ) -> None:
+        self.telemetry.audit_event(
+            AuditKind.VERDICT_ISSUED,
+            self.name,
+            trace=trace,
+            digest=records[-1].content_digest if records else None,
+            accepted=verdict.accepted,
+            records=verdict.records_checked,
+            failures=len(verdict.failures),
+        )
 
     def _appraise_records(
         self,
         records: List[HopRecord],
         hop_count: int,
         compiled: Optional[CompiledPolicy] = None,
+        trace: Optional[TraceContext] = None,
     ) -> PathVerdict:
         self.appraisals_performed += 1
-        failures: List[str] = []
+        self._current_trace = trace
+        failures = _Failures()
+        failures.current = Check.SIGNATURE
         self._check_signatures(records, failures)
+        failures.current = Check.MEASUREMENT
         self._check_measurements(records, failures)
+        failures.current = Check.CHAIN
         self._check_chain(records, failures)
+        failures.current = Check.COVERAGE
         self._check_coverage(records, hop_count, compiled, failures)
         functions = self._observed_functions(records)
         if compiled is not None:
+            failures.current = Check.FUNCTION
             self._check_required_functions(functions, compiled, failures)
+            failures.current = Check.NONCE
             self._check_nonce(compiled, failures)
+        tel = self.telemetry
+        if tel.active:
+            for check, message in failures.detailed:
+                tel.audit_event(
+                    AuditKind.CHECK_FAILED,
+                    self.name,
+                    trace=trace,
+                    check=check,
+                    message=message,
+                )
         return PathVerdict(
             accepted=not failures,
             failures=tuple(failures),
             records_checked=len(records),
             hop_count=hop_count,
             functions_seen=tuple(name for _, name in functions),
+            trace_id=trace.trace_id if trace is not None else None,
         )
 
     # --- individual checks -------------------------------------------------------
@@ -245,9 +363,21 @@ class PathAppraiser:
     def _check_signatures(
         self, records: List[HopRecord], failures: List[str]
     ) -> None:
+        tel = self.telemetry
         for index, record in enumerate(records):
             signer = self._signer_for(record.place)
-            if not record.verify(self.policy.anchors, signer=signer):
+            ok = record.verify(self.policy.anchors, signer=signer)
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.SIGNATURE_VERIFIED,
+                    self.name,
+                    trace=self._current_trace,
+                    digest=record.content_digest,
+                    ok=ok,
+                    place=record.place,
+                    record=index,
+                )
+            if not ok:
                 failures.append(
                     f"record {index} ({record.place}): signature invalid "
                     "or signer untrusted"

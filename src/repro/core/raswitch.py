@@ -22,6 +22,7 @@ from repro.pera.config import EvidenceConfig
 from repro.pera.records import HopRecord
 from repro.pera.switch import PeraSwitch
 from repro.pisa.pipeline import DROP_PORT, PacketContext
+from repro.telemetry.audit import AuditKind
 
 
 class NetworkAwarePeraSwitch(PeraSwitch):
@@ -93,15 +94,40 @@ class NetworkAwarePeraSwitch(PeraSwitch):
         self.policies_seen[compiled.policy_id] = (
             self.policies_seen.get(compiled.policy_id, 0) + 1
         )
+        tel = self.telemetry
+        trace = packet.trace
         records = self.inspect_evidence(packet)
+        if tel.active and records:
+            tel.audit_event(
+                AuditKind.EVIDENCE_INSPECTED,
+                self.name,
+                trace=trace,
+                records=len(records),
+                digest=records[-1].content_digest,
+            )
         if self.evidence_gate is not None and not self.evidence_gate(ctx, records):
             self.ra_stats.gated_drops += 1
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.GATE_DROPPED,
+                    self.name,
+                    trace=trace,
+                    records=len(records),
+                )
             ctx.egress_spec = DROP_PORT
             return ctx
         directive = compiled.hop
         if not self.evaluate_test(directive.test_text, ctx):
             # Fail early: no attestation effort, but the hop still
             # counts itself so the appraiser sees path coverage.
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.POLICY_TEST_FAILED,
+                    self.name,
+                    trace=trace,
+                    policy=compiled.policy_id,
+                    test=directive.test_text,
+                )
             ctx.packet = packet.with_shim(packet.ra_shim.with_hop())
             return ctx
         now = self.sim.clock.now if self.sim is not None else 0.0
@@ -115,7 +141,7 @@ class NetworkAwarePeraSwitch(PeraSwitch):
             previous_target = self.appraiser_node
             self.appraiser_node = directive.out_of_band_to
             try:
-                self._send_out_of_band(record)
+                self._send_out_of_band(record, trace=trace)
             finally:
                 self.appraiser_node = previous_target
             ctx.packet = packet.with_shim(packet.ra_shim.with_hop())

@@ -133,15 +133,17 @@ def run_config_assurance(
     packets: int = 20,
     swap_at: Optional[int] = 10,
     sampling: Optional[SamplingSpec] = None,
+    switch_count: int = 2,
 ) -> ConfigAssuranceResult:
     """UC1 / the Athens affair, end to end.
 
-    A chain of attesting switches runs vetted ``firewall_v5``; at
-    packet ``swap_at`` an attacker (who *is* the P4Runtime master)
-    installs the rogue variant that clones traffic to a spy port. The
-    relying party appraises each delivered packet's path evidence: the
-    program measurement changes, so appraisal rejects from the swap
-    on — with per-packet attestation, at the very first rogue packet.
+    A chain of ``switch_count`` attesting switches runs vetted
+    ``firewall_v5``; at packet ``swap_at`` an attacker (who *is* the
+    P4Runtime master) installs the rogue variant that clones traffic to
+    a spy port. The relying party appraises each delivered packet's
+    path evidence: the program measurement changes, so appraisal
+    rejects from the swap on — with per-packet attestation, at the very
+    first rogue packet.
     """
     config = EvidenceConfig(
         detail=DetailLevel.MINIMAL,
@@ -149,7 +151,9 @@ def run_config_assurance(
         sampling=sampling or SamplingSpec(),
     )
     genuine = firewall_program()
-    sim, src, dst, switches = _pera_chain(2, config, programs=[genuine, genuine])
+    sim, src, dst, switches = _pera_chain(
+        switch_count, config, programs=[genuine] * switch_count
+    )
     # The spy host hangs off s1's port 3.
     sim.topology.add_node("h-spy", kind="host")
     sim.topology.add_link("s1", 3, "h-spy", 1)
@@ -157,13 +161,13 @@ def run_config_assurance(
     sim.bind(spy)
 
     appraiser = _appraiser_for(
-        switches, [genuine, genuine],
+        switches, [genuine] * switch_count,
         allow_sampling=sampling is not None
         and sampling.mode is not SamplingMode.EVERY_PACKET,
     )
     policy = compile_policy_for_path(
         ap1_bank_path_attestation(),
-        path=["h-src", "s1", "s2", "h-dst"],
+        path=["h-src"] + [s.name for s in switches] + ["h-dst"],
         bindings={"client": "h-dst"},
         composition=CompositionMode.CHAINED,
     )

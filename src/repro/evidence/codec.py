@@ -190,8 +190,12 @@ def decode_hop_body(data: bytes) -> HopEvidence:
                 raise CodecError("measurement TLV too short")
             measurements.append((element.value[0], element.value[1:]))
         elif element.type == HOP_F_SEQUENCE:
+            if len(element.value) != 4:
+                raise CodecError("sequence TLV must be 4 bytes")
             sequence = int.from_bytes(element.value, "big")
         elif element.type == HOP_F_INGRESS_PORT:
+            if len(element.value) != 2:
+                raise CodecError("ingress-port TLV must be 2 bytes")
             ingress_port = int.from_bytes(element.value, "big")
         elif element.type == HOP_F_CHAIN_HEAD:
             chain_head = element.value

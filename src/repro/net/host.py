@@ -13,6 +13,8 @@ from typing import Any, Callable, List, Optional, Tuple
 from repro.net.headers import RaShimHeader
 from repro.net.packet import Packet
 from repro.net.simulator import Node
+from repro.telemetry.audit import AuditKind
+from repro.telemetry.tracing import start_trace
 from repro.util.errors import NetworkError
 
 
@@ -31,11 +33,27 @@ class Host(Node):
 
     # --- sending ------------------------------------------------------------
 
-    def send(self, packet: Packet) -> None:
-        """Transmit ``packet`` out of the host's single port."""
+    def send(self, packet: Packet) -> Packet:
+        """Transmit ``packet`` out of the host's single port.
+
+        When telemetry is active the host is a trace origin: packets
+        leaving without a :class:`TraceContext` get a fresh one stamped
+        here, so every downstream span/audit event joins back to this
+        send. Returns the packet as transmitted (trace attached).
+        """
         if self.sim is None:
             raise NetworkError(f"host {self.name!r} is not bound to a simulator")
+        tel = self.sim.telemetry
+        if tel.active and packet.trace is None:
+            packet = packet.with_trace(start_trace(self.name))
+            tel.audit_event(
+                AuditKind.TRACE_STARTED,
+                self.name,
+                trace=packet.trace,
+                five_tuple=repr(packet.five_tuple),
+            )
         self.sim.transmit(self.name, self.port, packet)
+        return packet
 
     def send_udp(
         self,
@@ -57,13 +75,16 @@ class Host(Node):
             payload=payload,
             ra_shim=ra_shim,
         )
-        self.send(packet)
-        return packet
+        return self.send(packet)
 
     # --- receiving ------------------------------------------------------------
 
     def handle_packet(self, packet: Packet, in_port: int) -> None:
         self.received.append((self.sim.clock.now, packet))
+        if packet.trace is not None and self.sim.telemetry.active:
+            self.sim.telemetry.audit_event(
+                AuditKind.PACKET_DELIVERED, self.name, trace=packet.trace
+            )
         if self.on_packet is not None:
             self.on_packet(packet)
 

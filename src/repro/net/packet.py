@@ -9,7 +9,7 @@ parser on real bytes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.net.headers import (
@@ -23,6 +23,7 @@ from repro.net.headers import (
     TcpHeader,
     UdpHeader,
 )
+from repro.telemetry.tracing import TraceContext
 from repro.util.errors import CodecError
 
 
@@ -41,6 +42,11 @@ class Packet:
     tcp: Optional[TcpHeader] = None
     ra_shim: Optional[RaShimHeader] = None
     payload: bytes = b""
+    #: Causal trace metadata — ancillary data like an skb annotation,
+    #: never on the wire: excluded from equality and the encoded form.
+    trace: Optional[TraceContext] = field(
+        default=None, compare=False, repr=False
+    )
 
     # --- construction helpers -------------------------------------------
 
@@ -206,6 +212,18 @@ class Packet:
             udp=replace(self.udp, length=self.udp.length + delta),
             ipv4=replace(self.ipv4, total_length=self.ipv4.total_length + delta),
         )
+
+    def with_trace(self, trace: Optional[TraceContext]) -> "Packet":
+        """Return a copy carrying ``trace`` as ancillary metadata.
+
+        Trace context never reaches the wire, so the cached encoded
+        form (if any) is carried over to the copy.
+        """
+        updated = replace(self, trace=trace)
+        cached = self.__dict__.get("_wire")
+        if cached is not None:
+            object.__setattr__(updated, "_wire", cached)
+        return updated
 
     def with_ttl_decremented(self) -> "Packet":
         if self.ipv4 is None:

@@ -35,11 +35,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.topology import Topology
+from repro.telemetry.audit import AuditKind
 from repro.telemetry.instrument import (
     Telemetry,
     collect_simulator,
     default_telemetry,
 )
+from repro.telemetry.tracing import TraceContext
 from repro.util.clock import SimClock
 from repro.util.errors import NetworkError
 from repro.util.ring import RingBuffer
@@ -167,18 +169,28 @@ class Simulator:
         runaway loops in buggy node behaviours.
         """
         processed = 0
-        while self._queue and processed < max_events:
-            if until is not None and self._queue[0].time > until:
-                break
-            event = heapq.heappop(self._queue)
-            self.clock.advance_to(event.time)
-            event.action()
-            processed += 1
-        if until is not None:
-            self.clock.advance_to(until)
-        self.stats.events_processed += processed
-        if self.telemetry.active:
-            collect_simulator(self.telemetry, self)
+        try:
+            while self._queue and processed < max_events:
+                if until is not None and self._queue[0].time > until:
+                    break
+                event = heapq.heappop(self._queue)
+                self.clock.advance_to(event.time)
+                event.action()
+                processed += 1
+            if until is not None:
+                self.clock.advance_to(until)
+        finally:
+            # Account for and export what DID happen even when a node
+            # behaviour raised mid-event: a crashed run must still
+            # leave a usable trace on disk. Flush errors are swallowed
+            # so they can never mask the original exception.
+            self.stats.events_processed += processed
+            if self.telemetry.active:
+                collect_simulator(self.telemetry, self)
+            try:
+                self.telemetry.flush()
+            except Exception:
+                pass
         return processed
 
     # --- dataplane ----------------------------------------------------------
@@ -191,12 +203,12 @@ class Simulator:
         """
         link = self.topology.link_at(from_node, out_port)
         if link is None:
-            self._count_drop(from_node, "dark_port")
+            self._count_drop(from_node, "dark_port", packet)
             self._note(f"{from_node} dropped {packet!r}: port {out_port} unwired")
             return False
         peer, peer_port = link.other_end(from_node)
         if link.drop_rate > 0 and self._rng.random() < link.drop_rate:
-            self._count_drop(from_node, "link_loss")
+            self._count_drop(from_node, "link_loss", packet)
             self._note(
                 f"{from_node}:{out_port} lost {packet!r} (link loss)"
             )
@@ -205,12 +217,23 @@ class Simulator:
         self.stats.packets_transmitted += 1
         self.stats.bytes_transmitted += packet.wire_length
         tel = self.telemetry
+        if packet.trace is not None:
+            # Each link crossing advances the causal context: hop+1,
+            # the forwarding node appended to the lineage.
+            packet = packet.with_trace(packet.trace.hopped(from_node))
         if tel.active:
             link_label = f"{from_node}:{out_port}->{peer}:{peer_port}"
             tel.counter("net.link.tx_packets", link=link_label).inc()
             tel.counter("net.link.tx_bytes", link=link_label).inc(
                 packet.wire_length
             )
+            if packet.trace is not None:
+                tel.audit_event(
+                    AuditKind.PACKET_FORWARDED,
+                    from_node,
+                    trace=packet.trace,
+                    link=link_label,
+                )
         self._note(f"{from_node}:{out_port} -> {peer}:{peer_port} {packet!r}")
         if self.trace_enabled:
             if self.packet_log.append(PacketLogEntry(
@@ -238,19 +261,33 @@ class Simulator:
 
     def drop(self, at_node: str, packet: Packet, reason: str) -> None:
         """Record an intentional drop (policy decision, TTL expiry...)."""
-        self._count_drop(at_node, "policy")
+        self._count_drop(at_node, "policy", packet)
         self._note(f"{at_node} dropped {packet!r}: {reason}")
 
-    def _count_drop(self, at_node: str, reason: str) -> None:
+    def _count_drop(
+        self, at_node: str, reason: str, packet: Optional[Packet] = None
+    ) -> None:
         self.stats.packets_dropped += 1
         tel = self.telemetry
         if tel.active:
             tel.counter("net.link.dropped", node=at_node, reason=reason).inc()
+            if packet is not None and packet.trace is not None:
+                tel.audit_event(
+                    AuditKind.PACKET_DROPPED,
+                    at_node,
+                    trace=packet.trace,
+                    reason=reason,
+                )
 
     # --- control channel ------------------------------------------------------
 
     def send_control(
-        self, sender: str, recipient: str, message: Any, size_hint: int = 0
+        self,
+        sender: str,
+        recipient: str,
+        message: Any,
+        size_hint: int = 0,
+        trace: Optional[TraceContext] = None,
     ) -> bool:
         """Deliver an out-of-band message after the control-plane latency.
 
@@ -276,6 +313,14 @@ class Simulator:
             tel.counter(
                 "net.control.bytes", sender=sender, recipient=recipient
             ).inc(size_hint)
+            if trace is not None:
+                tel.audit_event(
+                    AuditKind.CONTROL_SENT,
+                    sender,
+                    trace=trace,
+                    recipient=recipient,
+                    message=type(message).__name__,
+                )
         self._note(f"control {sender} -> {recipient}: {type(message).__name__}")
 
         def deliver() -> None:

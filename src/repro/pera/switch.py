@@ -36,6 +36,8 @@ from repro.pera.records import (
 from repro.pera.sampling import Sampler
 from repro.pisa.pipeline import DROP_PORT, PacketContext
 from repro.pisa.switch import PisaSwitch
+from repro.telemetry.audit import AuditKind
+from repro.telemetry.spans import NULL_SPAN
 from repro.util.clock import SimClock
 from repro.util.errors import PipelineError
 
@@ -135,9 +137,28 @@ class PeraSwitch(PisaSwitch):
         wants_ra = ctx.mark_ra or (packet is not None and packet.ra_shim is not None)
         if not wants_ra:
             return ctx
+        tel = self.telemetry
+        trace = (
+            packet.trace if tel.active and packet is not None else None
+        )
         records = self.inspect_evidence(packet)
+        if tel.active and records:
+            tel.audit_event(
+                AuditKind.EVIDENCE_INSPECTED,
+                self.name,
+                trace=trace,
+                records=len(records),
+                digest=records[-1].content_digest,
+            )
         if self.evidence_gate is not None and not self.evidence_gate(ctx, records):
             self.ra_stats.gated_drops += 1
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.GATE_DROPPED,
+                    self.name,
+                    trace=trace,
+                    records=len(records),
+                )
             ctx.egress_spec = DROP_PORT
             return ctx
         now = self.sim.clock.now if self.sim is not None else 0.0
@@ -150,7 +171,7 @@ class PeraSwitch(PisaSwitch):
         record = self._produce_record(ctx, records)
         self.ra_stats.packets_attested += 1
         if self.out_of_band:
-            self._send_out_of_band(record)
+            self._send_out_of_band(record, trace=trace)
             if packet is not None and packet.ra_shim is not None:
                 ctx.packet = packet.with_shim(packet.ra_shim.with_hop())
         elif packet is not None and packet.ra_shim is not None:
@@ -172,16 +193,24 @@ class PeraSwitch(PisaSwitch):
 
         Bracketed in a ``pera.attest`` span (with the signing step in
         its own nested ``pera.sign`` span) when telemetry is active —
-        the null-span fast path makes this free otherwise.
+        the null-span fast path makes this free otherwise. Every step
+        (measurement, cache lookup, composition, signature) lands in
+        the audit journal linked to the packet's trace context.
         """
-        with self.telemetry.span("pera.attest", track=self.name) as span:
-            record = self._produce_record_inner(ctx, prior_records, span)
+        tel = self.telemetry
+        if not tel.active:  # skip even the null-span plumbing per packet
+            return self._produce_record_inner(ctx, prior_records, NULL_SPAN, None)
+        trace = getattr(ctx.packet, "trace", None)
+        tags = trace.span_args() if trace is not None else {}
+        with tel.span("pera.attest", track=self.name, **tags) as span:
+            record = self._produce_record_inner(ctx, prior_records, span, trace)
         return record
 
     def _produce_record_inner(
-        self, ctx: PacketContext, prior_records: List[HopRecord], span
+        self, ctx: PacketContext, prior_records: List[HopRecord], span, trace
     ) -> HopRecord:
         config = self.config
+        tel = self.telemetry
         cost = self.pipeline.cost_model if self.runtime.pipeline else None
         cacheable = not config.per_packet_signature
         if cacheable:
@@ -189,7 +218,18 @@ class PeraSwitch(PisaSwitch):
             if cached is not None:
                 self.ra_stats.records_from_cache += 1
                 span.note(cached=True)
+                if tel.active:
+                    tel.audit_event(
+                        AuditKind.EVIDENCE_CACHE_HIT,
+                        self.name,
+                        trace=trace,
+                        digest=cached.content_digest,
+                    )
                 return cached
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.EVIDENCE_CACHE_MISS, self.name, trace=trace
+                )
 
         measurements: List[Tuple[InertiaClass, bytes]] = []
         for inertia in config.detail.inertia_classes:
@@ -202,6 +242,14 @@ class PeraSwitch(PisaSwitch):
             self.ra_stats.measurements_taken += 1
             if cost is not None:
                 self.ra_cost += cost.hash_per_byte * 64
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.MEASUREMENT_TAKEN,
+                    self.name,
+                    trace=trace,
+                    digest=value,
+                    inertia=inertia.name.lower(),
+                )
 
         chain_head: Optional[bytes] = None
         if config.composition in (
@@ -221,6 +269,15 @@ class PeraSwitch(PisaSwitch):
             chain_head = chain.extend(link_digest)
             if cost is not None:
                 self.ra_cost += cost.hash_per_byte * 64
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.EVIDENCE_COMPOSED,
+                    self.name,
+                    trace=trace,
+                    digest=chain_head,
+                    mode=config.composition.name.lower(),
+                    prior_records=len(prior_records),
+                )
 
         packet_digest: Optional[bytes] = None
         if config.needs_packet_digest:
@@ -244,12 +301,33 @@ class PeraSwitch(PisaSwitch):
             chain_head=chain_head,
             packet_digest=packet_digest,
         )
-        with self.telemetry.span("pera.sign", track=self.name):
+        if tel.active:
+            sign_tags = trace.span_args() if trace is not None else {}
+            with tel.span("pera.sign", track=self.name, **sign_tags):
+                record = unsigned.sign_with(self.keys)
+        else:
             record = unsigned.sign_with(self.keys)
         self.ra_stats.records_created += 1
         self.ra_stats.signatures_produced += 1
         if cost is not None:
             self.ra_cost += cost.sign
+        if tel.active:
+            record_digest = record.content_digest
+            tel.audit_event(
+                AuditKind.SIGNATURE_MADE,
+                self.name,
+                trace=trace,
+                digest=record_digest,
+                signer=self.attesting_identity,
+            )
+            tel.audit_event(
+                AuditKind.EVIDENCE_CREATED,
+                self.name,
+                trace=trace,
+                digest=record_digest,
+                place=record.place,
+                sequence=record.sequence,
+            )
         if cacheable:
             self.cache.put(InertiaClass.PROGRAM, b"", record)
         return record
@@ -264,9 +342,18 @@ class PeraSwitch(PisaSwitch):
             hop_count=shim.hop_count + 1,
             body=new_body,
         )
+        if self.telemetry.active:
+            self.telemetry.audit_event(
+                AuditKind.EVIDENCE_PUSHED,
+                self.name,
+                trace=packet.trace,
+                digest=record.content_digest,
+                bytes=len(new_body) - len(shim.body),
+                shim_hops=new_shim.hop_count,
+            )
         return packet.with_shim(new_shim)
 
-    def _send_out_of_band(self, record: HopRecord) -> None:
+    def _send_out_of_band(self, record: HopRecord, trace=None) -> None:
         """Fig. 3 (E): evidence leaves separately, to the appraiser."""
         if self.sim is None or self.appraiser_node is None:
             raise PipelineError(
@@ -274,6 +361,18 @@ class PeraSwitch(PisaSwitch):
             )
         encoded = record.encode()
         self.ra_stats.out_of_band_sent += 1
+        if self.telemetry.active:
+            self.telemetry.audit_event(
+                AuditKind.EVIDENCE_SENT_OOB,
+                self.name,
+                trace=trace,
+                digest=record.content_digest,
+                to=self.appraiser_node,
+            )
         self.sim.send_control(
-            self.name, self.appraiser_node, record, size_hint=len(encoded)
+            self.name,
+            self.appraiser_node,
+            record,
+            size_hint=len(encoded),
+            trace=trace,
         )

@@ -231,10 +231,14 @@ class Pipeline:
         """The same stage walk, bracketed in spans and counters."""
         tel = self.telemetry
         track = self.telemetry_track
-        with tel.span("pisa.parse", track=track):
+        trace = getattr(ctx.packet, "trace", None)
+        tags = trace.span_args() if trace is not None else {}
+        with tel.span("pisa.parse", track=track, **tags):
             ctx.cost += self.cost_model.parse_per_byte * (len(ctx.payload) + 64)
         for spec in self.program.tables:
-            with tel.span("pisa.stage", track=track, table=spec.name) as span:
+            with tel.span(
+                "pisa.stage", track=track, table=spec.name, **tags
+            ) as span:
                 hit, terminal = self._run_stage(spec, ctx)
                 span.note(hit=hit)
             tel.counter(
@@ -244,7 +248,7 @@ class Pipeline:
             ).inc()
             if terminal:
                 break
-        with tel.span("pisa.deparse", track=track):
+        with tel.span("pisa.deparse", track=track, **tags):
             ctx.cost += self.cost_model.deparse_per_byte * (
                 len(ctx.payload) + 64
             )

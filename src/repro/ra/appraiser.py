@@ -29,6 +29,7 @@ from repro.evidence import (
 )
 from repro.ra.claims import AppraisalVerdict, Claim
 from repro.ra.nonce import NonceManager
+from repro.telemetry.audit import AuditKind, classify_failure
 from repro.telemetry.instrument import Telemetry, default_telemetry
 
 
@@ -77,7 +78,10 @@ class Appraiser:
 
         With telemetry active, each appraisal feeds a verdict counter
         and a wall-clock verification-latency histogram, both labeled
-        by appraiser.
+        by appraiser; each failure and the verdict itself land in the
+        audit journal linked to the evidence's content digest. Copland
+        evidence carries no packet trace, so these events join the
+        journal untraced — still queryable by digest.
         """
         if self.telemetry.active:
             started = perf_counter()
@@ -90,6 +94,22 @@ class Appraiser:
                 appraiser=self.name,
                 accepted=verdict.accepted,
             ).inc()
+            for failure in verdict.failures:
+                self.telemetry.audit_event(
+                    AuditKind.CHECK_FAILED,
+                    self.name,
+                    digest=evidence.content_digest,
+                    check=classify_failure(failure),
+                    message=failure,
+                )
+            self.telemetry.audit_event(
+                AuditKind.VERDICT_ISSUED,
+                self.name,
+                digest=evidence.content_digest,
+                accepted=verdict.accepted,
+                records=verdict.checked_signatures,
+                failures=len(verdict.failures),
+            )
             return verdict
         return self._appraise(evidence, claim)
 

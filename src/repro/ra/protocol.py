@@ -39,6 +39,7 @@ from repro.ra.appraiser import AppraisalPolicy, Appraiser
 from repro.ra.certificates import Certificate, CertificateStore
 from repro.ra.claims import AppraisalVerdict
 from repro.ra.nonce import NonceManager
+from repro.telemetry.audit import AuditKind
 from repro.util.errors import VerificationError
 
 OUT_OF_BAND_RP1 = (
@@ -200,6 +201,16 @@ class ProtocolContext:
             )
             self.appraiser.appraisals_performed += 1
             self.last_verdict = verdict
+            tel = self.appraiser.telemetry
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.VERDICT_ISSUED,
+                    self.appraiser.name,
+                    digest=prior.content_digest,
+                    accepted=verdict.accepted,
+                    records=len(signatures),
+                    failures=len(failures),
+                )
             return b"\x01accept" if verdict.accepted else b"\x00reject"
 
         def certify(place: Place, target: str, target_place: str, args, prior):

@@ -11,6 +11,11 @@ programmable dataplane is actually running; this subsystem gives the
 - a :class:`~repro.telemetry.spans.SpanRecorder` of nestable timed
   spans over both the simulated clock and the wall clock,
 
+- a :class:`~repro.telemetry.tracing.TraceContext` per packet plus an
+  append-only :class:`~repro.telemetry.audit.AuditJournal` of
+  attestation events, joining every span/counter/verdict back to the
+  causal chain that produced it (see ``docs/TRACING.md``),
+
 and :mod:`~repro.telemetry.export` renders a run as JSON, as a Chrome
 ``chrome://tracing`` trace, or as a plain-text summary. Instrumented
 layers (net, pisa, pera, ra, core) bind to
@@ -20,8 +25,22 @@ instance is passed / installed explicitly — disabled observability
 costs one branch per site. See ``docs/TELEMETRY.md``.
 """
 
+from repro.telemetry.audit import (
+    AUDIT_SCHEMA,
+    AuditEvent,
+    AuditJournal,
+    AuditKind,
+    Check,
+    NULL_JOURNAL,
+    classify_failure,
+    explain_verdict,
+    narrative,
+)
 from repro.telemetry.export import (
+    TRACE_SCHEMA,
+    audit_snapshot,
     chrome_trace,
+    dump_audit,
     dump_json,
     dump_run,
     snapshot,
@@ -48,6 +67,12 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
 )
 from repro.telemetry.spans import Span, SpanRecorder
+from repro.telemetry.tracing import (
+    TraceContext,
+    new_trace_id,
+    reset_trace_ids,
+    start_trace,
+)
 
 __all__ = [
     "Telemetry",
@@ -73,4 +98,20 @@ __all__ = [
     "write_chrome_trace",
     "summary",
     "dump_run",
+    "TraceContext",
+    "start_trace",
+    "new_trace_id",
+    "reset_trace_ids",
+    "AuditJournal",
+    "AuditEvent",
+    "AuditKind",
+    "Check",
+    "NULL_JOURNAL",
+    "AUDIT_SCHEMA",
+    "TRACE_SCHEMA",
+    "classify_failure",
+    "narrative",
+    "explain_verdict",
+    "audit_snapshot",
+    "dump_audit",
 ]

@@ -23,10 +23,14 @@ import json
 import pathlib
 from typing import Dict, List, Optional, Union
 
+from repro.telemetry.audit import AUDIT_SCHEMA
 from repro.telemetry.instrument import Telemetry, collect_globals
 from repro.telemetry.metrics import Histogram, render_name
 
 Pathish = Union[str, pathlib.Path]
+
+#: Schema tag stamped into chrome-trace exports (bump on layout changes).
+TRACE_SCHEMA = "repro.trace/v1"
 
 
 # --- JSON snapshot --------------------------------------------------------------
@@ -52,6 +56,8 @@ def snapshot(telemetry: Telemetry) -> Dict[str, object]:
         "metrics": telemetry.metrics.snapshot(),
         "spans": spans,
         "spans_dropped": telemetry.spans.dropped,
+        "audit_events": len(telemetry.audit),
+        "audit_events_dropped": telemetry.audit.dropped,
     }
 
 
@@ -60,6 +66,31 @@ def dump_json(telemetry: Telemetry, path: Pathish) -> pathlib.Path:
     path = pathlib.Path(path)
     with path.open("w", encoding="utf-8") as handle:
         json.dump(snapshot(telemetry), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# --- audit journal export ---------------------------------------------------------
+
+
+def audit_snapshot(telemetry: Telemetry) -> Dict[str, object]:
+    """The audit journal as a schema-versioned JSON document.
+
+    Validated against ``docs/schemas/audit_v1.schema.json`` in tier-1
+    tests, so downstream tooling can rely on the layout.
+    """
+    return {
+        "schema": AUDIT_SCHEMA,
+        "events": [event.as_dict() for event in telemetry.audit],
+        "events_dropped": telemetry.audit.dropped,
+    }
+
+
+def dump_audit(telemetry: Telemetry, path: Pathish) -> pathlib.Path:
+    """Write :func:`audit_snapshot` to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(audit_snapshot(telemetry), handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
 
@@ -77,6 +108,10 @@ def chrome_trace(
     records = telemetry.spans.records
     events: List[Dict[str, object]] = []
     track_ids: Dict[str, int] = {}
+    # Spans carrying a trace tag are stitched with flow events: one
+    # flow id per packet trace, so the viewer draws an arrow from the
+    # pipeline span at hop 1 to the appraisal span at the last hop.
+    flow_seen: Dict[str, int] = {}
     origin = min((s.wall_start for s in records), default=0.0)
     for span in records:
         tid = track_ids.get(span.track)
@@ -106,10 +141,24 @@ def chrome_trace(
             "dur": dur,
             "args": dict(span.args) if span.args else {},
         })
+        trace_tag = (span.args or {}).get("trace")
+        if isinstance(trace_tag, str):
+            step = flow_seen.get(trace_tag, 0)
+            flow_seen[trace_tag] = step + 1
+            events.append({
+                "name": "trace",
+                "cat": "trace",
+                "ph": "s" if step == 0 else "t",
+                "id": trace_tag,
+                "pid": 1,
+                "tid": tid,
+                "ts": ts,
+            })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {
+            "schema": TRACE_SCHEMA,
             "timebase": timebase,
             "spans_dropped": telemetry.spans.dropped,
         },

@@ -24,8 +24,13 @@ Three ways instrumentation reaches a :class:`Telemetry`:
 from __future__ import annotations
 
 import os
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.telemetry.audit import (
+    AuditJournal,
+    DEFAULT_MAX_EVENTS,
+    NULL_JOURNAL,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -42,7 +47,7 @@ ENV_VAR = "REPRO_TELEMETRY"
 
 
 class Telemetry:
-    """One observability domain: a metrics registry plus a span recorder.
+    """One observability domain: metrics, spans, and the audit journal.
 
     ``active=False`` builds the permanently-inert variant every
     accessor of which returns a shared null object; the hot paths in
@@ -55,16 +60,69 @@ class Telemetry:
         clock: Optional[SimClock] = None,
         active: bool = True,
         max_spans: int = DEFAULT_MAX_SPANS,
+        max_audit_events: int = DEFAULT_MAX_EVENTS,
     ) -> None:
         self.active = active
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder(clock, max_spans=max_spans)
+        self.audit: AuditJournal = (
+            AuditJournal(self.spans.clock, max_events=max_audit_events)
+            if active
+            else NULL_JOURNAL
+        )
+        # Export sinks registered via auto_dump(); flush() writes them.
+        self._sinks: Dict[str, object] = {}
 
     # --- clock ----------------------------------------------------------------
 
     def bind_clock(self, clock: SimClock) -> None:
-        """Adopt a simulator's clock for span sim-timestamps."""
+        """Adopt a simulator's clock for span/audit sim-timestamps."""
         self.spans.bind_clock(clock)
+        if self.audit is not NULL_JOURNAL:
+            self.audit.bind_clock(clock)
+
+    # --- crash-safe exports ------------------------------------------------------
+
+    def auto_dump(
+        self,
+        json_path: Optional[object] = None,
+        trace_path: Optional[object] = None,
+        audit_path: Optional[object] = None,
+        timebase: str = "wall",
+    ) -> None:
+        """Register export paths for :meth:`flush` to (re)write.
+
+        The simulator flushes registered sinks in a ``try/finally`` at
+        the end of every ``run()`` — including runs that die mid-event —
+        so a crash still leaves a usable trace on disk.
+        """
+        if json_path is not None:
+            self._sinks["json"] = json_path
+        if trace_path is not None:
+            self._sinks["trace"] = trace_path
+        if audit_path is not None:
+            self._sinks["audit"] = audit_path
+        self._sinks["timebase"] = timebase
+
+    def flush(self) -> List[object]:
+        """Write every registered sink now; returns the paths written."""
+        if not self._sinks:
+            return []
+        from repro.telemetry import export  # lazy: export imports us
+
+        written: List[object] = []
+        timebase = str(self._sinks.get("timebase", "wall"))
+        if "json" in self._sinks:
+            written.append(export.dump_json(self, self._sinks["json"]))
+        if "trace" in self._sinks:
+            written.append(
+                export.write_chrome_trace(
+                    self, self._sinks["trace"], timebase=timebase
+                )
+            )
+        if "audit" in self._sinks:
+            written.append(export.dump_audit(self, self._sinks["audit"]))
+        return written
 
     # --- gated accessors --------------------------------------------------------
 
@@ -93,10 +151,32 @@ class Telemetry:
             return NULL_SPAN
         return self.spans.span(name, track=track, **args)
 
+    def audit_event(
+        self,
+        kind: str,
+        actor: str,
+        trace=None,
+        digest: Optional[bytes] = None,
+        **detail: object,
+    ):
+        """Record an audit event, tagging it with a trace context.
+
+        ``trace`` is a :class:`~repro.telemetry.tracing.TraceContext`
+        (or ``None``); callers on hot paths should still gate on
+        :attr:`active` themselves to skip building ``detail`` kwargs.
+        """
+        if not self.active:
+            return None
+        trace_id = trace.trace_id if trace is not None else None
+        hop = trace.hop if trace is not None else None
+        return self.audit.record(
+            kind, actor, trace=trace_id, hop=hop, digest=digest, **detail
+        )
+
     def __repr__(self) -> str:
         return (
             f"Telemetry(active={self.active}, metrics={len(self.metrics)}, "
-            f"spans={len(self.spans)})"
+            f"spans={len(self.spans)}, audit={len(self.audit)})"
         )
 
 

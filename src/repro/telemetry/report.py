@@ -1,0 +1,208 @@
+"""The post-run audit report CLI: ``python -m repro.telemetry.report``.
+
+Reads the audit JSON a run exported (``dump_audit`` /
+``Telemetry.auto_dump``) and renders it for a human:
+
+- the run overview (event totals, traces seen, verdicts issued),
+- a per-trace narrative for every trace — or one trace via
+  ``--trace`` — the same per-hop story ``PathVerdict.explain()``
+  prints,
+- optionally (``--chrome-out``, with ``--telemetry``) a Chrome-trace
+  document rebuilt from the exported telemetry snapshot, with flow
+  events stitching the spans of each trace into one lane per packet.
+
+The CLI works purely on the exported JSON documents, so it can run
+long after the simulating process is gone (or on artifacts downloaded
+from CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.telemetry.audit import AuditKind, narrative
+
+#: Schema tag for chrome traces rebuilt from a snapshot (matches export).
+_TRACE_SCHEMA = "repro.trace/v1"
+
+
+def load_audit(path: pathlib.Path) -> Mapping[str, object]:
+    """Load and minimally sanity-check an exported audit document."""
+    with path.open("r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "events" not in doc:
+        raise ValueError(f"{path} is not an audit export (no 'events' key)")
+    return doc
+
+
+def _trace_ids(events: Sequence[Mapping[str, object]]) -> List[str]:
+    seen: List[str] = []
+    for event in events:
+        trace = event.get("trace")
+        if isinstance(trace, str) and trace not in seen:
+            seen.append(trace)
+    return seen
+
+
+def overview(doc: Mapping[str, object]) -> str:
+    """The run-level summary block at the top of every report."""
+    events = doc.get("events", [])
+    traces = _trace_ids(events)
+    verdicts = [e for e in events if e.get("kind") == AuditKind.VERDICT_ISSUED]
+    rejected = sum(
+        1 for v in verdicts if not (v.get("detail") or {}).get("accepted")
+    )
+    failures = [e for e in events if e.get("kind") == AuditKind.CHECK_FAILED]
+    lines = [
+        f"audit report ({doc.get('schema', 'unversioned')})",
+        f"  events:   {len(events)}"
+        + (f" (+{doc['events_dropped']} dropped)" if doc.get("events_dropped") else ""),
+        f"  traces:   {len(traces)}",
+        f"  verdicts: {len(verdicts)} ({rejected} rejected)",
+        f"  failed checks: {len(failures)}",
+    ]
+    by_kind: Dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    if by_kind:
+        lines.append("  by kind:")
+        width = max(len(kind) for kind in by_kind)
+        for kind in sorted(by_kind):
+            lines.append(f"    {kind.ljust(width)}  {by_kind[kind]}")
+    return "\n".join(lines)
+
+
+def render_report(
+    doc: Mapping[str, object], trace: Optional[str] = None
+) -> str:
+    """The full text report: overview plus per-trace narratives."""
+    events = doc.get("events", [])
+    sections = [overview(doc)]
+    traces = [trace] if trace is not None else _trace_ids(events)
+    for trace_id in traces:
+        sections.append(narrative(events, trace_id=trace_id))
+    untraced = [e for e in events if e.get("trace") is None]
+    if trace is None and untraced:
+        sections.append(
+            f"({len(untraced)} events carry no trace — control-plane or "
+            "Copland-side activity; query them by digest)"
+        )
+    return "\n\n".join(sections)
+
+
+# --- chrome trace reconstruction (from an exported telemetry snapshot) ------------
+
+
+def chrome_trace_from_snapshot(doc: Mapping[str, object]) -> Dict[str, object]:
+    """Rebuild a flow-stitched Chrome trace from a telemetry JSON export.
+
+    The snapshot keeps sim-clock timestamps per span, so the rebuilt
+    trace uses the ``sim`` timebase. Spans tagged with a trace id get
+    flow events (``"s"``/``"t"``) stitching every hop of a packet into
+    one visual lane, exactly like the live exporter.
+    """
+    spans = doc.get("spans", [])
+    events: List[Dict[str, object]] = []
+    track_ids: Dict[str, int] = {}
+    flow_seen: Dict[str, int] = {}
+    for span in spans:
+        track = str(span.get("track", "main"))
+        tid = track_ids.get(track)
+        if tid is None:
+            tid = len(track_ids) + 1
+            track_ids[track] = tid
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            })
+        name = str(span.get("name", "?"))
+        ts = float(span.get("sim_start_s", 0.0)) * 1e6
+        dur = (
+            float(span.get("sim_end_s", 0.0))
+            - float(span.get("sim_start_s", 0.0))
+        ) * 1e6
+        args = span.get("args") or {}
+        events.append({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "X",
+            "pid": 1,
+            "tid": tid,
+            "ts": ts,
+            "dur": dur,
+            "args": dict(args),
+        })
+        trace_tag = args.get("trace")
+        if isinstance(trace_tag, str):
+            step = flow_seen.get(trace_tag, 0)
+            flow_seen[trace_tag] = step + 1
+            events.append({
+                "name": "trace",
+                "cat": "trace",
+                "ph": "s" if step == 0 else "t",
+                "id": trace_tag,
+                "pid": 1,
+                "tid": tid,
+                "ts": ts,
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": _TRACE_SCHEMA,
+            "timebase": "sim",
+            "spans_dropped": doc.get("spans_dropped", 0),
+        },
+    }
+
+
+# --- entry point --------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report",
+        description="Render a post-run attestation audit report.",
+    )
+    parser.add_argument("audit", type=pathlib.Path, help="audit JSON export")
+    parser.add_argument(
+        "--trace", help="render only this trace id's narrative"
+    )
+    parser.add_argument(
+        "--telemetry",
+        type=pathlib.Path,
+        help="telemetry JSON export (required for --chrome-out)",
+    )
+    parser.add_argument(
+        "--chrome-out",
+        type=pathlib.Path,
+        help="write a flow-stitched Chrome trace rebuilt from --telemetry",
+    )
+    args = parser.parse_args(argv)
+
+    doc = load_audit(args.audit)
+    print(render_report(doc, trace=args.trace))
+
+    if args.chrome_out is not None:
+        if args.telemetry is None:
+            parser.error("--chrome-out requires --telemetry")
+        with args.telemetry.open("r", encoding="utf-8") as handle:
+            telemetry_doc = json.load(handle)
+        trace_doc = chrome_trace_from_snapshot(telemetry_doc)
+        with args.chrome_out.open("w", encoding="utf-8") as handle:
+            json.dump(trace_doc, handle)
+            handle.write("\n")
+        print(f"\nchrome trace written to {args.chrome_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

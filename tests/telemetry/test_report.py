@@ -1,0 +1,113 @@
+"""Tests for the post-run audit report CLI (`python -m repro.telemetry.report`)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import AuditKind, Check, Telemetry, TraceContext, dump_audit
+from repro.telemetry.export import dump_json
+from repro.telemetry.report import (
+    chrome_trace_from_snapshot,
+    load_audit,
+    main,
+    overview,
+    render_report,
+)
+
+TID = "abcdef012345"
+
+
+def worked_telemetry() -> Telemetry:
+    tel = Telemetry()
+    ctx = TraceContext(trace_id=TID, origin="h1")
+    tel.audit_event(AuditKind.TRACE_STARTED, "h1", trace=ctx)
+    tel.audit_event(
+        AuditKind.EVIDENCE_CREATED, "s1", trace=ctx.hopped("h1"),
+        digest=b"\xaa\xbb", place="s1", sequence=1,
+    )
+    tel.audit_event(
+        AuditKind.CHECK_FAILED, "A", trace=ctx.hopped("h1").hopped("s1"),
+        check=Check.MEASUREMENT, message="does not match", place="s1",
+    )
+    tel.audit_event(
+        AuditKind.VERDICT_ISSUED, "A", trace=ctx.hopped("h1").hopped("s1"),
+        accepted=False, records=1, failures=1,
+    )
+    tel.audit_event(AuditKind.CONTROL_SENT, "s1", recipient="collector")
+    with tel.span("pisa.parse", track="s1", trace=TID, hop=1):
+        pass
+    return tel
+
+
+@pytest.fixture
+def audit_path(tmp_path):
+    return dump_audit(worked_telemetry(), tmp_path / "audit.json")
+
+
+class TestLoadAudit:
+    def test_round_trips(self, audit_path):
+        doc = load_audit(audit_path)
+        assert doc["schema"] == "repro.audit/v1"
+        assert len(doc["events"]) == 5
+
+    def test_rejects_non_audit_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"metrics": {}}))
+        with pytest.raises(ValueError, match="no 'events' key"):
+            load_audit(path)
+
+
+class TestRendering:
+    def test_overview_counts(self, audit_path):
+        text = overview(load_audit(audit_path))
+        assert "events:   5" in text
+        assert "traces:   1" in text
+        assert "verdicts: 1 (1 rejected)" in text
+        assert "failed checks: 1" in text
+        assert AuditKind.VERDICT_ISSUED in text  # by-kind table
+
+    def test_report_includes_narrative_and_untraced_note(self, audit_path):
+        text = render_report(load_audit(audit_path))
+        assert f"trace {TID}:" in text
+        assert "verdict REJECTED" in text
+        assert "1 events carry no trace" in text
+
+    def test_single_trace_filter(self, audit_path):
+        text = render_report(load_audit(audit_path), trace=TID)
+        assert f"trace {TID}:" in text
+        assert "carry no trace" not in text
+
+
+class TestChromeReconstruction:
+    def test_flow_events_from_snapshot(self, tmp_path):
+        snapshot_path = dump_json(worked_telemetry(), tmp_path / "tel.json")
+        doc = chrome_trace_from_snapshot(json.loads(snapshot_path.read_text()))
+        assert doc["otherData"]["schema"] == "repro.trace/v1"
+        assert doc["otherData"]["timebase"] == "sim"
+        flows = [e for e in doc["traceEvents"] if e["ph"] in ("s", "t")]
+        assert [f["id"] for f in flows] == [TID]
+        assert flows[0]["ph"] == "s"  # the first occurrence starts the flow
+
+
+class TestMain:
+    def test_renders_report(self, audit_path, capsys):
+        assert main([str(audit_path)]) == 0
+        out = capsys.readouterr().out
+        assert "audit report (repro.audit/v1)" in out
+        assert f"trace {TID}:" in out
+
+    def test_chrome_out_requires_telemetry(self, audit_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(audit_path), "--chrome-out", str(tmp_path / "t.json")])
+
+    def test_chrome_out_writes_trace(self, audit_path, tmp_path, capsys):
+        tel_path = dump_json(worked_telemetry(), tmp_path / "tel.json")
+        out_path = tmp_path / "stitched.json"
+        assert main([
+            str(audit_path),
+            "--telemetry", str(tel_path),
+            "--chrome-out", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        assert any(e["ph"] == "s" for e in doc["traceEvents"])
+        assert "chrome trace written" in capsys.readouterr().out
