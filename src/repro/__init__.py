@@ -18,6 +18,7 @@ Subpackages (bottom-up):
 - :mod:`repro.pera`    — PISA Extended with RA (the paper's Fig. 3 switch).
 - :mod:`repro.core`    — network-aware Copland: the paper's contribution.
 - :mod:`repro.analysis`— automated trust analysis of policies.
+- :mod:`repro.faults`  — deterministic fault injection + retry/fail-mode vocabulary.
 """
 
 __version__ = "0.1.0"

@@ -26,9 +26,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.compiler import CompiledPolicy
 from repro.crypto.hashing import HashChain, digest
 from repro.crypto.keys import KeyRegistry
+from repro.faults.retry import FailMode
 from repro.net.packet import Packet
 from repro.pera.inertia import InertiaClass
 from repro.pera.records import HopRecord, decode_record_stack
+from repro.util.errors import CodecError
 from repro.pisa.program import DataplaneProgram
 from repro.ra.nonce import NonceManager
 from repro.telemetry.audit import AuditKind, Check, explain_verdict
@@ -65,6 +67,11 @@ class PathAppraisalPolicy:
     allow_sampling: bool = False
     # Unknown attesting places are failures (else merely unchecked).
     strict_places: bool = True
+    # How to conclude when appraisal itself is impossible (appraiser
+    # unreachable, evidence undecodable). Fail-closed — reject — is the
+    # default; fail-open trades safety for availability and is only for
+    # operators who explicitly opt in.
+    fail_mode: str = FailMode.CLOSED
 
 
 @dataclass(frozen=True)
@@ -76,9 +83,13 @@ class PathVerdict:
     functions_seen: Tuple[str, ...] = ()
     #: The causal trace the appraised packet carried (when tracing ran).
     trace_id: Optional[str] = None
+    #: True when no appraisal could run and the fail mode decided.
+    degraded: bool = False
 
     def describe(self) -> str:
         status = "ACCEPTED" if self.accepted else "REJECTED"
+        if self.degraded:
+            status += " (DEGRADED)"
         lines = [
             f"{status}: {self.records_checked} records over "
             f"{self.hop_count} hops"
@@ -177,7 +188,33 @@ class PathAppraiser:
             return PathVerdict(
                 accepted=False, failures=(message,), trace_id=trace_id
             )
-        records = decode_record_stack(packet.ra_shim.body)
+        try:
+            records = decode_record_stack(packet.ra_shim.body)
+        except CodecError as exc:
+            # Corrupted-in-flight evidence must reject, not crash.
+            message = f"evidence stack undecodable: {exc}"
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.CHECK_FAILED,
+                    self.name,
+                    trace=trace,
+                    check=Check.SHIM,
+                    message=message,
+                )
+                tel.audit_event(
+                    AuditKind.VERDICT_ISSUED,
+                    self.name,
+                    trace=trace,
+                    accepted=False,
+                    records=0,
+                    failures=1,
+                )
+            return PathVerdict(
+                accepted=False,
+                failures=(message,),
+                hop_count=packet.ra_shim.hop_count,
+                trace_id=trace_id,
+            )
         verdict = self.appraise_records(
             records,
             hop_count=packet.ra_shim.hop_count,
@@ -208,6 +245,47 @@ class PathAppraiser:
             )
         if tel.active:
             self._emit_verdict_event(verdict, records, trace)
+        return verdict
+
+    def appraise_unavailable(
+        self, reason: str, trace: Optional[TraceContext] = None
+    ) -> PathVerdict:
+        """Conclude without evidence: the appraisal path itself failed.
+
+        Called when evidence never arrived (appraiser crash, OOB channel
+        dead, all retries exhausted). The policy's ``fail_mode`` decides
+        the verdict — rejecting under the default
+        :data:`FailMode.CLOSED` — and the audit journal records the
+        availability failure either way, so a degraded acceptance is
+        never silent.
+        """
+        self.appraisals_performed += 1
+        fail_open = self.policy.fail_mode == FailMode.OPEN
+        message = f"appraisal unavailable: {reason}"
+        verdict = PathVerdict(
+            accepted=fail_open,
+            failures=() if fail_open else (message,),
+            trace_id=trace.trace_id if trace is not None else None,
+            degraded=True,
+        )
+        tel = self.telemetry
+        if tel.active:
+            tel.audit_event(
+                AuditKind.CHECK_FAILED,
+                self.name,
+                trace=trace,
+                check=Check.AVAILABILITY,
+                message=message,
+            )
+            tel.audit_event(
+                AuditKind.VERDICT_ISSUED,
+                self.name,
+                trace=trace,
+                accepted=verdict.accepted,
+                records=0,
+                failures=len(verdict.failures),
+                degraded=True,
+            )
         return verdict
 
     def _check_packet_binding(

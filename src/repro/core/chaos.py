@@ -1,0 +1,405 @@
+"""Chaos harness: the Athens scenario under injected faults.
+
+This is the integration point of :mod:`repro.faults` — one runnable
+story combining every resilience mechanism:
+
+- lossy and flapping links exercise the dataplane resend budget,
+- a switch compromise (the UC1 program swap, performed *by the fault
+  injector* through the switch's own P4Runtime endpoint) is detected
+  by path appraisal and repaired by the controller's
+  :meth:`~repro.net.controller.RoutingController.reprovision`,
+- an appraiser crash/restart exercises the out-of-band retry/backoff
+  path on the evidence mirror,
+- a late packet-corruption window shows corrupted evidence rejecting
+  (never crashing) the relying party,
+- a clock-skew fault churns the evidence cache.
+
+Determinism: :func:`run_chaos_athens` resets the trace-id allocator
+and seeds every RNG from its ``seed`` argument, so two runs with the
+same seed produce identical :class:`~repro.net.simulator.SimStats`
+and byte-identical audit-journal exports (pinned by
+``tests/faults/test_determinism.py``).
+
+:func:`run_degraded_oob` is the minimal degraded-mode scenario: an
+out-of-band switch whose appraiser is down for the whole run. The
+relying party's fail mode decides the outcome — rejecting under the
+default fail-closed policy — which the acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.appraisal import (
+    PathAppraisalPolicy,
+    PathAppraiser,
+    PathVerdict,
+    hardware_reference,
+    program_reference,
+)
+from repro.core.policies import ap1_bank_path_attestation
+from repro.core.raswitch import NetworkAwarePeraSwitch
+from repro.core.relying_party import RelyingParty
+from repro.crypto.keys import KeyRegistry
+from repro.faults import FailMode, FaultInjector, FaultPlan, FaultStats, RetryPolicy
+from repro.net.controller import RoutingController
+from repro.net.headers import ip_to_int
+from repro.net.host import Host
+from repro.net.simulator import SimStats, Simulator
+from repro.net.topology import linear_topology
+from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.inertia import InertiaClass
+from repro.pisa.programs import athens_rogue_program, firewall_program
+from repro.pisa.runtime import TableEntry
+from repro.pisa.tables import MatchKey, MatchKind
+from repro.telemetry.instrument import Telemetry
+from repro.telemetry.tracing import reset_trace_ids
+
+_PACKET_GAP_S = 1e-3
+
+
+def _rogue_configure(node, actor: str) -> None:
+    """What the Athens attacker does after its program swap: restore
+    forwarding (so the tap stays invisible) and clone the victim's
+    traffic to the spy port."""
+    node.runtime.write(actor, TableEntry(
+        table="ipv4_lpm",
+        keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+        action="forward", params=(2,),
+    ))
+    node.runtime.write(actor, TableEntry(
+        table="intercept",
+        keys=(MatchKey(
+            MatchKind.TERNARY, ip_to_int("10.0.0.1"), mask=0xFFFFFFFF,
+        ),),
+        action="clone_to", params=(3,), priority=1,
+    ))
+
+
+@dataclass
+class ChaosResult:
+    """Everything a chaos run observed, structured for assertions."""
+
+    packets_sent: int
+    verdicts: List[PathVerdict]
+    first_rejection: Optional[int]
+    recovered_at: Optional[int]
+    exfiltrated: int
+    collector_records: int
+    stats: SimStats
+    fault_stats: FaultStats
+    plan: FaultPlan
+    telemetry: Telemetry
+    ra_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def audit_export(self) -> str:
+        """Canonical JSON of the audit journal (replay comparisons)."""
+        return json.dumps(
+            [event.as_dict() for event in self.telemetry.audit.events],
+            sort_keys=True,
+            default=repr,
+        )
+
+    def narrative(self) -> str:
+        """The recovery story, line by line."""
+        lines = [
+            f"sent {self.packets_sent} packets; "
+            f"{len(self.verdicts)} appraised, "
+            f"{sum(1 for v in self.verdicts if v.accepted)} accepted",
+        ]
+        if self.first_rejection is not None:
+            lines.append(
+                f"compromise detected at appraised packet "
+                f"#{self.first_rejection} (evidence rejected)"
+            )
+        if self.recovered_at is not None:
+            lines.append(
+                f"recovered at appraised packet #{self.recovered_at} "
+                "(vetted program reprovisioned, evidence accepted again)"
+            )
+        lines.append(
+            f"exfiltrated to spy: {self.exfiltrated} packet(s); "
+            f"collector holds {self.collector_records} mirrored record(s)"
+        )
+        lines.append(
+            f"dataplane: {self.stats.packets_dropped} dropped, "
+            f"{self.stats.local_resends} local resend(s)"
+        )
+        retries = sum(c.get("oob_retries", 0) for c in self.ra_counters.values())
+        recovered = sum(
+            c.get("oob_recovered", 0) for c in self.ra_counters.values()
+        )
+        gave_up = sum(c.get("oob_gave_up", 0) for c in self.ra_counters.values())
+        lines.append(
+            f"out-of-band mirror: {retries} retr{'y' if retries == 1 else 'ies'}, "
+            f"{recovered} recovered, {gave_up} gave up"
+        )
+        lines.append(
+            f"faults: {self.fault_stats.injected} injected, "
+            f"{self.fault_stats.cleared} cleared"
+        )
+        return "\n".join(lines)
+
+
+def run_chaos_athens(
+    seed: int = 0,
+    packets: int = 30,
+    swap_at: int = 10,
+    reprovision_at: int = 16,
+) -> ChaosResult:
+    """UC1 under chaos: flapping links, a compromise, a crashed
+    appraiser, corruption — and recovery from all of them.
+
+    ``swap_at``/``reprovision_at`` are packet indices (packets go out
+    every millisecond); everything else in the fault plan is anchored
+    to them.
+    """
+    reset_trace_ids()  # byte-identical replay needs a fresh id sequence
+    telemetry = Telemetry(active=True)
+    topo = linear_topology(2)
+    topo.add_node("collector", kind="host")
+    topo.add_link("s2", 3, "collector", 1)
+    topo.add_node("h-spy", kind="host")
+    topo.add_link("s1", 3, "h-spy", 1)
+    sim = Simulator(topo, seed=seed, telemetry=telemetry)
+
+    src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
+    dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
+    spy = Host("h-spy", mac=0x3, ip=ip_to_int("10.9.9.9"))
+    collector = Host("collector", mac=0x4, ip=ip_to_int("10.0.2.1"))
+    for node in (src, dst, spy, collector):
+        sim.bind(node)
+    src.resend_budget = 2  # LinkGuardian-style local first-hop recovery
+
+    retry = RetryPolicy(max_attempts=4, base_delay_s=200e-6, max_delay_s=5e-3)
+    genuine = firewall_program()
+    # TRAFFIC_PATH binds each record to the packet the hop actually
+    # saw, so the late corruption window is *detected* (binding check),
+    # not merely survived.
+    config = EvidenceConfig(
+        detail=DetailLevel.MINIMAL, composition=CompositionMode.TRAFFIC_PATH
+    )
+    switches = []
+    for name in ("s1", "s2"):
+        switch = NetworkAwarePeraSwitch(
+            name,
+            config=config,
+            appraiser_node="collector",
+            mirror_out_of_band=True,
+            retry_policy=retry,
+        )
+        sim.bind(switch)
+        switch.resend_budget = 2
+        switch.runtime.arbitrate("ctl", 1)
+        switch.runtime.set_forwarding_pipeline_config("ctl", firewall_program())
+        switch.runtime.write("ctl", TableEntry(
+            table="ipv4_lpm",
+            keys=(MatchKey(
+                MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24,
+            ),),
+            action="forward", params=(2,),
+        ))
+        switches.append(switch)
+
+    anchors = KeyRegistry()
+    references: Dict[str, Dict[InertiaClass, bytes]] = {}
+    for switch in switches:
+        anchors.register_pair(switch.keys)
+        references[switch.name] = {
+            InertiaClass.HARDWARE: hardware_reference(
+                switch.engine.hardware_identity
+            ),
+            InertiaClass.PROGRAM: program_reference(genuine),
+        }
+    rp = RelyingParty(
+        policy=ap1_bank_path_attestation(),
+        appraisal=PathAppraisalPolicy(
+            anchors=anchors,
+            reference_measurements=references,
+            program_names={program_reference(genuine): genuine.full_name},
+        ),
+        composition=CompositionMode.TRAFFIC_PATH,
+        telemetry=telemetry,
+    )
+    rp.attach(sim, src, dst)
+
+    controller = RoutingController(sim, name="ctl", election_id=1)
+
+    # --- the fault plan, all times anchored to the packet schedule -----
+    t = lambda index: index * _PACKET_GAP_S  # noqa: E731
+    plan = FaultPlan(seed=seed)
+    # Early turbulence: extra loss, then a flap, on the middle link.
+    plan.link_loss(t(2), "s1", "s2", rate=0.3)
+    plan.link_loss(t(6), "s1", "s2", rate=0.0)
+    plan.link_flap(t(7), "s1", "s2", down_s=0.4e-3, up_s=1.1e-3, cycles=2)
+    # The Athens swap: the injector *is* the attacker here.
+    plan.compromise_switch(
+        t(swap_at), "s1", athens_rogue_program, configure=_rogue_configure
+    )
+    # The appraiser mirror target dies and comes back.
+    plan.crash_node(t(swap_at) + 0.5e-3, "collector")
+    plan.restart_node(t(reprovision_at), "collector")
+    # Late corruption window on the last hop: evidence must reject,
+    # never crash.
+    plan.corrupt_packets(
+        t(packets - 5), "s2", "h-dst", rate=1.0, duration_s=2 * _PACKET_GAP_S
+    )
+    # And a skewed cache clock on s2 for the remainder.
+    plan.clock_skew(t(packets - 3), "s2", skew_s=120.0)
+    injector = FaultInjector(plan)
+    injector.attach(sim)
+
+    # The operator notices the rejections and reprovisions the switch.
+    sim.schedule(t(reprovision_at), lambda: controller.reprovision(
+        "s1", program_factory=firewall_program
+    ))
+
+    for index in range(packets):
+        sim.schedule(
+            t(index),
+            lambda seq=index: rp.send(payload=seq.to_bytes(4, "big")),
+        )
+    sim.run()
+
+    first_rejection = next(
+        (i for i, v in enumerate(rp.verdicts) if not v.accepted), None
+    )
+    recovered_at = None
+    if first_rejection is not None:
+        recovered_at = next(
+            (
+                i
+                for i, v in enumerate(rp.verdicts)
+                if i > first_rejection and v.accepted
+            ),
+            None,
+        )
+    ra_counters = {
+        switch.name: {
+            "oob_send_failures": switch.ra_stats.oob_send_failures,
+            "oob_retries": switch.ra_stats.oob_retries,
+            "oob_recovered": switch.ra_stats.oob_recovered,
+            "oob_gave_up": switch.ra_stats.oob_gave_up,
+            "undecodable_evidence": switch.ra_stats.undecodable_evidence,
+        }
+        for switch in switches
+    }
+    return ChaosResult(
+        packets_sent=packets,
+        verdicts=list(rp.verdicts),
+        first_rejection=first_rejection,
+        recovered_at=recovered_at,
+        exfiltrated=len(spy.received_packets),
+        collector_records=len(collector.control_received),
+        stats=sim.stats,
+        fault_stats=injector.stats,
+        plan=plan,
+        telemetry=telemetry,
+        ra_counters=ra_counters,
+    )
+
+
+@dataclass
+class DegradedResult:
+    """Outcome of the minimal appraiser-down scenario."""
+
+    verdict: PathVerdict
+    oob_gave_up: int
+    oob_recovered: int
+    telemetry: Telemetry
+
+
+def run_degraded_oob(
+    seed: int = 0,
+    fail_mode: str = FailMode.CLOSED,
+    restart_at: Optional[float] = None,
+) -> DegradedResult:
+    """Out-of-band attestation with the appraiser down from t=0.
+
+    The switch's evidence never arrives (each send fails, retries back
+    off, and — unless ``restart_at`` brings the appraiser back in time
+    — the switch gives up). The appraiser-side policy then concludes
+    via :meth:`PathAppraiser.appraise_unavailable`: rejecting under
+    the default fail-closed mode, accepting (flagged degraded) only
+    under an explicit fail-open opt-in.
+    """
+    reset_trace_ids()
+    telemetry = Telemetry(active=True)
+    topo = linear_topology(1)
+    topo.add_node("collector", kind="host")
+    topo.add_link("s1", 3, "collector", 1)
+    sim = Simulator(topo, seed=seed, telemetry=telemetry)
+    src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
+    dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
+    collector = Host("collector", mac=0x3, ip=ip_to_int("10.0.2.1"))
+    for node in (src, dst, collector):
+        sim.bind(node)
+    switch = NetworkAwarePeraSwitch(
+        "s1",
+        config=EvidenceConfig(detail=DetailLevel.MINIMAL),
+        appraiser_node="collector",
+        out_of_band=True,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay_s=100e-6),
+    )
+    sim.bind(switch)
+    genuine = firewall_program()
+    switch.runtime.arbitrate("ctl", 1)
+    switch.runtime.set_forwarding_pipeline_config("ctl", genuine)
+    switch.runtime.write("ctl", TableEntry(
+        table="ipv4_lpm",
+        keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+        action="forward", params=(2,),
+    ))
+
+    plan = FaultPlan(seed=seed)
+    plan.crash_node(0.0, "collector")
+    if restart_at is not None:
+        plan.restart_node(restart_at, "collector")
+    injector = FaultInjector(plan)
+    injector.attach(sim)
+
+    from repro.net.headers import RaShimHeader
+
+    sim.schedule(0.5e-3, lambda: src.send_udp(
+        dst_mac=dst.mac, dst_ip=dst.ip, src_port=1000, dst_port=2000,
+        payload=b"degraded",
+        ra_shim=RaShimHeader(flags=RaShimHeader.FLAG_POLICY, body=b""),
+    ))
+    sim.run()
+
+    anchors = KeyRegistry()
+    anchors.register_pair(switch.keys)
+    appraiser = PathAppraiser(
+        "Appraiser",
+        PathAppraisalPolicy(
+            anchors=anchors,
+            reference_measurements={"s1": {
+                InertiaClass.HARDWARE: hardware_reference(
+                    switch.engine.hardware_identity
+                ),
+                InertiaClass.PROGRAM: program_reference(genuine),
+            }},
+            fail_mode=fail_mode,
+        ),
+        telemetry=telemetry,
+    )
+    evidence_arrived = bool(collector.control_received)
+    if evidence_arrived:
+        records = [m for _, _, m in collector.control_received]
+        verdict = appraiser.appraise_records(
+            records, hop_count=len(records), compiled=None
+        )
+    else:
+        verdict = appraiser.appraise_unavailable(
+            "appraiser collector received no evidence "
+            f"(switch gave up after {switch.ra_stats.oob_gave_up} "
+            "exhausted delivery attempt(s))"
+        )
+    return DegradedResult(
+        verdict=verdict,
+        oob_gave_up=switch.ra_stats.oob_gave_up,
+        oob_recovered=switch.ra_stats.oob_recovered,
+        telemetry=telemetry,
+    )

@@ -147,6 +147,8 @@ class NetworkAwarePeraSwitch(PeraSwitch):
             ctx.packet = packet.with_shim(packet.ra_shim.with_hop())
         else:
             ctx.packet = self._push_in_band(packet, record)
+            if self.mirror_out_of_band and self.appraiser_node is not None:
+                self._send_out_of_band(record, trace=trace)
         return ctx
 
     def _produce_with_directive(

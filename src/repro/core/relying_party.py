@@ -33,7 +33,8 @@ from repro.net.routing import shortest_path
 from repro.net.simulator import Simulator
 from repro.pera.config import CompositionMode, DetailLevel
 from repro.ra.nonce import NonceManager
-from repro.util.errors import ConfigError
+from repro.telemetry.instrument import Telemetry
+from repro.util.errors import CodecError, ConfigError
 
 
 @dataclass
@@ -46,6 +47,9 @@ class RelyingParty:
     composition: CompositionMode = CompositionMode.CHAINED
     bindings: Dict[str, str] = field(default_factory=dict)
     out_of_band: bool = False
+    #: Optional shared telemetry so verdicts and check failures land in
+    #: the same journal as the simulator's events.
+    telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
         self._nonces = NonceManager(seed=f"rp-{self.policy.name}")
@@ -53,6 +57,7 @@ class RelyingParty:
             name=f"appraiser-of-{self.policy.name}",
             policy=self.appraisal,
             nonces=self._nonces,
+            telemetry=self.telemetry,
         )
         self._sim: Optional[Simulator] = None
         self._src: Optional[Host] = None
@@ -132,7 +137,18 @@ class RelyingParty:
     def _on_arrival(self, packet: Packet) -> None:
         if packet.ra_shim is None:
             return
-        carried = decode_compiled_policy(packet.ra_shim.body)
+        try:
+            carried = decode_compiled_policy(packet.ra_shim.body)
+        except CodecError as exc:
+            # Corrupted-in-flight shims reject rather than crash the RP.
+            self.verdicts.append(PathVerdict(
+                accepted=False,
+                failures=(f"shim body undecodable: {exc}",),
+                trace_id=(
+                    packet.trace.trace_id if packet.trace is not None else None
+                ),
+            ))
+            return
         if carried is None:
             return
         compiled = self._policies_by_nonce.get(carried.nonce)

@@ -452,6 +452,9 @@ class AuditTrailResult:
     log_root: bytes
     proofs_verify: bool
     verdict_accepted: bool
+    #: Attested findings that never reached the collector (lost control
+    #: messages) — a court-order log must know its own gaps.
+    findings_lost: int = 0
 
 
 def run_audit_trail(c2_flows: int = 3, benign_flows: int = 5) -> AuditTrailResult:
@@ -500,13 +503,17 @@ def run_audit_trail(c2_flows: int = 3, benign_flows: int = 5) -> AuditTrailResul
 
     # The scanner attests each punted match out of band (UC4-A).
     matches: List[bytes] = []
+    findings_lost = 0
 
     def on_cpu(ctx):
+        nonlocal findings_lost
         matches.append(bytes(ctx.payload))
         switch.ra_stats.packets_attested += 1
         record = switch._produce_record(ctx, [])
-        sim.send_control("scanner", "collector", record,
-                         size_hint=len(record.encode()))
+        delivered = sim.send_control("scanner", "collector", record,
+                                     size_hint=len(record.encode()))
+        if not delivered:
+            findings_lost += 1
 
     switch.handle_cpu_packet = on_cpu
 
@@ -537,6 +544,7 @@ def run_audit_trail(c2_flows: int = 3, benign_flows: int = 5) -> AuditTrailResul
         log_root=tree.root,
         proofs_verify=proofs_verify,
         verdict_accepted=bool(verdicts) and all(verdicts),
+        findings_lost=findings_lost,
     )
 
 

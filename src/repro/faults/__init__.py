@@ -1,0 +1,40 @@
+"""Deterministic fault injection and the resilience it exercises.
+
+The paper's case for dataplane attestation is strongest exactly when
+the network misbehaves — compromised switches, lossy and flapping
+links, unreachable appraisers. This package makes that misbehaviour a
+first-class, replayable input:
+
+- :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded, typed
+  schedule of fault events (pure data, no simulator state).
+- :mod:`repro.faults.injector` — :class:`FaultInjector`, the single
+  injection hook the simulator consults (``Simulator.install_faults``);
+  applies link/node/evidence faults and journals every one.
+- :mod:`repro.faults.retry` — :class:`RetryPolicy` (bounded attempts,
+  exponential backoff, per-attempt timeouts) and :class:`FailMode`
+  (the fail-open/fail-closed degraded-appraisal knob, fail-closed by
+  default).
+
+Determinism contract: same plan seed + same scenario ⇒ byte-identical
+replay, audit journal included. See ``docs/FAULTS.md``.
+"""
+
+from repro.faults.injector import (
+    COMPROMISE_ELECTION_ID,
+    FaultInjector,
+    FaultStats,
+)
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, link_key
+from repro.faults.retry import FailMode, RetryPolicy
+
+__all__ = [
+    "COMPROMISE_ELECTION_ID",
+    "FailMode",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+    "RetryPolicy",
+    "link_key",
+]

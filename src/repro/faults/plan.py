@@ -1,0 +1,254 @@
+"""Typed, seeded fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a declarative schedule of :class:`FaultEvent`s
+— link loss, link down/flap windows, packet bit-corruption, switch
+compromise, node crash/restart, clock skew, evidence tampering and
+stripping — plus the seed that drives every probabilistic decision the
+injector makes. The plan is pure data: building one touches no
+simulator state, so the same plan can be attached to many runs (the
+determinism property tests do exactly that).
+
+Determinism contract: a plan's schedule is fully ordered by
+``(time_s, insertion order)``, fault probabilities are drawn from a
+``random.Random(plan.seed)`` owned by the injector (never the
+simulator's loss RNG, never wall clock), and fault *application* rides
+the simulator's event queue — so two runs of the same scenario with
+the same plan replay byte-identically, audit journal included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Tuple
+
+
+class FaultKind:
+    """Fault-kind vocabulary (plain strings, like audit kinds)."""
+
+    LINK_LOSS = "link_loss"
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    PACKET_CORRUPT = "packet_corrupt"
+    SWITCH_COMPROMISE = "switch_compromise"
+    NODE_CRASH = "node_crash"
+    NODE_RESTART = "node_restart"
+    CLOCK_SKEW = "clock_skew"
+    EVIDENCE_TAMPER = "evidence_tamper"
+    EVIDENCE_STRIP_OOB = "evidence_strip_oob"
+    EVIDENCE_STRIP_INBAND = "evidence_strip_inband"
+
+    ALL = (
+        LINK_LOSS,
+        LINK_DOWN,
+        LINK_UP,
+        PACKET_CORRUPT,
+        SWITCH_COMPROMISE,
+        NODE_CRASH,
+        NODE_RESTART,
+        CLOCK_SKEW,
+        EVIDENCE_TAMPER,
+        EVIDENCE_STRIP_OOB,
+        EVIDENCE_STRIP_INBAND,
+    )
+
+
+def link_key(a: str, b: str) -> str:
+    """Direction-agnostic link name (``"s1|s2"`` whichever end sends)."""
+    return "|".join(sorted((a, b)))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault activation (immutable once planned)."""
+
+    time_s: float
+    kind: str
+    target: str  # a node name, or a link_key() for link-scoped faults
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"fault scheduled in the past ({self.time_s})")
+        if self.kind not in FaultKind.ALL:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def describe(self) -> str:
+        extra = ""
+        if self.params:
+            shown = {
+                key: value
+                for key, value in self.params.items()
+                if not callable(value)
+            }
+            if shown:
+                extra = f" {shown}"
+        return f"t={self.time_s:.6f}s {self.kind} @ {self.target}{extra}"
+
+
+class FaultPlan:
+    """A seeded, ordered schedule of faults (fluent builder)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._events: List[FaultEvent] = []
+
+    # --- generic -----------------------------------------------------------
+
+    def add(
+        self,
+        time_s: float,
+        kind: str,
+        target: str,
+        **params: object,
+    ) -> "FaultPlan":
+        self._events.append(
+            FaultEvent(time_s=time_s, kind=kind, target=target, params=params)
+        )
+        return self
+
+    # --- link faults -------------------------------------------------------
+
+    def link_loss(
+        self, time_s: float, a: str, b: str, rate: float
+    ) -> "FaultPlan":
+        """Add ``rate`` extra loss on the a—b link (0 clears it)."""
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"loss rate {rate} outside [0, 1)")
+        return self.add(time_s, FaultKind.LINK_LOSS, link_key(a, b), rate=rate)
+
+    def link_down(
+        self,
+        time_s: float,
+        a: str,
+        b: str,
+        duration_s: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Take the a—b link down (forever, or for ``duration_s``)."""
+        self.add(time_s, FaultKind.LINK_DOWN, link_key(a, b))
+        if duration_s is not None:
+            if duration_s <= 0:
+                raise ValueError(f"down window must be positive ({duration_s})")
+            self.add(time_s + duration_s, FaultKind.LINK_UP, link_key(a, b))
+        return self
+
+    def link_flap(
+        self,
+        time_s: float,
+        a: str,
+        b: str,
+        down_s: float,
+        up_s: float,
+        cycles: int = 1,
+    ) -> "FaultPlan":
+        """``cycles`` alternating down/up windows starting at ``time_s``."""
+        if cycles < 1:
+            raise ValueError(f"flap needs at least one cycle ({cycles})")
+        at = time_s
+        for _ in range(cycles):
+            self.link_down(at, a, b, duration_s=down_s)
+            at += down_s + up_s
+        return self
+
+    def corrupt_packets(
+        self,
+        time_s: float,
+        a: str,
+        b: str,
+        rate: float,
+        duration_s: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Flip one payload/shim byte in ``rate`` of a—b crossings."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corruption rate {rate} outside [0, 1]")
+        self.add(time_s, FaultKind.PACKET_CORRUPT, link_key(a, b), rate=rate)
+        if duration_s is not None:
+            self.add(
+                time_s + duration_s,
+                FaultKind.PACKET_CORRUPT,
+                link_key(a, b),
+                rate=0.0,
+            )
+        return self
+
+    # --- node faults -------------------------------------------------------
+
+    def compromise_switch(
+        self,
+        time_s: float,
+        switch: str,
+        program_factory: Callable[[], object],
+        configure: Optional[Callable[[object, str], None]] = None,
+        actor: str = "attacker",
+    ) -> "FaultPlan":
+        """Swap a tampered program onto ``switch`` at ``time_s``.
+
+        ``program_factory`` builds the rogue program (a callable so
+        this layer never imports PISA); ``configure(switch, actor)``
+        optionally writes the intruder's table entries afterwards.
+        """
+        return self.add(
+            time_s,
+            FaultKind.SWITCH_COMPROMISE,
+            switch,
+            program_factory=program_factory,
+            configure=configure,
+            actor=actor,
+        )
+
+    def crash_node(self, time_s: float, node: str) -> "FaultPlan":
+        """Crash ``node``: all traffic and control to it drops."""
+        return self.add(time_s, FaultKind.NODE_CRASH, node)
+
+    def restart_node(self, time_s: float, node: str) -> "FaultPlan":
+        """Bring a crashed ``node`` back (state intact, like a warm boot)."""
+        return self.add(time_s, FaultKind.NODE_RESTART, node)
+
+    def clock_skew(
+        self, time_s: float, node: str, skew_s: float
+    ) -> "FaultPlan":
+        """Skew ``node``'s evidence-cache clock by ``skew_s`` seconds."""
+        return self.add(time_s, FaultKind.CLOCK_SKEW, node, skew_s=skew_s)
+
+    # --- evidence faults ---------------------------------------------------
+
+    def tamper_evidence(self, time_s: float, sender: str) -> "FaultPlan":
+        """Corrupt signatures on control evidence sent by ``sender``."""
+        return self.add(time_s, FaultKind.EVIDENCE_TAMPER, sender)
+
+    def strip_evidence(self, time_s: float, sender: str) -> "FaultPlan":
+        """Silently drop out-of-band evidence sent by ``sender``."""
+        return self.add(time_s, FaultKind.EVIDENCE_STRIP_OOB, sender)
+
+    def strip_inband(self, time_s: float, a: str, b: str) -> "FaultPlan":
+        """Strip in-band hop records off packets crossing the a—b link."""
+        return self.add(
+            time_s, FaultKind.EVIDENCE_STRIP_INBAND, link_key(a, b)
+        )
+
+    # --- queries -----------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """Events in insertion order (builders may interleave times)."""
+        return tuple(self._events)
+
+    def schedule(self) -> Tuple[FaultEvent, ...]:
+        """Events in application order: by time, insertion order on ties."""
+        return tuple(sorted(self._events, key=lambda e: e.time_s))
+
+    def describe(self) -> str:
+        """Human-readable timeline (the chaos examples print this)."""
+        if not self._events:
+            return f"fault plan (seed {self.seed}): no faults"
+        lines = [f"fault plan (seed {self.seed}), {len(self._events)} events:"]
+        lines.extend(f"  {event.describe()}" for event in self.schedule())
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, events={len(self._events)})"
+
+
+__all__ = ["FaultEvent", "FaultKind", "FaultPlan", "link_key"]

@@ -9,8 +9,9 @@ control-plane scripting workflow. Works with any switch class built on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.faults.retry import RetryPolicy
 from repro.net.host import Host
 from repro.net.routing import shortest_path
 from repro.net.simulator import Simulator
@@ -19,6 +20,7 @@ from repro.pisa.programs import ipv4_forwarding_program
 from repro.pisa.runtime import TableEntry
 from repro.pisa.switch import PisaSwitch
 from repro.pisa.tables import MatchKey, MatchKind
+from repro.telemetry.audit import AuditKind
 from repro.util.errors import NetworkError
 
 
@@ -29,6 +31,8 @@ class RoutingController:
     sim: Simulator
     name: str = "controller"
     election_id: int = 1
+    #: Bounds :meth:`reprovision`'s arbitration escalation attempts.
+    retry_policy: Optional[RetryPolicy] = None
 
     def switches(self) -> List[PisaSwitch]:
         found = []
@@ -70,24 +74,30 @@ class RoutingController:
         host; switches with no path to some host simply skip it.
         """
         written = 0
-        topology = self.sim.topology
         for switch in self.switches():
-            for host in self.hosts():
-                try:
-                    path = shortest_path(topology, switch.name, host.name)
-                except NetworkError:
-                    continue
-                if len(path) < 2:
-                    continue
-                port = topology.port_towards(switch.name, path[1])
-                switch.runtime.write(self.name, TableEntry(
-                    table=table,
-                    keys=(MatchKey(
-                        MatchKind.LPM, host.ip, prefix_len=32,
-                    ),),
-                    action="forward", params=(port,),
-                ))
-                written += 1
+            written += self._install_routes_on(switch, table)
+        return written
+
+    def _install_routes_on(self, switch: PisaSwitch, table: str = "ipv4_lpm") -> int:
+        """Write this switch's /32 host routes; returns count written."""
+        written = 0
+        topology = self.sim.topology
+        for host in self.hosts():
+            try:
+                path = shortest_path(topology, switch.name, host.name)
+            except NetworkError:
+                continue
+            if len(path) < 2:
+                continue
+            port = topology.port_towards(switch.name, path[1])
+            switch.runtime.write(self.name, TableEntry(
+                table=table,
+                keys=(MatchKey(
+                    MatchKind.LPM, host.ip, prefix_len=32,
+                ),),
+                action="forward", params=(port,),
+            ))
+            written += 1
         return written
 
     def provision(self, program_factory=ipv4_forwarding_program) -> int:
@@ -95,3 +105,52 @@ class RoutingController:
         self.take_mastership()
         self.install_programs(program_factory)
         return self.install_host_routes()
+
+    def reprovision(
+        self, switch_name: str, program_factory=ipv4_forwarding_program
+    ) -> DataplaneProgram:
+        """Recover one switch after a compromise: re-win mastership,
+        reinstall the vetted program, rewrite its host routes.
+
+        A compromising controller holds mastership with a higher
+        election id, so re-arbitrating at our old id loses; P4Runtime's
+        remedy is to come back with a higher id. Each attempt doubles
+        the id, an exponential search that out-bids any incumbent in
+        ``log2(incumbent_id)`` attempts (bounded by
+        ``retry_policy.max_attempts`` when set, else 32 — enough for
+        any 32-bit election id). Emits a ``recovery.reprovisioned``
+        audit event on success.
+        """
+        behaviour = self.sim.node(switch_name)
+        if not isinstance(behaviour, PisaSwitch):
+            raise NetworkError(f"{switch_name!r} is not a switch")
+        attempts = (
+            self.retry_policy.max_attempts
+            if self.retry_policy is not None
+            else 32
+        )
+        won = False
+        for attempt in range(attempts):
+            if behaviour.runtime.arbitrate(self.name, self.election_id):
+                won = True
+                break
+            # Outbid whoever took over; the doubling converges fast.
+            self.election_id *= 2
+        if not won:
+            raise NetworkError(
+                f"controller could not re-win mastership on {switch_name!r} "
+                f"after {attempts} attempt(s)"
+            )
+        program = program_factory()
+        behaviour.runtime.set_forwarding_pipeline_config(self.name, program)
+        routes = self._install_routes_on(behaviour)
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.audit_event(
+                AuditKind.RECOVERY_REPROVISIONED,
+                self.name,
+                target=switch_name,
+                election_id=self.election_id,
+                routes=routes,
+            )
+        return program

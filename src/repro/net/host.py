@@ -30,6 +30,8 @@ class Host(Node):
         self.control_received: List[Tuple[float, str, Any]] = []
         self.on_packet: Optional[Callable[[Packet], None]] = None
         self.on_control: Optional[Callable[[str, Any], None]] = None
+        # Local resend budget for lossy first hops (see Simulator.transmit).
+        self.resend_budget = 0
 
     # --- sending ------------------------------------------------------------
 
@@ -52,7 +54,9 @@ class Host(Node):
                 trace=packet.trace,
                 five_tuple=repr(packet.five_tuple),
             )
-        self.sim.transmit(self.name, self.port, packet)
+        self.sim.transmit(
+            self.name, self.port, packet, resend_budget=self.resend_budget
+        )
         return packet
 
     def send_udp(

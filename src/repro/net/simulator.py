@@ -104,6 +104,9 @@ class SimStats:
     control_dropped: int = 0
     events_processed: int = 0
     dropped_trace_entries: int = 0
+    #: Lost transmit attempts recovered by a sender's local resend
+    #: budget (LinkGuardian-style); not counted in packets_dropped.
+    local_resends: int = 0
 
 
 class Simulator:
@@ -130,6 +133,17 @@ class Simulator:
         self._trace: RingBuffer[Tuple[float, str, str]] = RingBuffer(trace_limit)
         self.trace_enabled = False
         self.packet_log: RingBuffer[PacketLogEntry] = RingBuffer(trace_limit)
+        # Fault-injection hook (see repro.faults); None = no faults, and
+        # the dataplane fast path costs exactly one is-None branch.
+        self.faults = None
+
+    def install_faults(self, hook) -> None:
+        """Install a fault-injection hook (duck-typed; see
+        :class:`~repro.faults.injector.FaultInjector`). The hook is
+        consulted on every transmission, delivery and control send."""
+        if self.faults is not None:
+            raise NetworkError("a fault hook is already installed")
+        self.faults = hook
 
     # --- setup ------------------------------------------------------------
 
@@ -195,11 +209,23 @@ class Simulator:
 
     # --- dataplane ----------------------------------------------------------
 
-    def transmit(self, from_node: str, out_port: int, packet: Packet) -> bool:
+    def transmit(
+        self,
+        from_node: str,
+        out_port: int,
+        packet: Packet,
+        resend_budget: int = 0,
+    ) -> bool:
         """Send ``packet`` out of ``from_node``'s ``out_port``.
 
         Returns ``False`` (and counts a drop) when the port is unwired,
         mirroring a real switch forwarding to a dark port.
+
+        ``resend_budget`` is a LinkGuardian-style local recovery knob:
+        a sender that can see the loss (link-level ack/corruption
+        detection) immediately re-offers the packet up to that many
+        times. Resent losses count in ``SimStats.local_resends``, not
+        ``packets_dropped``; a down link is never retryable.
         """
         link = self.topology.link_at(from_node, out_port)
         if link is None:
@@ -207,12 +233,35 @@ class Simulator:
             self._note(f"{from_node} dropped {packet!r}: port {out_port} unwired")
             return False
         peer, peer_port = link.other_end(from_node)
-        if link.drop_rate > 0 and self._rng.random() < link.drop_rate:
-            self._count_drop(from_node, "link_loss", packet)
+        faults = self.faults
+        attempts = 0
+        while True:
+            reason: Optional[str] = None
+            outgoing = packet
+            if faults is not None:
+                reason, outgoing = faults.filter_transmit(
+                    from_node, peer, packet
+                )
+            if (
+                reason is None
+                and link.drop_rate > 0
+                and self._rng.random() < link.drop_rate
+            ):
+                reason = "link_loss"
+            if reason is None:
+                packet = outgoing
+                break
+            if reason == "fault_link_down" or attempts >= resend_budget:
+                self._count_drop(from_node, reason, packet)
+                self._note(
+                    f"{from_node}:{out_port} lost {packet!r} ({reason})"
+                )
+                return False
+            attempts += 1
+            self.stats.local_resends += 1
             self._note(
-                f"{from_node}:{out_port} lost {packet!r} (link loss)"
+                f"{from_node}:{out_port} resending {packet!r} after {reason}"
             )
-            return False
         delay = link.transit_delay(packet.wire_length)
         self.stats.packets_transmitted += 1
         self.stats.bytes_transmitted += packet.wire_length
@@ -234,6 +283,14 @@ class Simulator:
                     trace=packet.trace,
                     link=link_label,
                 )
+            if attempts:
+                tel.audit_event(
+                    AuditKind.RECOVERY_RESENT,
+                    from_node,
+                    trace=packet.trace,
+                    attempts=attempts,
+                    link=link_label,
+                )
         self._note(f"{from_node}:{out_port} -> {peer}:{peer_port} {packet!r}")
         if self.trace_enabled:
             if self.packet_log.append(PacketLogEntry(
@@ -251,8 +308,12 @@ class Simulator:
         def deliver() -> None:
             behaviour = self._nodes.get(peer)
             if behaviour is None:
-                self._count_drop(peer, "unbound_node")
+                self._count_drop(peer, "unbound_node", packet)
                 self._note(f"{peer} has no behaviour; dropped {packet!r}")
+                return
+            if self.faults is not None and self.faults.node_is_down(peer):
+                self._count_drop(peer, "node_down", packet)
+                self._note(f"{peer} is down; dropped {packet!r}")
                 return
             behaviour.handle_packet(packet, peer_port)
 
@@ -297,8 +358,25 @@ class Simulator:
         absent appraiser must be observable as loss, not an exception
         and not silence.
         """
+        faults = self.faults
+        if faults is not None:
+            if faults.node_is_down(recipient):
+                self._count_control_drop(recipient, "node_down", trace=trace)
+                self._note(
+                    f"control {sender} -> {recipient}: dropped (node down)"
+                )
+                return False
+            reason, message = faults.filter_control(
+                sender, recipient, message, trace
+            )
+            if reason is not None:
+                self._count_control_drop(recipient, reason, trace=trace)
+                self._note(
+                    f"control {sender} -> {recipient}: dropped ({reason})"
+                )
+                return False
         if recipient not in self._nodes:
-            self._count_control_drop(recipient, "unbound_at_send")
+            self._count_control_drop(recipient, "unbound_at_send", trace=trace)
             self._note(
                 f"control {sender} -> {recipient}: dropped (no behaviour bound)"
             )
@@ -326,9 +404,19 @@ class Simulator:
         def deliver() -> None:
             behaviour = self._nodes.get(recipient)
             if behaviour is None:
-                self._count_control_drop(recipient, "unbound_at_delivery")
+                self._count_control_drop(
+                    recipient, "unbound_at_delivery", trace=trace
+                )
                 self._note(
                     f"control {sender} -> {recipient}: dropped at delivery"
+                )
+                return
+            if self.faults is not None and self.faults.node_is_down(recipient):
+                self._count_control_drop(
+                    recipient, "node_down_at_delivery", trace=trace
+                )
+                self._note(
+                    f"control {sender} -> {recipient}: dropped (node down)"
                 )
                 return
             behaviour.handle_control(sender, message)
@@ -336,13 +424,24 @@ class Simulator:
         self.schedule(self.control_latency_s, deliver)
         return True
 
-    def _count_control_drop(self, recipient: str, reason: str) -> None:
+    def _count_control_drop(
+        self,
+        recipient: str,
+        reason: str,
+        trace: Optional[TraceContext] = None,
+    ) -> None:
         self.stats.control_dropped += 1
         tel = self.telemetry
         if tel.active:
             tel.counter(
                 "net.control.dropped", recipient=recipient, reason=reason
             ).inc()
+            tel.audit_event(
+                AuditKind.CONTROL_DROPPED,
+                recipient,
+                trace=trace,
+                reason=reason,
+            )
 
     # --- tracing ------------------------------------------------------------
 

@@ -67,6 +67,15 @@ class EvidenceCache(Generic[V]):
         self._entries: Dict[InertiaClass, _Entry[V]] = {}
         self.stats = CacheStats()
 
+    def bind_clock(self, clock: SimClock) -> None:
+        """Re-point TTL decisions at a (new, possibly skewed) clock.
+
+        Existing entries keep their absolute expiry times; they are
+        simply re-judged against the new clock — exactly how a real
+        cache experiences clock skew.
+        """
+        self._clock = clock
+
     def ttl_for(self, inertia: InertiaClass) -> float:
         return self._ttls.get(inertia, 0.0)
 

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.crypto.hashing import HashChain, digest
 from repro.crypto.keys import KeyPair
+from repro.faults.retry import RetryPolicy
 from repro.net.headers import RaShimHeader
 from repro.net.packet import Packet
 from repro.pera.cache import EvidenceCache
@@ -36,10 +37,10 @@ from repro.pera.records import (
 from repro.pera.sampling import Sampler
 from repro.pisa.pipeline import DROP_PORT, PacketContext
 from repro.pisa.switch import PisaSwitch
-from repro.telemetry.audit import AuditKind
+from repro.telemetry.audit import AuditKind, Check
 from repro.telemetry.spans import NULL_SPAN
-from repro.util.clock import SimClock
-from repro.util.errors import PipelineError
+from repro.util.clock import SimClock, SkewedClock
+from repro.util.errors import CodecError, PipelineError
 
 
 @dataclass
@@ -55,6 +56,13 @@ class RaStats:
     out_of_band_sent: int = 0
     evidence_bytes_added: int = 0
     gated_drops: int = 0
+    # Out-of-band delivery resilience (see the switch's retry_policy).
+    oob_send_failures: int = 0
+    oob_retries: int = 0
+    oob_recovered: int = 0
+    oob_gave_up: int = 0
+    # Incoming shim bodies that would not decode (bit corruption).
+    undecodable_evidence: int = 0
 
 
 class PeraSwitch(PisaSwitch):
@@ -68,6 +76,8 @@ class PeraSwitch(PisaSwitch):
         appraiser_node: Optional[str] = None,
         out_of_band: bool = False,
         pseudonym: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        mirror_out_of_band: bool = False,
     ) -> None:
         super().__init__(name)
         self.config = config or EvidenceConfig()
@@ -79,6 +89,12 @@ class PeraSwitch(PisaSwitch):
         self.appraiser_node = appraiser_node
         self.out_of_band = out_of_band
         self.pseudonym = pseudonym
+        # Retry/backoff for out-of-band evidence the control channel
+        # rejects at send time (crashed appraiser, stripped channel).
+        self.retry_policy = retry_policy
+        # Also copy in-band evidence to the appraiser (audit mirror),
+        # when an appraiser_node is configured.
+        self.mirror_out_of_band = mirror_out_of_band
         self.ra_stats = RaStats()
         self.ra_cost = 0.0
         self._attest_sequence = 0
@@ -176,15 +192,36 @@ class PeraSwitch(PisaSwitch):
                 ctx.packet = packet.with_shim(packet.ra_shim.with_hop())
         elif packet is not None and packet.ra_shim is not None:
             ctx.packet = self._push_in_band(packet, record)
+            if self.mirror_out_of_band and self.appraiser_node is not None:
+                self._send_out_of_band(record, trace=trace)
         return ctx
 
     # --- the Evidence block -----------------------------------------------------
 
     def inspect_evidence(self, packet: Optional[Packet]) -> List[HopRecord]:
-        """Fig. 3 'Inspect': parse the record stack off the shim body."""
+        """Fig. 3 'Inspect': parse the record stack off the shim body.
+
+        A body that will not decode (bit corruption in flight) is
+        treated as carrying no usable evidence — counted and journaled,
+        never a pipeline crash; downstream appraisal then fails the
+        coverage check instead of the whole simulation.
+        """
         if packet is None or packet.ra_shim is None:
             return []
-        return decode_record_stack(packet.ra_shim.body)
+        try:
+            return decode_record_stack(packet.ra_shim.body)
+        except CodecError as exc:
+            self.ra_stats.undecodable_evidence += 1
+            tel = self.telemetry
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.CHECK_FAILED,
+                    self.name,
+                    trace=packet.trace,
+                    check=Check.SHIM,
+                    message=f"evidence stack undecodable: {exc}",
+                )
+            return []
 
     def _produce_record(
         self, ctx: PacketContext, prior_records: List[HopRecord]
@@ -354,7 +391,15 @@ class PeraSwitch(PisaSwitch):
         return packet.with_shim(new_shim)
 
     def _send_out_of_band(self, record: HopRecord, trace=None) -> None:
-        """Fig. 3 (E): evidence leaves separately, to the appraiser."""
+        """Fig. 3 (E): evidence leaves separately, to the appraiser.
+
+        ``send_control`` refusing the message (crashed appraiser,
+        stripped channel) is no longer silent: failures are counted,
+        and with a :class:`RetryPolicy` configured the switch re-offers
+        the record on the simulator's clock with exponential backoff —
+        journaled as ``recovery.retry`` / ``recovery.recovered`` /
+        ``recovery.gave_up`` so the audit trail tells the whole story.
+        """
         if self.sim is None or self.appraiser_node is None:
             raise PipelineError(
                 f"switch {self.name!r} has no out-of-band appraiser configured"
@@ -369,10 +414,75 @@ class PeraSwitch(PisaSwitch):
                 digest=record.content_digest,
                 to=self.appraiser_node,
             )
-        self.sim.send_control(
+        delivered = self.sim.send_control(
             self.name,
             self.appraiser_node,
             record,
             size_hint=len(encoded),
             trace=trace,
         )
+        if not delivered:
+            self.ra_stats.oob_send_failures += 1
+            self._schedule_oob_retry(record, encoded, trace, attempt=1)
+
+    def _schedule_oob_retry(
+        self, record: HopRecord, encoded: bytes, trace, attempt: int
+    ) -> None:
+        policy = self.retry_policy
+        tel = self.telemetry
+        if policy is None or attempt >= policy.max_attempts:
+            self.ra_stats.oob_gave_up += 1
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.RECOVERY_GAVE_UP,
+                    self.name,
+                    trace=trace,
+                    digest=record.content_digest,
+                    to=self.appraiser_node,
+                    attempts=attempt,
+                )
+            return
+        delay = policy.backoff_delay(attempt)
+        self.ra_stats.oob_retries += 1
+        if tel.active:
+            tel.audit_event(
+                AuditKind.RECOVERY_RETRY,
+                self.name,
+                trace=trace,
+                digest=record.content_digest,
+                to=self.appraiser_node,
+                attempt=attempt,
+                delay_s=delay,
+            )
+
+        def retry() -> None:
+            delivered = self.sim.send_control(
+                self.name,
+                self.appraiser_node,
+                record,
+                size_hint=len(encoded),
+                trace=trace,
+            )
+            if delivered:
+                self.ra_stats.oob_recovered += 1
+                if tel.active:
+                    tel.audit_event(
+                        AuditKind.RECOVERY_RECOVERED,
+                        self.name,
+                        trace=trace,
+                        digest=record.content_digest,
+                        to=self.appraiser_node,
+                        attempts=attempt,
+                    )
+            else:
+                self.ra_stats.oob_send_failures += 1
+                self._schedule_oob_retry(record, encoded, trace, attempt + 1)
+
+        self.sim.schedule(delay, retry)
+
+    # --- fault hooks ------------------------------------------------------------
+
+    def apply_clock_skew(self, skew_s: float) -> None:
+        """Skew this switch's evidence-cache clock (clock-skew fault)."""
+        base = self.sim.clock if self.sim is not None else SimClock()
+        self.cache.bind_clock(SkewedClock(base, skew_s))

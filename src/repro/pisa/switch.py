@@ -30,6 +30,9 @@ class PisaSwitch(Node):
         self.packets_dropped = 0
         self.packets_to_cpu = 0
         self.total_cost = 0.0
+        # LinkGuardian-style local recovery: lost egress transmissions
+        # are re-offered up to this many times (0 = no recovery).
+        self.resend_budget = 0
         # Pipelines are created on program install; re-stamp telemetry
         # onto each new one so per-stage spans track this switch.
         self.runtime.change_observers.append(self._stamp_pipeline_telemetry)
@@ -85,9 +88,19 @@ class PisaSwitch(Node):
             return
         out_packet = ctx.rebuild_packet()
         if self.sim is not None:
-            self.sim.transmit(self.name, ctx.egress_spec, out_packet)
+            self.sim.transmit(
+                self.name,
+                ctx.egress_spec,
+                out_packet,
+                resend_budget=self.resend_budget,
+            )
             if ctx.clone_spec is not None and ctx.clone_spec != ctx.egress_spec:
-                self.sim.transmit(self.name, ctx.clone_spec, out_packet)
+                self.sim.transmit(
+                    self.name,
+                    ctx.clone_spec,
+                    out_packet,
+                    resend_budget=self.resend_budget,
+                )
 
     def handle_cpu_packet(self, ctx: PacketContext) -> None:
         """Punted packet hook; default emits a digest to the runtime."""

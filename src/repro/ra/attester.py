@@ -15,12 +15,14 @@ observable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import digest
 from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.faults.retry import FailMode, RetryPolicy
 from repro.net.host import Host
 from repro.ra.nonce import NonceManager
+from repro.telemetry.audit import AuditKind, Check
 from repro.util.errors import VerificationError
 
 _MEASURE_DOMAIN = "host-component-measurement"
@@ -71,11 +73,19 @@ class AttestingHost(Host):
     — the trustworthy-component assumption of the paper's §3.
     """
 
-    def __init__(self, name: str, mac: int, ip: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        mac: int,
+        ip: int,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         super().__init__(name, mac, ip)
         self.keys = KeyPair.generate(name)
         self.components: Dict[str, bytes] = {}
         self.requests_served = 0
+        self.retry_policy = retry_policy
+        self.reply_send_failures = 0
 
     def install(self, component: str, content: bytes) -> None:
         self.components[component] = content
@@ -114,11 +124,28 @@ class AttestingHost(Host):
             ),
         )
         self.requests_served += 1
-        self.sim.send_control(
-            self.name, request.reply_to, response,
+        self._send_reply(request.reply_to, response, attempt=0)
+
+    def _send_reply(
+        self, reply_to: str, response: "AttestationResponse", attempt: int
+    ) -> None:
+        """Send (or re-send) a reply; failures are counted, and with a
+        retry policy the reply is re-offered after backoff."""
+        delivered = self.sim.send_control(
+            self.name, reply_to, response,
             size_hint=len(response.signature) + sum(
-                len(v) for _, v in measurements
+                len(v) for _, v in response.measurements
             ),
+        )
+        if delivered:
+            return
+        self.reply_send_failures += 1
+        policy = self.retry_policy
+        if policy is None or attempt + 1 >= policy.max_attempts:
+            return
+        self.sim.schedule(
+            policy.backoff_delay(attempt + 1),
+            lambda: self._send_reply(reply_to, response, attempt + 1),
         )
 
 
@@ -131,10 +158,22 @@ def golden_value(content: bytes) -> bytes:
 class HostVerdict:
     accepted: bool
     failures: Tuple[str, ...] = ()
+    #: True when the verdict was reached without evidence (the
+    #: attester never answered and the fail mode decided instead).
+    degraded: bool = False
 
 
 class VerifierHost(Host):
-    """Issues attestation requests and appraises the responses."""
+    """Issues attestation requests and appraises the responses.
+
+    Resilience: with a :class:`RetryPolicy`, an unanswered challenge
+    is re-issued (same nonce — the challenge is unchanged) after each
+    per-attempt timeout plus backoff; when every attempt times out the
+    verifier issues a *degraded* verdict per its ``fail_mode`` —
+    rejecting under the default :data:`FailMode.CLOSED` — and journals
+    a ``check.failed`` availability event, so silence is never mistaken
+    for success.
+    """
 
     def __init__(
         self,
@@ -143,6 +182,8 @@ class VerifierHost(Host):
         ip: int,
         anchors: KeyRegistry,
         golden: Dict[str, Dict[str, bytes]],  # attester -> component -> value
+        retry_policy: Optional[RetryPolicy] = None,
+        fail_mode: str = FailMode.CLOSED,
     ) -> None:
         super().__init__(name, mac, ip)
         self.anchors = anchors
@@ -150,18 +191,100 @@ class VerifierHost(Host):
         self.nonces = NonceManager(seed=f"verifier-{name}")
         self.verdicts: Dict[bytes, HostVerdict] = {}
         self._pending: Dict[bytes, str] = {}
+        self._requests: Dict[bytes, AttestationRequest] = {}
+        self.retry_policy = retry_policy
+        self.fail_mode = fail_mode
+        self.request_send_failures = 0
+        self.timeouts = 0
 
     def request_attestation(self, attester: str, targets: Tuple[str, ...]) -> bytes:
         """Fire a request; returns the nonce to look the verdict up by."""
         nonce = self.nonces.issue()
         self._pending[nonce] = attester
-        self.sim.send_control(
+        request = AttestationRequest(
+            nonce=nonce, targets=targets, reply_to=self.name
+        )
+        self._requests[nonce] = request
+        self._attempt(nonce, attempt=1)
+        return nonce
+
+    def _attempt(self, nonce: bytes, attempt: int) -> None:
+        request = self._requests.get(nonce)
+        attester = self._pending.get(nonce)
+        if request is None or attester is None:
+            return  # already answered (or concluded)
+        delivered = self.sim.send_control(
             self.name,
             attester,
-            AttestationRequest(nonce=nonce, targets=targets, reply_to=self.name),
-            size_hint=len(nonce) + sum(len(t) for t in targets),
+            request,
+            size_hint=len(nonce) + sum(len(t) for t in request.targets),
         )
-        return nonce
+        if not delivered:
+            self.request_send_failures += 1
+        policy = self.retry_policy
+        if policy is None:
+            return  # legacy fire-and-forget (failures still counted)
+
+        def check_timeout() -> None:
+            if nonce not in self._pending or nonce in self.verdicts:
+                return  # answered in time
+            self.timeouts += 1
+            if attempt >= policy.max_attempts:
+                self._conclude_unreachable(nonce, attester, attempt)
+                return
+            tel = self.sim.telemetry
+            if tel.active:
+                tel.audit_event(
+                    AuditKind.RECOVERY_RETRY,
+                    self.name,
+                    to=attester,
+                    attempt=attempt,
+                )
+            self._attempt(nonce, attempt + 1)
+
+        self.sim.schedule(
+            policy.timeout_s + policy.backoff_delay(attempt), check_timeout
+        )
+
+    def _conclude_unreachable(
+        self, nonce: bytes, attester: str, attempts: int
+    ) -> None:
+        """Every challenge timed out: decide by fail mode, journal why."""
+        self._pending.pop(nonce, None)
+        self._requests.pop(nonce, None)
+        message = (
+            f"attester {attester!r} unreachable: no response after "
+            f"{attempts} attempt(s)"
+        )
+        fail_open = self.fail_mode == FailMode.OPEN
+        verdict = HostVerdict(
+            accepted=fail_open,
+            failures=() if fail_open else (message,),
+            degraded=True,
+        )
+        self.verdicts[nonce] = verdict
+        tel = self.sim.telemetry
+        if tel.active:
+            tel.audit_event(
+                AuditKind.RECOVERY_GAVE_UP,
+                self.name,
+                to=attester,
+                attempts=attempts,
+            )
+            tel.audit_event(
+                AuditKind.CHECK_FAILED,
+                self.name,
+                check=Check.AVAILABILITY,
+                message=message,
+            )
+            tel.audit_event(
+                AuditKind.VERDICT_ISSUED,
+                self.name,
+                accepted=verdict.accepted,
+                records=0,
+                failures=len(verdict.failures),
+                degraded=True,
+            )
 
     def handle_control(self, sender: str, message: Any) -> None:
         if isinstance(message, AttestationResponse):

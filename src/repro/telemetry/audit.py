@@ -59,6 +59,14 @@ class AuditKind:
     VERDICT_ISSUED = "verdict.issued"
     POLICY_TEST_FAILED = "policy.test_failed"
     GATE_DROPPED = "gate.dropped"
+    CONTROL_DROPPED = "control.dropped"
+    FAULT_INJECTED = "fault.injected"
+    FAULT_CLEARED = "fault.cleared"
+    RECOVERY_RESENT = "recovery.resent"
+    RECOVERY_RETRY = "recovery.retry"
+    RECOVERY_RECOVERED = "recovery.recovered"
+    RECOVERY_GAVE_UP = "recovery.gave_up"
+    RECOVERY_REPROVISIONED = "recovery.reprovisioned"
 
 
 class Check:
@@ -72,6 +80,7 @@ class Check:
     NONCE = "nonce"
     BINDING = "binding"
     SHIM = "shim"
+    AVAILABILITY = "availability"
     OTHER = "other"
 
 
@@ -99,6 +108,13 @@ def classify_failure(message: str) -> str:
         return Check.FUNCTION
     if "shim" in text:
         return Check.SHIM
+    if (
+        "unreachable" in text
+        or "unavailable" in text
+        or "timed out" in text
+        or "no response" in text
+    ):
+        return Check.AVAILABILITY
     return Check.OTHER
 
 
@@ -300,6 +316,46 @@ def _describe(doc: Mapping[str, object]) -> str:
         return f"{actor}: hop test failed (attestation skipped)"
     if kind == AuditKind.GATE_DROPPED:
         return f"{actor}: dropped by evidence gate"
+    if kind == AuditKind.CONTROL_DROPPED:
+        return (
+            f"{actor}: control message dropped "
+            f"({detail.get('reason', '?')})"
+        )
+    if kind == AuditKind.FAULT_INJECTED:
+        return (
+            f"{actor}: FAULT {detail.get('fault', '?')} "
+            f"injected at {detail.get('target', '?')}"
+        )
+    if kind == AuditKind.FAULT_CLEARED:
+        return (
+            f"{actor}: fault {detail.get('fault', '?')} "
+            f"cleared at {detail.get('target', '?')}"
+        )
+    if kind == AuditKind.RECOVERY_RESENT:
+        return (
+            f"{actor}: link loss recovered by local resend "
+            f"({detail.get('attempts', '?')} attempt(s))"
+        )
+    if kind == AuditKind.RECOVERY_RETRY:
+        return (
+            f"{actor}: retrying delivery to {detail.get('to', '?')} "
+            f"(attempt {detail.get('attempt', '?')})"
+        )
+    if kind == AuditKind.RECOVERY_RECOVERED:
+        return (
+            f"{actor}: delivery to {detail.get('to', '?')} recovered "
+            f"after {detail.get('attempts', '?')} retry(ies)"
+        )
+    if kind == AuditKind.RECOVERY_GAVE_UP:
+        return (
+            f"{actor}: gave up on {detail.get('to', '?')} "
+            f"after {detail.get('attempts', '?')} attempt(s)"
+        )
+    if kind == AuditKind.RECOVERY_REPROVISIONED:
+        return (
+            f"{actor}: reprovisioned {detail.get('switch', '?')} "
+            "with the vetted program"
+        )
     extra = f" {dict(detail)}" if detail else ""
     return f"{actor}: {kind}{extra}"
 
@@ -349,13 +405,20 @@ def explain_verdict(verdict, events: Iterable[EventLike]) -> str:
     this stays importable without the core layer.
     """
     trace_id = getattr(verdict, "trace_id", None)
+    degraded = getattr(verdict, "degraded", False)
     story = narrative(events, trace_id=trace_id)
     lines = [story]
     if verdict.accepted:
-        lines.append("conclusion: ACCEPTED — every check passed at every hop")
-    else:
         lines.append(
-            f"conclusion: REJECTED — {len(verdict.failures)} check(s) failed"
+            "conclusion: ACCEPTED (DEGRADED — fail-open without appraisal)"
+            if degraded
+            else "conclusion: ACCEPTED — every check passed at every hop"
+        )
+    else:
+        mode = " (degraded mode, fail-closed)" if degraded else ""
+        lines.append(
+            f"conclusion: REJECTED{mode} — "
+            f"{len(verdict.failures)} check(s) failed"
         )
         lines.extend(f"  - {failure}" for failure in verdict.failures)
     return "\n".join(lines)

@@ -255,6 +255,18 @@ def collect_simulator(telemetry: Telemetry, sim) -> None:
     g("net.sim.control_dropped").set(stats.control_dropped)
     g("net.sim.events_processed").set(stats.events_processed)
     g("net.sim.dropped_trace_entries").set(stats.dropped_trace_entries)
+    g("net.sim.local_resends").set(getattr(stats, "local_resends", 0))
+    faults = getattr(sim, "faults", None)
+    fault_stats = getattr(faults, "stats", None)
+    if fault_stats is not None:
+        g("faults.injected").set(fault_stats.injected)
+        g("faults.cleared").set(fault_stats.cleared)
+        g("faults.extra_losses").set(fault_stats.extra_losses)
+        g("faults.link_down_drops").set(fault_stats.link_down_drops)
+        g("faults.packets_corrupted").set(fault_stats.packets_corrupted)
+        g("faults.records_stripped").set(fault_stats.records_stripped)
+        g("faults.control_stripped").set(fault_stats.control_stripped)
+        g("faults.control_tampered").set(fault_stats.control_tampered)
     for name in getattr(sim, "bound_nodes", []):
         collect_node(telemetry, sim.node(name))
 
@@ -287,6 +299,21 @@ def collect_node(telemetry: Telemetry, node) -> None:
             ra_stats.signatures_produced
         )
         g("pera.out_of_band_sent", switch=switch).set(ra_stats.out_of_band_sent)
+        g("pera.oob_send_failures", switch=switch).set(
+            getattr(ra_stats, "oob_send_failures", 0)
+        )
+        g("pera.oob_retries", switch=switch).set(
+            getattr(ra_stats, "oob_retries", 0)
+        )
+        g("pera.oob_recovered", switch=switch).set(
+            getattr(ra_stats, "oob_recovered", 0)
+        )
+        g("pera.oob_gave_up", switch=switch).set(
+            getattr(ra_stats, "oob_gave_up", 0)
+        )
+        g("pera.undecodable_evidence", switch=switch).set(
+            getattr(ra_stats, "undecodable_evidence", 0)
+        )
         g("pera.evidence_bytes_added", switch=switch).set(
             ra_stats.evidence_bytes_added
         )

@@ -32,3 +32,25 @@ class SimClock:
 
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.6f})"
+
+
+class SkewedClock:
+    """A read-only view of another clock, offset by a fixed skew.
+
+    Models a component whose local time drifted from simulation time
+    (the clock-skew fault): cache TTL decisions made against a skewed
+    clock expire early (positive skew) or serve stale entries longer
+    (negative skew). The base clock stays authoritative — a skewed
+    clock is never advanced directly.
+    """
+
+    def __init__(self, base: SimClock, skew_s: float) -> None:
+        self.base = base
+        self.skew_s = float(skew_s)
+
+    @property
+    def now(self) -> float:
+        return self.base.now + self.skew_s
+
+    def __repr__(self) -> str:
+        return f"SkewedClock(now={self.now:.6f}, skew={self.skew_s:+.6f})"

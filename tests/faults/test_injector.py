@@ -1,0 +1,355 @@
+"""Failure matrix: every fault kind leaves exactly its audit trail.
+
+Each scenario activates one fault kind against a live simulator and
+asserts (a) the observable damage, (b) exactly one matching
+``fault.injected`` activation event (plus ``fault.cleared`` for the
+up/restart/window-end events), and (c) per-packet effect events that
+carry the victim packet's trace id.
+"""
+
+import pytest
+
+from repro.core.appraisal import (
+    PathAppraisalPolicy,
+    PathAppraiser,
+    hardware_reference,
+    program_reference,
+)
+from repro.core.policies import ap1_bank_path_attestation
+from repro.core.raswitch import NetworkAwarePeraSwitch
+from repro.core.relying_party import RelyingParty
+from repro.crypto.keys import KeyRegistry
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.net.controller import RoutingController
+from repro.net.headers import RaShimHeader, ip_to_int
+from repro.net.host import Host
+from repro.net.simulator import Simulator
+from repro.net.topology import Topology, linear_topology
+from repro.pera.config import DetailLevel, EvidenceConfig
+from repro.pera.inertia import InertiaClass
+from repro.pisa.programs import athens_rogue_program, ipv4_forwarding_program
+from repro.pisa.runtime import TableEntry
+from repro.pisa.tables import MatchKey, MatchKind
+from repro.telemetry.audit import AuditKind
+from repro.telemetry.instrument import Telemetry
+from repro.util.clock import SkewedClock
+from repro.util.errors import NetworkError
+
+
+def chain(telemetry, seed=0):
+    """h1 -- s1 -- h2 with an attesting PERA switch."""
+    topo = Topology()
+    topo.add_node("h1", kind="host")
+    topo.add_node("h2", kind="host")
+    topo.add_node("s1")
+    topo.add_link("h1", 1, "s1", 1)
+    topo.add_link("s1", 2, "h2", 1)
+    sim = Simulator(topo, seed=seed, telemetry=telemetry)
+    h1 = Host("h1", mac=1, ip=ip_to_int("10.0.0.1"))
+    h2 = Host("h2", mac=2, ip=ip_to_int("10.0.1.1"))
+    switch = NetworkAwarePeraSwitch("s1")
+    for node in (h1, h2, switch):
+        sim.bind(node)
+    switch.runtime.arbitrate("ctl", 1)
+    program = ipv4_forwarding_program()
+    switch.runtime.set_forwarding_pipeline_config("ctl", program)
+    switch.runtime.write("ctl", TableEntry(
+        table="ipv4_lpm",
+        keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+        action="forward", params=(2,),
+    ))
+    return sim, h1, h2, switch, program
+
+
+def oob_chain(telemetry, seed=0):
+    """Like :func:`chain` but mirroring evidence out-of-band to a
+    live collector host."""
+    topo = linear_topology(1)
+    topo.add_node("collector", kind="host")
+    topo.add_link("s1", 3, "collector", 1)
+    sim = Simulator(topo, seed=seed, telemetry=telemetry)
+    src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
+    dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
+    collector = Host("collector", mac=0x3, ip=ip_to_int("10.0.2.1"))
+    for node in (src, dst, collector):
+        sim.bind(node)
+    switch = NetworkAwarePeraSwitch(
+        "s1",
+        config=EvidenceConfig(detail=DetailLevel.MINIMAL),
+        appraiser_node="collector",
+        out_of_band=True,
+    )
+    sim.bind(switch)
+    program = ipv4_forwarding_program()
+    switch.runtime.arbitrate("ctl", 1)
+    switch.runtime.set_forwarding_pipeline_config("ctl", program)
+    switch.runtime.write("ctl", TableEntry(
+        table="ipv4_lpm",
+        keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+        action="forward", params=(2,),
+    ))
+    return sim, src, dst, collector, switch, program
+
+
+def send_attested(src, dst):
+    src.send_udp(
+        dst_mac=dst.mac, dst_ip=dst.ip, src_port=1000, dst_port=2000,
+        payload=b"probe",
+        ra_shim=RaShimHeader(flags=RaShimHeader.FLAG_POLICY, body=b""),
+    )
+
+
+def relying_party(switch, program, telemetry):
+    anchors = KeyRegistry()
+    anchors.register_pair(switch.keys)
+    return RelyingParty(
+        policy=ap1_bank_path_attestation(),
+        appraisal=PathAppraisalPolicy(
+            anchors=anchors,
+            reference_measurements={switch.name: {
+                InertiaClass.HARDWARE: hardware_reference(
+                    switch.engine.hardware_identity
+                ),
+                InertiaClass.PROGRAM: program_reference(program),
+            }},
+            program_names={program_reference(program): program.full_name},
+        ),
+        telemetry=telemetry,
+    )
+
+
+def fault_audit(telemetry, fault, kind=AuditKind.FAULT_INJECTED):
+    return [
+        e for e in telemetry.audit.events
+        if e.kind == kind and e.detail.get("fault") == fault
+    ]
+
+
+def drop_audit(telemetry, reason):
+    return [
+        e for e in telemetry.audit.events
+        if e.kind == AuditKind.PACKET_DROPPED
+        and e.detail.get("reason") == reason
+    ]
+
+
+class TestWiring:
+    def test_attach_twice_raises(self):
+        sim, *_ = chain(Telemetry(active=True))
+        injector = FaultInjector(FaultPlan())
+        injector.attach(sim)
+        with pytest.raises(NetworkError):
+            injector.attach(sim)
+
+
+class TestLinkFaults:
+    def test_link_down_drops_and_clears(self):
+        telemetry = Telemetry(active=True)
+        sim, h1, h2, _, _ = chain(telemetry)
+        plan = FaultPlan().link_down(0.0, "s1", "h2", duration_s=5e-3)
+        FaultInjector(plan).attach(sim)
+        sim.schedule(1e-3, lambda: h1.send_udp(
+            dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2
+        ))
+        sim.schedule(10e-3, lambda: h1.send_udp(
+            dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2
+        ))
+        sim.run()
+        assert len(h2.received_packets) == 1
+        assert len(fault_audit(telemetry, FaultKind.LINK_DOWN)) == 1
+        assert len(fault_audit(
+            telemetry, FaultKind.LINK_UP, AuditKind.FAULT_CLEARED
+        )) == 1
+        drops = drop_audit(telemetry, "fault_link_down")
+        assert len(drops) == 1
+        assert drops[0].trace is not None
+
+    def test_extra_loss_uses_injector_rng_and_audits(self):
+        telemetry = Telemetry(active=True)
+        sim, h1, h2, _, _ = chain(telemetry, seed=3)
+        plan = FaultPlan(seed=3).link_loss(0.0, "s1", "h2", rate=0.9)
+        plan.link_loss(1.0, "s1", "h2", rate=0.0)
+        injector = FaultInjector(plan).attach(sim)
+        for index in range(30):
+            sim.schedule(index * 1e-3, lambda: h1.send_udp(
+                dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2
+            ))
+        sim.run()
+        assert injector.stats.extra_losses > 0
+        assert len(h2.received_packets) == 30 - injector.stats.extra_losses
+        assert len(fault_audit(telemetry, FaultKind.LINK_LOSS)) == 1
+        assert len(fault_audit(
+            telemetry, FaultKind.LINK_LOSS, AuditKind.FAULT_CLEARED
+        )) == 1
+        drops = drop_audit(telemetry, "fault_link_loss")
+        assert len(drops) == injector.stats.extra_losses
+        assert all(d.trace is not None for d in drops)
+
+
+class TestNodeFaults:
+    def test_crash_then_restart(self):
+        telemetry = Telemetry(active=True)
+        sim, h1, h2, _, _ = chain(telemetry)
+        plan = FaultPlan().crash_node(0.0, "h2").restart_node(5e-3, "h2")
+        FaultInjector(plan).attach(sim)
+        sim.schedule(1e-3, lambda: h1.send_udp(
+            dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2
+        ))
+        sim.schedule(10e-3, lambda: h1.send_udp(
+            dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2
+        ))
+        sim.run()
+        assert len(h2.received_packets) == 1
+        assert len(fault_audit(telemetry, FaultKind.NODE_CRASH)) == 1
+        assert len(fault_audit(
+            telemetry, FaultKind.NODE_RESTART, AuditKind.FAULT_CLEARED
+        )) == 1
+        assert len(drop_audit(telemetry, "node_down")) == 1
+
+    def test_clock_skew_rebinds_cache_clock(self):
+        telemetry = Telemetry(active=True)
+        sim, _, _, switch, _ = chain(telemetry)
+        plan = FaultPlan().clock_skew(0.0, "s1", skew_s=120.0)
+        FaultInjector(plan).attach(sim)
+        sim.run()
+        assert len(fault_audit(telemetry, FaultKind.CLOCK_SKEW)) == 1
+        skewed = switch.cache._clock
+        assert isinstance(skewed, SkewedClock)
+        assert skewed.skew_s == pytest.approx(120.0)
+
+
+class TestCorruption:
+    def test_bit_flips_are_audited_per_victim(self):
+        telemetry = Telemetry(active=True)
+        sim, h1, h2, _, _ = chain(telemetry)
+        plan = FaultPlan().corrupt_packets(
+            0.0, "s1", "h2", rate=1.0, duration_s=0.1
+        )
+        injector = FaultInjector(plan).attach(sim)
+        for index in range(3):
+            sim.schedule(index * 1e-3, lambda: h1.send_udp(
+                dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2,
+                payload=b"hello",
+            ))
+        sim.run()
+        assert len(h2.received_packets) == 3
+        assert all(p.payload != b"hello" for p in h2.received_packets)
+        assert injector.stats.packets_corrupted == 3
+        flips = fault_audit(telemetry, "bit_flip")
+        assert len(flips) == 3
+        assert all(f.trace is not None for f in flips)
+        assert len(fault_audit(telemetry, FaultKind.PACKET_CORRUPT)) == 1
+        assert len(fault_audit(
+            telemetry, FaultKind.PACKET_CORRUPT, AuditKind.FAULT_CLEARED
+        )) == 1
+
+
+class TestEvidenceFaults:
+    def test_inband_strip_is_caught_by_coverage_check(self):
+        telemetry = Telemetry(active=True)
+        sim, h1, h2, switch, program = chain(telemetry)
+        rp = relying_party(switch, program, telemetry)
+        rp.attach(sim, h1, h2)
+        plan = FaultPlan().strip_inband(0.0, "s1", "h2")
+        injector = FaultInjector(plan).attach(sim)
+        sim.schedule(1e-3, lambda: rp.send(b"secret"))
+        sim.run()
+        assert injector.stats.records_stripped > 0
+        assert len(rp.verdicts) == 1
+        assert not rp.verdicts[0].accepted
+        strips = fault_audit(telemetry, "record_strip")
+        assert len(strips) == 1
+        assert strips[0].trace is not None
+        assert len(fault_audit(
+            telemetry, FaultKind.EVIDENCE_STRIP_INBAND
+        )) == 1
+
+    def test_oob_strip_drops_evidence_on_the_control_channel(self):
+        telemetry = Telemetry(active=True)
+        sim, src, dst, collector, switch, _ = oob_chain(telemetry)
+        plan = FaultPlan().strip_evidence(0.0, "s1")
+        injector = FaultInjector(plan).attach(sim)
+        sim.schedule(1e-3, lambda: send_attested(src, dst))
+        sim.run()
+        assert injector.stats.control_stripped >= 1
+        assert collector.control_received == []
+        dropped = [
+            e for e in telemetry.audit.events
+            if e.kind == AuditKind.CONTROL_DROPPED
+            and e.detail.get("reason") == "fault_stripped"
+        ]
+        assert len(dropped) >= 1
+        assert len(fault_audit(telemetry, FaultKind.EVIDENCE_STRIP_OOB)) == 1
+
+    def test_tampered_signature_fails_appraisal(self):
+        telemetry = Telemetry(active=True)
+        sim, src, dst, collector, switch, program = oob_chain(telemetry)
+        plan = FaultPlan().tamper_evidence(0.0, "s1")
+        injector = FaultInjector(plan).attach(sim)
+        sim.schedule(1e-3, lambda: send_attested(src, dst))
+        sim.run()
+        assert injector.stats.control_tampered >= 1
+        records = [m for _, _, m in collector.control_received]
+        assert records
+        anchors = KeyRegistry()
+        anchors.register_pair(switch.keys)
+        appraiser = PathAppraiser(
+            "Appraiser",
+            PathAppraisalPolicy(
+                anchors=anchors,
+                reference_measurements={"s1": {
+                    InertiaClass.HARDWARE: hardware_reference(
+                        switch.engine.hardware_identity
+                    ),
+                    InertiaClass.PROGRAM: program_reference(program),
+                }},
+            ),
+            telemetry=telemetry,
+        )
+        verdict = appraiser.appraise_records(
+            records, hop_count=len(records), compiled=None
+        )
+        assert not verdict.accepted
+        assert any("signature" in f.lower() for f in verdict.failures)
+        tampers = fault_audit(telemetry, "signature_tamper")
+        assert len(tampers) >= 1
+        assert all(t.trace is not None for t in tampers)
+        assert len(fault_audit(telemetry, FaultKind.EVIDENCE_TAMPER)) == 1
+
+
+class TestCompromise:
+    def test_swap_detected_then_reprovision_recovers(self):
+        telemetry = Telemetry(active=True)
+        sim, h1, h2, switch, program = chain(telemetry)
+        rp = relying_party(switch, program, telemetry)
+        rp.attach(sim, h1, h2)
+
+        def keep_forwarding(node, actor):
+            node.runtime.write(actor, TableEntry(
+                table="ipv4_lpm",
+                keys=(MatchKey(
+                    MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24,
+                ),),
+                action="forward", params=(2,),
+            ))
+
+        plan = FaultPlan().compromise_switch(
+            1e-3, "s1", athens_rogue_program, configure=keep_forwarding
+        )
+        FaultInjector(plan).attach(sim)
+        controller = RoutingController(sim, name="ctl", election_id=1)
+        sim.schedule(0.0, lambda: rp.send(b"before"))
+        sim.schedule(2e-3, lambda: rp.send(b"during"))
+        sim.schedule(3e-3, lambda: controller.reprovision(
+            "s1", program_factory=ipv4_forwarding_program
+        ))
+        sim.schedule(4e-3, lambda: rp.send(b"after"))
+        sim.run()
+        assert [v.accepted for v in rp.verdicts] == [True, False, True]
+        assert len(fault_audit(telemetry, FaultKind.SWITCH_COMPROMISE)) == 1
+        reprovisions = [
+            e for e in telemetry.audit.events
+            if e.kind == AuditKind.RECOVERY_REPROVISIONED
+        ]
+        assert len(reprovisions) == 1
+        assert reprovisions[0].detail.get("target") == "s1"

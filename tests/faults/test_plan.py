@@ -1,0 +1,103 @@
+"""FaultPlan: pure-data schedules with validated builders."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultKind, FaultPlan, link_key
+
+
+class TestLinkKey:
+    def test_direction_agnostic(self):
+        assert link_key("s1", "s2") == link_key("s2", "s1") == "s1|s2"
+
+
+class TestFaultEvent:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time_s=-1.0, kind=FaultKind.LINK_DOWN, target="a|b")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time_s=0.0, kind="meteor_strike", target="s1")
+
+    def test_describe_hides_callables(self):
+        event = FaultEvent(
+            time_s=1.0,
+            kind=FaultKind.SWITCH_COMPROMISE,
+            target="s1",
+            params={"program_factory": lambda: None, "actor": "eve"},
+        )
+        text = event.describe()
+        assert "lambda" not in text
+        assert "eve" in text
+        assert "switch_compromise" in text
+
+
+class TestBuilders:
+    def test_link_loss_validates_rate(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.link_loss(0.0, "a", "b", rate=1.0)
+        with pytest.raises(ValueError):
+            plan.link_loss(0.0, "a", "b", rate=-0.1)
+
+    def test_link_down_with_duration_adds_up_event(self):
+        plan = FaultPlan().link_down(1.0, "a", "b", duration_s=0.5)
+        kinds = [e.kind for e in plan.schedule()]
+        assert kinds == [FaultKind.LINK_DOWN, FaultKind.LINK_UP]
+        assert plan.schedule()[1].time_s == pytest.approx(1.5)
+
+    def test_link_down_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            FaultPlan().link_down(1.0, "a", "b", duration_s=0.0)
+
+    def test_flap_expands_to_cycles(self):
+        plan = FaultPlan().link_flap(
+            0.0, "a", "b", down_s=1.0, up_s=2.0, cycles=3
+        )
+        schedule = plan.schedule()
+        assert len(schedule) == 6  # 3 x (down + up)
+        downs = [e.time_s for e in schedule if e.kind == FaultKind.LINK_DOWN]
+        assert downs == pytest.approx([0.0, 3.0, 6.0])
+
+    def test_flap_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            FaultPlan().link_flap(0.0, "a", "b", down_s=1.0, up_s=1.0, cycles=0)
+
+    def test_corrupt_window_adds_clear_event(self):
+        plan = FaultPlan().corrupt_packets(
+            2.0, "a", "b", rate=0.5, duration_s=1.0
+        )
+        schedule = plan.schedule()
+        assert [e.kind for e in schedule] == [FaultKind.PACKET_CORRUPT] * 2
+        assert schedule[1].params["rate"] == 0.0
+
+    def test_schedule_sorted_by_time_stable_on_ties(self):
+        plan = (
+            FaultPlan()
+            .crash_node(5.0, "n1")
+            .crash_node(1.0, "n2")
+            .restart_node(5.0, "n1")
+        )
+        schedule = plan.schedule()
+        assert [e.target for e in schedule] == ["n2", "n1", "n1"]
+        # Insertion order preserved on the time tie.
+        assert schedule[1].kind == FaultKind.NODE_CRASH
+        assert schedule[2].kind == FaultKind.NODE_RESTART
+
+    def test_describe_and_len(self):
+        plan = FaultPlan(seed=42).clock_skew(1.0, "s1", skew_s=60.0)
+        assert len(plan) == 1
+        assert "seed 42" in plan.describe()
+        assert "clock_skew" in plan.describe()
+        assert "FaultPlan(seed=42" in repr(plan)
+
+    def test_empty_plan_describes_itself(self):
+        assert "no faults" in FaultPlan().describe()
+
+    def test_events_are_pure_data(self):
+        """Building a plan touches no simulator; reusing it is safe."""
+        plan = FaultPlan().link_down(1.0, "a", "b")
+        first = plan.events
+        second = plan.events
+        assert first == second
+        assert isinstance(first, tuple)

@@ -1,0 +1,49 @@
+"""RetryPolicy and FailMode semantics."""
+
+import pytest
+
+from repro.faults import FailMode, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=1.0, multiplier=2.0, max_delay_s=100.0
+        )
+        assert policy.backoff_delay(1) == pytest.approx(1.0)
+        assert policy.backoff_delay(2) == pytest.approx(2.0)
+        assert policy.backoff_delay(3) == pytest.approx(4.0)
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=1.0, multiplier=10.0, max_delay_s=5.0
+        )
+        assert policy.backoff_delay(4) == pytest.approx(5.0)
+
+    def test_delays_covers_every_retry(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, max_delay_s=1e9)
+        # max_attempts counts total sends: 3 retries follow the first.
+        assert policy.delays() == pytest.approx((1.0, 2.0, 4.0))
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_delay(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            RetryPolicy().max_attempts = 9
+
+
+class TestFailMode:
+    def test_closed_is_the_default_vocabulary(self):
+        assert FailMode.CLOSED == "fail_closed"
+        assert FailMode.OPEN == "fail_open"
+        assert set(FailMode.ALL) == {FailMode.CLOSED, FailMode.OPEN}

@@ -83,6 +83,34 @@ class TestLossInjection:
         with pytest.raises(NetworkError):
             topo.add_link("a", 1, "b", 1, drop_rate=-0.1)
 
+    def test_drops_are_audited_with_trace(self):
+        """Every loss-RNG drop lands in the audit journal as a
+        ``packet.dropped`` event carrying the victim's trace id."""
+        from repro.telemetry.audit import AuditKind
+        from repro.telemetry.instrument import Telemetry
+
+        topo = Topology()
+        topo.add_node("h1", kind="host")
+        topo.add_node("h2", kind="host")
+        topo.add_link("h1", 1, "h2", 1, drop_rate=0.5)
+        telemetry = Telemetry(active=True)
+        sim = Simulator(topo, seed=11, telemetry=telemetry)
+        h1 = Host("h1", mac=1, ip=ip_to_int("10.0.0.1"))
+        h2 = Host("h2", mac=2, ip=ip_to_int("10.0.1.1"))
+        sim.bind(h1)
+        sim.bind(h2)
+        for _ in range(30):
+            h1.send_udp(dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2)
+        sim.run()
+        assert sim.stats.packets_dropped > 0
+        dropped = [
+            e for e in telemetry.audit.events
+            if e.kind == AuditKind.PACKET_DROPPED
+        ]
+        assert len(dropped) == sim.stats.packets_dropped
+        assert all(e.detail.get("reason") == "link_loss" for e in dropped)
+        assert all(e.trace is not None for e in dropped)
+
     def test_attestation_survives_loss(self):
         """Delivered packets still appraise; lost ones simply never
         arrive — loss does not corrupt evidence."""

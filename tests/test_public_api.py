@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.core",
     "repro.analysis",
     "repro.telemetry",
+    "repro.faults",
 ]
 
 
