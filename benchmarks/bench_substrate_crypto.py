@@ -11,7 +11,7 @@ import time
 
 
 from repro.copland.parser import parse_request
-from repro.crypto.ed25519 import SigningKey
+from repro.crypto.ed25519 import SigningKey, _point_decompress
 from repro.crypto.hashing import HashChain, digest
 from repro.crypto.merkle import MerkleTree
 from repro.pera.inertia import InertiaClass
@@ -50,6 +50,17 @@ def test_ed25519_sign(benchmark):
 
 def test_ed25519_verify(benchmark):
     assert benchmark(lambda: VERIFY_KEY.verify(MESSAGE, SIGNATURE))
+
+
+def test_ed25519_point_decompress_fresh(benchmark):
+    """Square-root recovery of the public point from its 32-byte form."""
+    benchmark(lambda: _point_decompress(VERIFY_KEY.key_bytes))
+
+
+def test_ed25519_point_decompress_cached(benchmark):
+    """The per-key cached point: what every verify after the first pays."""
+    VERIFY_KEY.point()  # prime the cache
+    benchmark(VERIFY_KEY.point)
 
 
 def test_sha256_digest(benchmark):
@@ -95,11 +106,16 @@ def test_substrate_report(benchmark):
     # Register as a benchmark so the reproduced table still prints
     # under --benchmark-only; the real work follows un-timed.
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    VERIFY_KEY.point()  # prime the per-key point cache
     timings = {
         "ed25519 sign": _time(lambda: KEY.sign(MESSAGE), rounds=20),
         "ed25519 verify": _time(
             lambda: VERIFY_KEY.verify(MESSAGE, SIGNATURE), rounds=20
         ),
+        "point decompress (fresh)": _time(
+            lambda: _point_decompress(VERIFY_KEY.key_bytes), rounds=50
+        ),
+        "point decompress (cached)": _time(VERIFY_KEY.point, rounds=2000),
         "sha256 digest (256B)": _time(lambda: digest(MESSAGE)),
         "hop record encode": _time(RECORD.encode),
         "hop record decode": _time(lambda: HopRecord.decode(RECORD_BYTES)),
@@ -112,3 +128,9 @@ def test_substrate_report(benchmark):
     # The cost-model shape: signing dwarfs hashing and codec work.
     assert timings["ed25519 sign"] > 50 * timings["sha256 digest (256B)"]
     assert timings["ed25519 verify"] > timings["sha256 digest (256B)"]
+    # The point cache: long-lived registry keys skip the square-root
+    # recovery on every verify after the first.
+    assert (
+        timings["point decompress (cached)"]
+        < timings["point decompress (fresh)"] / 10
+    )

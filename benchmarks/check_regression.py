@@ -1,0 +1,102 @@
+"""Benchmark regression gate.
+
+Compares a fresh ``BENCH_results.json`` against a committed baseline
+and fails (exit 1) when any watched benchmark's median slowed down by
+more than the threshold (default 25%). Watched benchmarks are the two
+hot-path suites the repository makes throughput claims about:
+``bench_fig3_pipeline`` and ``bench_substrate_crypto``.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json FRESH.json \
+        [--threshold 0.25] [--min-median-us 10]
+
+Benchmarks present in only one file are reported but never fail the
+gate (new benchmarks must be able to land; retired ones to leave).
+Medians below ``--min-median-us`` are skipped: sub-10µs no-op anchors
+(the ``*_report`` table tests) and cache-hit micro-ops jitter far more
+than 25% on shared CI runners and carry no regression signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+WATCHED_MODULES = ("bench_fig3_pipeline", "bench_substrate_crypto")
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Map fullname -> median seconds for the watched benchmarks."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    medians: Dict[str, float] = {}
+    for bench in document.get("benchmarks", []):
+        fullname = bench.get("fullname", bench.get("name", ""))
+        if not any(module in fullname for module in WATCHED_MODULES):
+            continue
+        median = bench.get("stats", {}).get("median")
+        if isinstance(median, (int, float)):
+            medians[fullname] = float(median)
+    return medians
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_results.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_results.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated slowdown fraction (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-median-us",
+        type=float,
+        default=10.0,
+        help="skip benchmarks whose baseline median is below this (µs)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    fresh = load_medians(args.fresh)
+    if not baseline:
+        print(f"no watched benchmarks in baseline {args.baseline}; nothing to gate")
+        return 0
+
+    failures = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in fresh:
+            print(f"SKIP  {name}: not in fresh run")
+            continue
+        if base * 1e6 < args.min_median_us:
+            print(f"SKIP  {name}: baseline median {base * 1e6:.2f}µs below floor")
+            continue
+        current = fresh[name]
+        change = (current - base) / base
+        status = "FAIL" if change > args.threshold else "ok"
+        print(
+            f"{status:4}  {name}: {base * 1e6:.1f}µs -> {current * 1e6:.1f}µs "
+            f"({change:+.1%})"
+        )
+        if change > args.threshold:
+            failures.append((name, change))
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"NEW   {name}: {fresh[name] * 1e6:.1f}µs (no baseline)")
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs baseline"
+        )
+        return 1
+    print("\nno benchmark regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.faults.retry import FailMode
 from repro.net.packet import Packet
 from repro.pera.inertia import InertiaClass
-from repro.pera.records import HopRecord, decode_record_stack
+from repro.pera.records import BatchedHopRecord, HopRecord, decode_record_stack
 from repro.util.errors import CodecError
 from repro.pisa.program import DataplaneProgram
 from repro.ra.nonce import NonceManager
@@ -444,7 +444,33 @@ class PathAppraiser:
         tel = self.telemetry
         for index, record in enumerate(records):
             signer = self._signer_for(record.place)
-            ok = record.verify(self.policy.anchors, signer=signer)
+            if isinstance(record, BatchedHopRecord):
+                # Batched mode: one memoized Ed25519 verification per
+                # (switch, epoch) — every record of the epoch shares
+                # the root-signature cache entry — then two SHA-256
+                # hashes per tree level bind this record to the root.
+                root_ok = record.verify_root(self.policy.anchors, signer=signer)
+                proof_ok = root_ok and record.proof_ok()
+                ok = root_ok and proof_ok
+                if not root_ok:
+                    failures.append(
+                        f"record {index} ({record.place}): epoch root "
+                        "signature invalid or signer untrusted"
+                    )
+                elif not proof_ok:
+                    failures.append(
+                        f"record {index} ({record.place}): Merkle proof "
+                        "does not bind record to epoch root"
+                    )
+                event_detail = {"epoch": record.epoch_id}
+            else:
+                ok = record.verify(self.policy.anchors, signer=signer)
+                if not ok:
+                    failures.append(
+                        f"record {index} ({record.place}): signature invalid "
+                        "or signer untrusted"
+                    )
+                event_detail = {}
             if tel.active:
                 tel.audit_event(
                     AuditKind.SIGNATURE_VERIFIED,
@@ -454,11 +480,7 @@ class PathAppraiser:
                     ok=ok,
                     place=record.place,
                     record=index,
-                )
-            if not ok:
-                failures.append(
-                    f"record {index} ({record.place}): signature invalid "
-                    "or signer untrusted"
+                    **event_detail,
                 )
 
     def _check_measurements(

@@ -137,6 +137,15 @@ class NetworkAwarePeraSwitch(PeraSwitch):
             return ctx
         record = self._produce_with_directive(ctx, records, directive)
         self.ra_stats.packets_attested += 1
+        if self.config.batching is not None and not record.signature:
+            self._enqueue_batched(
+                ctx,
+                record,
+                trace,
+                oob=bool(directive.out_of_band_to),
+                oob_target=directive.out_of_band_to or None,
+            )
+            return ctx
         if directive.out_of_band_to:
             previous_target = self.appraiser_node
             self.appraiser_node = directive.out_of_band_to
@@ -164,6 +173,7 @@ class NetworkAwarePeraSwitch(PeraSwitch):
             sampling=self.config.sampling,
             cache_ttls=self.config.cache_ttls,
             use_pseudonyms=self.config.use_pseudonyms,
+            batching=self.config.batching,
         )
         previous_config = self.config
         self.config = requested

@@ -41,7 +41,12 @@ from repro.net.headers import RaShimHeader, ip_to_int
 from repro.net.host import Host
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology, linear_topology
-from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
+from repro.pera.config import (
+    BatchingSpec,
+    CompositionMode,
+    DetailLevel,
+    EvidenceConfig,
+)
 from repro.pera.inertia import InertiaClass
 from repro.pera.records import decode_record_stack
 from repro.pera.sampling import SamplingMode, SamplingSpec
@@ -134,6 +139,7 @@ def run_config_assurance(
     swap_at: Optional[int] = 10,
     sampling: Optional[SamplingSpec] = None,
     switch_count: int = 2,
+    batching: Optional[BatchingSpec] = None,
 ) -> ConfigAssuranceResult:
     """UC1 / the Athens affair, end to end.
 
@@ -149,6 +155,7 @@ def run_config_assurance(
         detail=DetailLevel.MINIMAL,
         composition=CompositionMode.CHAINED,
         sampling=sampling or SamplingSpec(),
+        batching=batching,
     )
     genuine = firewall_program()
     sim, src, dst, switches = _pera_chain(
@@ -200,6 +207,12 @@ def run_config_assurance(
             )
         sim.schedule(index * 1e-3, fire)
     sim.run()
+    if batching is not None:
+        # Seal any epoch still open (max_delay_s=0 configs) and deliver
+        # the packets its seal released.
+        for switch in switches:
+            switch.flush_epochs()
+        sim.run()
 
     verdicts = [
         appraiser.appraise_packet(packet, compiled=policy)

@@ -73,14 +73,100 @@ def _point_add(p: _Point, q: _Point) -> _Point:
     return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
 
 
+def _point_double(p: _Point) -> _Point:
+    """Dedicated doubling (dbl-2008-hwcd with a = -1).
+
+    Cheaper than ``_point_add(p, p)`` — doubling needs four squarings
+    instead of the general formula's eight multiplications, and it is
+    the inner-loop operation of every scalar multiplication.
+    """
+    x1, y1, z1, _ = p
+    a = x1 * x1 % _P
+    b = y1 * y1 % _P
+    c = 2 * z1 * z1 % _P
+    xy = x1 + y1
+    e = (xy * xy - a - b) % _P
+    g = (b - a) % _P
+    f = (g - c) % _P
+    h = (-a - b) % _P
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _point_negate(p: _Point) -> _Point:
+    x, y, z, t = p
+    return (_P - x if x else 0, y, z, _P - t if t else 0)
+
+
 def _point_mul(scalar: int, point: _Point) -> _Point:
     result = _IDENTITY
     addend = point
     while scalar > 0:
         if scalar & 1:
             result = _point_add(result, addend)
-        addend = _point_add(addend, addend)
+        addend = _point_double(addend)
         scalar >>= 1
+    return result
+
+
+# --- fixed-base scalar multiplication (signing hot path) ---------------
+#
+# Signing multiplies the *base point* by two scalars per signature; a
+# precomputed window table turns each of those from ~256 doublings +
+# ~128 additions into at most 63 additions with no doublings at all.
+# The table is built lazily on first use (1024 point additions, a few
+# milliseconds) so merely importing the module stays cheap.
+
+_WINDOW_BITS = 4
+_WINDOWS = 64  # ceil(256 / _WINDOW_BITS): covers clamped 255-bit scalars
+_BASE_TABLE: "list" = []
+
+
+def _build_base_table() -> None:
+    point = _BASE  # defined below; the table is only built lazily
+    for _ in range(_WINDOWS):
+        row = [_IDENTITY, point]
+        acc = point
+        for _ in range(2, 1 << _WINDOW_BITS):
+            acc = _point_add(acc, point)
+            row.append(acc)
+        _BASE_TABLE.append(tuple(row))
+        for _ in range(_WINDOW_BITS):
+            point = _point_double(point)
+
+
+def _base_mul(scalar: int) -> _Point:
+    """``scalar * B`` via the precomputed window table."""
+    if not _BASE_TABLE:
+        _build_base_table()
+    result = _IDENTITY
+    mask = (1 << _WINDOW_BITS) - 1
+    for window in range(_WINDOWS):
+        nibble = scalar & mask
+        if nibble:
+            result = _point_add(result, _BASE_TABLE[window][nibble])
+        scalar >>= _WINDOW_BITS
+    return result
+
+
+def _double_scalar_mul(k1: int, p1: _Point, k2: int, p2: _Point) -> _Point:
+    """``k1*p1 + k2*p2`` via Shamir's trick (interleaved bits).
+
+    One shared doubling chain for both scalars — verification needs
+    ``s*B - k*A`` and this halves its doubling work versus two
+    independent multiplications.
+    """
+    both = _point_add(p1, p2)
+    result = _IDENTITY
+    for bit in range(max(k1.bit_length(), k2.bit_length()) - 1, -1, -1):
+        result = _point_double(result)
+        b1 = (k1 >> bit) & 1
+        b2 = (k2 >> bit) & 1
+        if b1 and b2:
+            result = _point_add(result, both)
+        elif b1:
+            result = _point_add(result, p1)
+        elif b2:
+            result = _point_add(result, p2)
     return result
 
 
@@ -127,18 +213,38 @@ def _secret_expand(secret: bytes) -> Tuple[int, bytes]:
 def public_key_bytes(secret: bytes) -> bytes:
     """Derive the 32-byte public key from a 32-byte secret seed."""
     a, _ = _secret_expand(secret)
-    return _point_compress(_point_mul(a, _BASE))
+    return _point_compress(_base_mul(a))
+
+
+def _sign_expanded(a: int, prefix: bytes, public: bytes, message: bytes) -> bytes:
+    r = int.from_bytes(_sha512(prefix + message), "little") % _L
+    r_point = _point_compress(_base_mul(r))
+    k = int.from_bytes(_sha512(r_point + public + message), "little") % _L
+    s = (r + k * a) % _L
+    return r_point + s.to_bytes(32, "little")
 
 
 def sign(secret: bytes, message: bytes) -> bytes:
     """Produce a 64-byte Ed25519 signature over ``message``."""
     a, prefix = _secret_expand(secret)
-    public = _point_compress(_point_mul(a, _BASE))
-    r = int.from_bytes(_sha512(prefix + message), "little") % _L
-    r_point = _point_compress(_point_mul(r, _BASE))
-    k = int.from_bytes(_sha512(r_point + public + message), "little") % _L
-    s = (r + k * a) % _L
-    return r_point + s.to_bytes(32, "little")
+    public = _point_compress(_base_mul(a))
+    return _sign_expanded(a, prefix, public, message)
+
+
+def _verify_decompressed(
+    a_point: _Point, public: bytes, message: bytes, signature: bytes
+) -> bool:
+    try:
+        r_point = _point_decompress(signature[:32])
+    except CryptoError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    k = int.from_bytes(_sha512(signature[:32] + public + message), "little") % _L
+    # s*B == R + k*A  <=>  s*B + k*(-A) == R (one Shamir chain).
+    candidate = _double_scalar_mul(s, _BASE, k, _point_negate(a_point))
+    return _point_equal(candidate, r_point)
 
 
 def verify(public: bytes, message: bytes, signature: bytes) -> bool:
@@ -156,21 +262,19 @@ def verify(public: bytes, message: bytes, signature: bytes) -> bool:
         )
     try:
         a_point = _point_decompress(public)
-        r_point = _point_decompress(signature[:32])
     except CryptoError:
         return False
-    s = int.from_bytes(signature[32:], "little")
-    if s >= _L:
-        return False
-    k = int.from_bytes(_sha512(signature[:32] + public + message), "little") % _L
-    left = _point_mul(s, _BASE)
-    right = _point_add(r_point, _point_mul(k, a_point))
-    return _point_equal(left, right)
+    return _verify_decompressed(a_point, public, message, signature)
 
 
 @dataclass(frozen=True)
 class VerifyKey:
-    """An Ed25519 verification (public) key."""
+    """An Ed25519 verification (public) key.
+
+    The decompressed curve point is computed once per key object and
+    cached, so a registry holding long-lived keys pays the square-root
+    recovery on first use only — not once per verification.
+    """
 
     key_bytes: bytes
 
@@ -180,8 +284,28 @@ class VerifyKey:
                 f"public key must be {KEY_LEN} bytes, got {len(self.key_bytes)}"
             )
 
+    def point(self) -> _Point:
+        """The decompressed public point, computed once and cached.
+
+        Raises :class:`CryptoError` for encodings that are 32 bytes but
+        not a curve point.
+        """
+        cached = self.__dict__.get("_point")
+        if cached is None:
+            cached = _point_decompress(self.key_bytes)
+            object.__setattr__(self, "_point", cached)
+        return cached
+
     def verify(self, message: bytes, signature: bytes) -> bool:
-        return verify(self.key_bytes, message, signature)
+        if len(signature) != SIGNATURE_LEN:
+            raise CryptoError(
+                f"signature must be {SIGNATURE_LEN} bytes, got {len(signature)}"
+            )
+        try:
+            a_point = self.point()
+        except CryptoError:
+            return False
+        return _verify_decompressed(a_point, self.key_bytes, message, signature)
 
     def fingerprint(self) -> str:
         """Short stable identifier for logs and certificates."""
@@ -190,7 +314,12 @@ class VerifyKey:
 
 @dataclass(frozen=True)
 class SigningKey:
-    """An Ed25519 signing (secret) key, derived from a 32-byte seed."""
+    """An Ed25519 signing (secret) key, derived from a 32-byte seed.
+
+    The expanded secret scalar, prefix and compressed public key are
+    derived once per key object and cached: signing then costs two
+    fixed-base window multiplications instead of three generic ones.
+    """
 
     seed: bytes
 
@@ -203,8 +332,19 @@ class SigningKey:
         """Derive a key from a label — simulations must be reproducible."""
         return cls(hashlib.sha256(b"repro-ed25519-seed:" + label.encode()).digest())
 
+    def _expanded(self) -> Tuple[int, bytes, bytes]:
+        cached = self.__dict__.get("_expand")
+        if cached is None:
+            a, prefix = _secret_expand(self.seed)
+            public = _point_compress(_base_mul(a))
+            cached = (a, prefix, public)
+            object.__setattr__(self, "_expand", cached)
+        return cached
+
     def sign(self, message: bytes) -> bytes:
-        return sign(self.seed, message)
+        a, prefix, public = self._expanded()
+        return _sign_expanded(a, prefix, public, message)
 
     def verify_key(self) -> VerifyKey:
-        return VerifyKey(public_key_bytes(self.seed))
+        _, _, public = self._expanded()
+        return VerifyKey(public)

@@ -34,7 +34,18 @@ class KeyPair:
 
     @property
     def verify_key(self) -> VerifyKey:
-        return self.signing_key.verify_key()
+        """The matching verification key (one cached instance).
+
+        Returning the same :class:`VerifyKey` object on every access
+        matters for speed: the key's decompressed curve point is cached
+        per instance, so every verifier holding this key decodes the
+        point once — not once per signature check.
+        """
+        cached = self.__dict__.get("_verify_key")
+        if cached is None:
+            cached = self.signing_key.verify_key()
+            object.__setattr__(self, "_verify_key", cached)
+        return cached
 
     def sign(self, message: bytes) -> bytes:
         return self.signing_key.sign(message)

@@ -37,16 +37,36 @@ class MerkleProof:
     path: Tuple[Tuple[bytes, bool], ...]
 
     def verify(self, leaf_data: bytes, root: bytes) -> bool:
-        """Check that ``leaf_data`` is committed under ``root``."""
+        """Check that ``leaf_data`` is committed under ``root``.
+
+        The walk is driven by the *claimed* position, not by the path's
+        side flags: given ``leaf_count``, every leaf index determines a
+        unique sibling/promotion pattern (left sibling when the position
+        is odd, right sibling when even with a neighbour, no entry when
+        promoted), so a proof whose shape disagrees with ``leaf_index``
+        is rejected outright. Without this, the index field would be
+        malleable — the hashes alone never consult it.
+        """
         if not 0 <= self.leaf_index < self.leaf_count:
             return False
         node = _leaf_hash(leaf_data)
-        for sibling, sibling_is_left in self.path:
-            if sibling_is_left:
-                node = _node_hash(sibling, node)
-            else:
-                node = _node_hash(node, sibling)
-        return node == root
+        position, level_size = self.leaf_index, self.leaf_count
+        step = 0
+        while level_size > 1:
+            if position % 2 == 1:
+                if step >= len(self.path) or not self.path[step][1]:
+                    return False  # an odd position needs a LEFT sibling
+                node = _node_hash(self.path[step][0], node)
+                step += 1
+            elif position + 1 < level_size:
+                if step >= len(self.path) or self.path[step][1]:
+                    return False  # an even, paired position: RIGHT sibling
+                node = _node_hash(node, self.path[step][0])
+                step += 1
+            # else: promoted unchanged — no path entry at this level.
+            position //= 2
+            level_size = (level_size + 1) // 2
+        return step == len(self.path) and node == root
 
 
 class MerkleTree:

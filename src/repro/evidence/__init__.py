@@ -33,13 +33,18 @@ from repro.evidence.nodes import (
     SequenceEvidence,
     ParallelEvidence,
     HopEvidence,
+    BatchedHopEvidence,
+    epoch_root_payload,
 )
 from repro.evidence.codec import (
+    BATCHED_RECORD_TLV_TYPE,
     POLICY_TLV_TYPE,
     RECORD_TLV_TYPE,
+    decode_batched_hop_body,
     decode_hop_body,
     decode_node,
     decode_record_stack,
+    encode_batched_hop_body,
     encode_hop_body,
     encode_node,
     encode_record_stack,
@@ -80,13 +85,18 @@ __all__ = [
     "SequenceEvidence",
     "ParallelEvidence",
     "HopEvidence",
+    "BatchedHopEvidence",
+    "epoch_root_payload",
     "POLICY_TLV_TYPE",
     "RECORD_TLV_TYPE",
+    "BATCHED_RECORD_TLV_TYPE",
     "encode_node",
     "decode_node",
     "iter_decode_nodes",
     "encode_hop_body",
     "decode_hop_body",
+    "encode_batched_hop_body",
+    "decode_batched_hop_body",
     "encode_record_stack",
     "decode_record_stack",
     "hops_to_evidence",

@@ -19,6 +19,12 @@ from __future__ import annotations
 from typing import Iterator, List, Sequence
 
 from repro.evidence.nodes import (
+    BATCH_F_EPOCH,
+    BATCH_F_HOP,
+    BATCH_F_ROOT,
+    BATCH_F_ROOT_SIG,
+    BATCH_F_SIBLING_LEFT,
+    BATCH_F_SIBLING_RIGHT,
     F_CHILD,
     HOP_F_CHAIN_HEAD,
     HOP_F_INGRESS_PORT,
@@ -27,6 +33,7 @@ from repro.evidence.nodes import (
     HOP_F_PLACE,
     HOP_F_SEQUENCE,
     HOP_F_SIGNATURE,
+    KIND_BATCHED_HOP,
     KIND_EMPTY,
     KIND_HASH,
     KIND_HOP,
@@ -35,6 +42,7 @@ from repro.evidence.nodes import (
     KIND_PARALLEL,
     KIND_SEQUENCE,
     KIND_SIGNATURE,
+    BatchedHopEvidence,
     EmptyEvidence,
     Evidence,
     HashEvidence,
@@ -51,6 +59,7 @@ from repro.util.tlv import Tlv, TlvCodec
 # Shim-body framing types (one namespace for everything riding in the
 # RA options header).
 RECORD_TLV_TYPE = KIND_HOP  # 0x10 — one hop record
+BATCHED_RECORD_TLV_TYPE = KIND_BATCHED_HOP  # 0x11 — hop record + proof
 POLICY_TLV_TYPE = 0x20  # one compiled policy (see repro.core.wire)
 
 # Guard against adversarial deep nesting blowing the Python stack.
@@ -116,6 +125,8 @@ def _node_from_tlv(element: Tlv, depth: int) -> Evidence:
     kind = element.type
     if kind == KIND_HOP:
         return decode_hop_body(element.value)
+    if kind == KIND_BATCHED_HOP:
+        return decode_batched_hop_body(element.value)
     body = TlvCodec.decode(element.value)
     fields = _fields(body)
     if kind == KIND_EMPTY:
@@ -218,6 +229,93 @@ def decode_hop_body(data: bytes) -> HopEvidence:
     )
 
 
+# --- batched hop records (epoch-root header + Merkle proof) -----------
+
+
+def encode_batched_hop_body(record: BatchedHopEvidence) -> bytes:
+    """The batched-record TLV stream (hop payload + epoch header + proof)."""
+    elements = [
+        Tlv(BATCH_F_HOP, record.signed_payload()),
+        Tlv(
+            BATCH_F_EPOCH,
+            record.epoch_id.to_bytes(8, "big")
+            + record.leaf_index.to_bytes(4, "big")
+            + record.leaf_count.to_bytes(4, "big"),
+        ),
+        Tlv(BATCH_F_ROOT, record.epoch_root),
+        Tlv(BATCH_F_ROOT_SIG, record.root_signature),
+    ]
+    for sibling, sibling_is_left in record.proof_path:
+        elements.append(
+            Tlv(
+                BATCH_F_SIBLING_LEFT if sibling_is_left else BATCH_F_SIBLING_RIGHT,
+                sibling,
+            )
+        )
+    return TlvCodec.encode(elements)
+
+
+def decode_batched_hop_body(data: bytes) -> BatchedHopEvidence:
+    """Decode one batched hop record (strictly: fixed-width crypto fields)."""
+    hop = None
+    epoch_id = leaf_index = leaf_count = None
+    epoch_root = None
+    root_signature = None
+    proof_path: List[tuple] = []
+    for element in TlvCodec.iter_decode(data):
+        if element.type == BATCH_F_HOP:
+            hop = decode_hop_body(element.value)
+            if hop.signature:
+                raise CodecError(
+                    "batched hop record must not carry a per-record signature"
+                )
+        elif element.type == BATCH_F_EPOCH:
+            if len(element.value) != 16:
+                raise CodecError("epoch TLV must be 16 bytes")
+            epoch_id = int.from_bytes(element.value[:8], "big")
+            leaf_index = int.from_bytes(element.value[8:12], "big")
+            leaf_count = int.from_bytes(element.value[12:16], "big")
+        elif element.type == BATCH_F_ROOT:
+            if len(element.value) != 32:
+                raise CodecError("epoch-root TLV must be 32 bytes")
+            epoch_root = element.value
+        elif element.type == BATCH_F_ROOT_SIG:
+            if len(element.value) != 64:
+                raise CodecError("epoch-root signature TLV must be 64 bytes")
+            root_signature = element.value
+        elif element.type in (BATCH_F_SIBLING_LEFT, BATCH_F_SIBLING_RIGHT):
+            if len(element.value) != 32:
+                raise CodecError("proof sibling TLV must be 32 bytes")
+            proof_path.append(
+                (element.value, element.type == BATCH_F_SIBLING_LEFT)
+            )
+        else:
+            raise CodecError(f"unknown batched-record TLV type {element.type}")
+    if hop is None:
+        raise CodecError("batched record missing hop payload")
+    if epoch_id is None:
+        raise CodecError("batched record missing epoch header")
+    if epoch_root is None:
+        raise CodecError("batched record missing epoch root")
+    if root_signature is None:
+        raise CodecError("batched record missing epoch-root signature")
+    return BatchedHopEvidence(
+        place=hop.place,
+        measurements=hop.measurements,
+        sequence=hop.sequence,
+        ingress_port=hop.ingress_port,
+        chain_head=hop.chain_head,
+        packet_digest=hop.packet_digest,
+        signature=b"",
+        epoch_id=epoch_id,
+        epoch_root=epoch_root,
+        root_signature=root_signature,
+        leaf_index=leaf_index,
+        leaf_count=leaf_count,
+        proof_path=tuple(proof_path),
+    )
+
+
 def encode_record_stack(hops: Sequence[HopEvidence]) -> bytes:
     """Serialize hop nodes as the shim-body TLV stream.
 
@@ -233,4 +331,6 @@ def decode_record_stack(data: bytes) -> List[HopEvidence]:
     for element in TlvCodec.iter_decode(data):
         if element.type == RECORD_TLV_TYPE:
             hops.append(decode_hop_body(element.value))
+        elif element.type == BATCHED_RECORD_TLV_TYPE:
+            hops.append(decode_batched_hop_body(element.value))
     return hops

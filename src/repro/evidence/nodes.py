@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import ClassVar, Iterator, Optional, Tuple
 
 from repro.crypto.hashing import digest
+from repro.crypto.merkle import MerkleProof
 from repro.util.tlv import Tlv, TlvCodec
 
 # One TLV-type namespace for evidence nodes. 0x10 and 0x20 match the
@@ -39,6 +40,7 @@ KIND_HASH = 0x05
 KIND_SEQUENCE = 0x06
 KIND_PARALLEL = 0x07
 KIND_HOP = 0x10
+KIND_BATCHED_HOP = 0x11  # hop record + epoch-root header + Merkle proof
 
 # The per-field TLV types inside node bodies. Child nodes always ride
 # in a CHILD field (their value is the child's full node TLV), so field
@@ -60,7 +62,39 @@ HOP_F_SIGNATURE = 5
 HOP_F_SEQUENCE = 6  # value: 4-byte attestation sequence number
 HOP_F_INGRESS_PORT = 7  # value: 2-byte ingress port
 
+# Batched-hop body field types (the 0x11 proof-bearing record).
+BATCH_F_HOP = 1  # value: flat hop-record payload TLVs (no signature)
+BATCH_F_EPOCH = 2  # value: 8B epoch id + 4B leaf index + 4B leaf count
+BATCH_F_ROOT = 3  # value: 32B epoch Merkle root
+BATCH_F_ROOT_SIG = 4  # value: 64B signature over the epoch-root payload
+BATCH_F_SIBLING_LEFT = 5  # value: 32B proof sibling hash (sibling left)
+BATCH_F_SIBLING_RIGHT = 6  # value: 32B proof sibling hash (sibling right)
+
 DIGEST_DOMAIN = "evidence-node"
+EPOCH_ROOT_DOMAIN = b"pera-epoch-root"
+EPOCH_DIGEST_DOMAIN = "epoch-root"
+
+
+def epoch_root_payload(
+    place: str, epoch_id: int, root: bytes, leaf_count: int
+) -> bytes:
+    """The bytes an epoch-root signature covers.
+
+    Domain-separated and self-delimiting: the attesting place, the
+    epoch number and the leaf count are all bound under the signature,
+    so a root cannot be replayed for another switch or another epoch.
+    """
+    name = place.encode("utf-8")
+    return b"".join(
+        [
+            EPOCH_ROOT_DOMAIN,
+            len(name).to_bytes(2, "big"),
+            name,
+            epoch_id.to_bytes(8, "big"),
+            leaf_count.to_bytes(4, "big"),
+            root,
+        ]
+    )
 
 
 class Evidence:
@@ -366,3 +400,99 @@ class HopEvidence(Evidence):
 
     def summary(self) -> str:
         return f"hop_{self.place}({len(self.measurements)} meas)"
+
+
+@dataclass(frozen=True)
+class BatchedHopEvidence(HopEvidence):
+    """A hop record amortized under an epoch-root signature.
+
+    In epoch-batched mode (:mod:`repro.pera.epoch`) a switch does not
+    sign each hop record; it accumulates the records of one epoch into
+    a Merkle tree and signs only the root. Each emitted record then
+    carries, instead of a per-record signature, the **epoch-root
+    header** (epoch id, root, root signature, leaf count) plus its
+    **inclusion proof** — the sibling hashes from its leaf to the root.
+
+    The record's :meth:`signed_payload` (the same bytes a per-packet
+    signature would cover) is the Merkle leaf, so any flipped payload
+    byte breaks the proof exactly as it would break a signature. The
+    inherited ``signature`` field stays empty.
+    """
+
+    KIND: ClassVar[int] = KIND_BATCHED_HOP
+
+    epoch_id: int = 0
+    epoch_root: bytes = b""
+    root_signature: bytes = b""
+    leaf_index: int = 0
+    leaf_count: int = 0
+    proof_path: Tuple[Tuple[bytes, bool], ...] = ()
+
+    # --- epoch-root header ----------------------------------------------
+
+    def epoch_payload(self) -> bytes:
+        """The bytes the epoch-root signature covers."""
+        return epoch_root_payload(
+            self.place, self.epoch_id, self.epoch_root, self.leaf_count
+        )
+
+    def epoch_payload_digest(self) -> bytes:
+        """Digest of the epoch-root payload, computed once per record.
+
+        Every record of one epoch shares the same payload bytes, so the
+        memoized substrate verify collapses the whole epoch's root
+        checks into a single Ed25519 verification plus dict hits.
+        """
+        cached = self.__dict__.get("_epoch_digest")
+        if cached is None:
+            cached = digest(self.epoch_payload(), domain=EPOCH_DIGEST_DOMAIN)
+            object.__setattr__(self, "_epoch_digest", cached)
+        return cached
+
+    # --- the inclusion proof --------------------------------------------
+
+    def proof(self) -> MerkleProof:
+        return MerkleProof(
+            leaf_index=self.leaf_index,
+            leaf_count=self.leaf_count,
+            path=self.proof_path,
+        )
+
+    def proof_ok(self) -> bool:
+        """Does the proof bind this record's payload to the epoch root?
+
+        Two SHA-256 hashes per tree level — the cheap per-packet check
+        that replaces a full Ed25519 verification in batched mode.
+        """
+        return self.proof().verify(self.signed_payload(), self.epoch_root)
+
+    # --- wire form -------------------------------------------------------
+
+    def _body(self) -> bytes:
+        elements = [
+            Tlv(BATCH_F_HOP, self.signed_payload()),
+            Tlv(
+                BATCH_F_EPOCH,
+                self.epoch_id.to_bytes(8, "big")
+                + self.leaf_index.to_bytes(4, "big")
+                + self.leaf_count.to_bytes(4, "big"),
+            ),
+            Tlv(BATCH_F_ROOT, self.epoch_root),
+            Tlv(BATCH_F_ROOT_SIG, self.root_signature),
+        ]
+        for sibling, sibling_is_left in self.proof_path:
+            elements.append(
+                Tlv(
+                    BATCH_F_SIBLING_LEFT
+                    if sibling_is_left
+                    else BATCH_F_SIBLING_RIGHT,
+                    sibling,
+                )
+            )
+        return TlvCodec.encode(elements)
+
+    def summary(self) -> str:
+        return (
+            f"hop_{self.place}(epoch {self.epoch_id}, "
+            f"leaf {self.leaf_index}/{self.leaf_count})"
+        )

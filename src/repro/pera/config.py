@@ -55,6 +55,25 @@ class CompositionMode(enum.Enum):
 
 
 @dataclass(frozen=True)
+class BatchingSpec:
+    """Epoch-batched signing parameters (:mod:`repro.pera.epoch`).
+
+    An epoch seals when it holds ``max_records`` records or has been
+    open for ``max_delay_s`` simulated seconds, whichever comes first.
+    ``max_delay_s`` bounds the latency a parked in-band packet can
+    accumulate waiting for its epoch-root signature; set it to ``0`` to
+    seal on count (or explicit flush) only.
+    """
+
+    max_records: int = 32
+    max_delay_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_records < 1:
+            raise ValueError("batching needs max_records >= 1")
+
+
+@dataclass(frozen=True)
 class EvidenceConfig:
     """One point in the PERA design space."""
 
@@ -63,6 +82,11 @@ class EvidenceConfig:
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
     cache_ttls: Optional[Mapping[InertiaClass, float]] = None
     use_pseudonyms: bool = False
+    # Epoch-batched signing: sign one Merkle root per epoch instead of
+    # one signature per packet. Only engages on configs that would
+    # otherwise sign per packet (chained / traffic-path / expansive);
+    # cacheable pointwise evidence already amortizes better than this.
+    batching: Optional[BatchingSpec] = None
 
     def __post_init__(self) -> None:
         if (

@@ -21,9 +21,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.merkle import MerkleProof
 from repro.evidence import codec as evidence_codec
-from repro.evidence.codec import RECORD_TLV_TYPE  # noqa: F401  (re-export)
-from repro.evidence.nodes import HopEvidence
+from repro.evidence.codec import (  # noqa: F401  (re-exports)
+    BATCHED_RECORD_TLV_TYPE,
+    RECORD_TLV_TYPE,
+)
+from repro.evidence.nodes import BatchedHopEvidence, HopEvidence
 from repro.evidence.verify import registry_verify
 from repro.pera.inertia import InertiaClass
 from repro.util.errors import CodecError
@@ -106,6 +110,96 @@ class HopRecord(HopEvidence):
         return None
 
 
+@dataclass(frozen=True)
+class BatchedHopRecord(BatchedHopEvidence, HopRecord):
+    """A hop record amortized under an epoch-root signature.
+
+    Produced by :class:`~repro.pera.epoch.EpochBatcher` when a switch
+    runs in epoch-batched mode: the per-record ``signature`` stays
+    empty, and trust flows root-signature → Merkle proof → payload.
+
+    :meth:`verify` checks both legs. The root-signature check goes
+    through the memoized substrate verify keyed on the *epoch payload
+    digest* — shared by every record of the epoch — so an appraiser
+    pays one real Ed25519 verification per (switch, epoch) and two
+    SHA-256 hashes per tree level per record after that.
+    """
+
+    measurements: Tuple[Tuple[InertiaClass, bytes], ...] = ()
+
+    @classmethod
+    def from_record(
+        cls,
+        record: HopRecord,
+        epoch_id: int,
+        epoch_root: bytes,
+        root_signature: bytes,
+        proof: MerkleProof,
+    ) -> "BatchedHopRecord":
+        """Attach an epoch-root header + inclusion proof to a record."""
+        batched = cls(
+            place=record.place,
+            measurements=record.measurements,
+            sequence=record.sequence,
+            ingress_port=record.ingress_port,
+            chain_head=record.chain_head,
+            packet_digest=record.packet_digest,
+            signature=b"",
+            epoch_id=epoch_id,
+            epoch_root=epoch_root,
+            root_signature=root_signature,
+            leaf_index=proof.leaf_index,
+            leaf_count=proof.leaf_count,
+            proof_path=proof.path,
+        )
+        # The signed payload covers exactly the fields copied above, and
+        # the seal just computed it as this record's Merkle leaf — share
+        # the cached bytes instead of re-encoding them per packet.
+        object.__setattr__(batched, "_payload", record.signed_payload())
+        return batched
+
+    @classmethod
+    def from_batched_node(cls, node: BatchedHopEvidence) -> "BatchedHopRecord":
+        """Specialize a decoded batched node with PERA's inertia classes."""
+        try:
+            measurements = tuple(
+                (InertiaClass(code), value) for code, value in node.measurements
+            )
+        except ValueError as exc:
+            raise CodecError(f"unknown inertia class in hop record: {exc}") from exc
+        return cls(
+            place=node.place,
+            measurements=measurements,
+            sequence=node.sequence,
+            ingress_port=node.ingress_port,
+            chain_head=node.chain_head,
+            packet_digest=node.packet_digest,
+            signature=b"",
+            epoch_id=node.epoch_id,
+            epoch_root=node.epoch_root,
+            root_signature=node.root_signature,
+            leaf_index=node.leaf_index,
+            leaf_count=node.leaf_count,
+            proof_path=node.proof_path,
+        )
+
+    def verify_root(
+        self, anchors: KeyRegistry, signer: Optional[str] = None
+    ) -> bool:
+        """Verify the epoch-root signature (memoized once per epoch)."""
+        return registry_verify(
+            anchors,
+            signer or self.place,
+            self.epoch_payload(),
+            self.root_signature,
+            message_digest=self.epoch_payload_digest(),
+        )
+
+    def verify(self, anchors: KeyRegistry, signer: Optional[str] = None) -> bool:
+        """Root signature valid *and* proof binds this payload to it."""
+        return self.verify_root(anchors, signer=signer) and self.proof_ok()
+
+
 def encode_record_stack(records: Sequence[HopRecord]) -> bytes:
     """Serialize hop records as the shared shim-body TLV stream."""
     return evidence_codec.encode_record_stack(records)
@@ -115,6 +209,8 @@ def decode_record_stack(data: bytes) -> List[HopRecord]:
     """Parse a shim-body TLV stream of hop records; other TLVs are
     skipped (compiled policies share the same body)."""
     return [
-        HopRecord.from_node(node)
+        BatchedHopRecord.from_batched_node(node)
+        if isinstance(node, BatchedHopEvidence)
+        else HopRecord.from_node(node)
         for node in evidence_codec.decode_record_stack(data)
     ]

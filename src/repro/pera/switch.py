@@ -27,9 +27,11 @@ from repro.net.headers import RaShimHeader
 from repro.net.packet import Packet
 from repro.pera.cache import EvidenceCache
 from repro.pera.config import CompositionMode, EvidenceConfig
+from repro.pera.epoch import EpochBatcher, SealedEpoch
 from repro.pera.inertia import InertiaClass
 from repro.pera.measurement import MeasurementEngine
 from repro.pera.records import (
+    BatchedHopRecord,
     HopRecord,
     decode_record_stack,
     encode_record_stack,
@@ -63,6 +65,10 @@ class RaStats:
     oob_gave_up: int = 0
     # Incoming shim bodies that would not decode (bit corruption).
     undecodable_evidence: int = 0
+    # Epoch-batched signing (config.batching): one root signature per
+    # sealed epoch instead of one per record.
+    epochs_sealed: int = 0
+    records_batched: int = 0
 
 
 class PeraSwitch(PisaSwitch):
@@ -99,6 +105,7 @@ class PeraSwitch(PisaSwitch):
         self.ra_cost = 0.0
         self._attest_sequence = 0
         self._cache: Optional[EvidenceCache[HopRecord]] = None
+        self._batcher: Optional[EpochBatcher] = None
         # Control-plane writes invalidate cached evidence immediately.
         self.runtime.change_observers.append(self._on_control_change)
         # Evidence gate (UC3): when set, packets failing the gate drop.
@@ -143,6 +150,30 @@ class PeraSwitch(PisaSwitch):
     def attesting_identity(self) -> str:
         return self.pseudonym or self.name
 
+    @property
+    def epoch_batcher(self) -> EpochBatcher:
+        """The epoch batcher (batched mode only), created on first use."""
+        if self._batcher is None:
+            if self.config.batching is None:
+                raise PipelineError(
+                    f"switch {self.name!r} is not configured for batching"
+                )
+            self._batcher = EpochBatcher(
+                self.attesting_identity, self.keys, self.config.batching
+            )
+        return self._batcher
+
+    @property
+    def _batched_mode(self) -> bool:
+        """Epoch batching only replaces *per-packet* signatures.
+
+        Cacheable pointwise evidence already reuses one signed record;
+        batching it would only add proof bytes for nothing.
+        """
+        return (
+            self.config.batching is not None and self.config.per_packet_signature
+        )
+
     # --- packet path ------------------------------------------------------------
 
     def process_context(self, ctx: PacketContext) -> PacketContext:
@@ -186,6 +217,9 @@ class PeraSwitch(PisaSwitch):
             return ctx
         record = self._produce_record(ctx, records)
         self.ra_stats.packets_attested += 1
+        if self._batched_mode and not record.signature:
+            self._enqueue_batched(ctx, record, trace)
+            return ctx
         if self.out_of_band:
             self._send_out_of_band(record, trace=trace)
             if packet is not None and packet.ra_shim is not None:
@@ -338,25 +372,32 @@ class PeraSwitch(PisaSwitch):
             chain_head=chain_head,
             packet_digest=packet_digest,
         )
-        if tel.active:
+        if self._batched_mode:
+            # Epoch-batched: the record stays unsigned here; the epoch
+            # batcher signs one Merkle root over the whole epoch and the
+            # per-epoch accounting happens in _on_epoch_sealed.
+            record = unsigned
+        elif tel.active:
             sign_tags = trace.span_args() if trace is not None else {}
             with tel.span("pera.sign", track=self.name, **sign_tags):
                 record = unsigned.sign_with(self.keys)
         else:
             record = unsigned.sign_with(self.keys)
         self.ra_stats.records_created += 1
-        self.ra_stats.signatures_produced += 1
-        if cost is not None:
-            self.ra_cost += cost.sign
+        if record.signature:
+            self.ra_stats.signatures_produced += 1
+            if cost is not None:
+                self.ra_cost += cost.sign
         if tel.active:
             record_digest = record.content_digest
-            tel.audit_event(
-                AuditKind.SIGNATURE_MADE,
-                self.name,
-                trace=trace,
-                digest=record_digest,
-                signer=self.attesting_identity,
-            )
+            if record.signature:
+                tel.audit_event(
+                    AuditKind.SIGNATURE_MADE,
+                    self.name,
+                    trace=trace,
+                    digest=record_digest,
+                    signer=self.attesting_identity,
+                )
             tel.audit_event(
                 AuditKind.EVIDENCE_CREATED,
                 self.name,
@@ -389,6 +430,134 @@ class PeraSwitch(PisaSwitch):
                 shim_hops=new_shim.hop_count,
             )
         return packet.with_shim(new_shim)
+
+    # --- epoch batching (config.batching) ---------------------------------
+
+    def _enqueue_batched(
+        self,
+        ctx: PacketContext,
+        record: HopRecord,
+        trace,
+        oob: Optional[bool] = None,
+        oob_target: Optional[str] = None,
+    ) -> None:
+        """Queue an unsigned record for the open epoch.
+
+        Out-of-band mode forwards the packet immediately (hop count
+        bumps now; the evidence follows at seal time). In-band mode
+        *parks* the packet — its shim must carry the proof-bearing
+        record, which only exists once the epoch root is signed — and
+        releases it from :meth:`_release_in_band` when the epoch seals.
+        """
+        batcher = self.epoch_batcher
+        spec = self.config.batching
+        if (
+            batcher.open_count == 0
+            and self.sim is not None
+            and spec.max_delay_s > 0
+        ):
+            # Arm the epoch deadline when the first record arrives; the
+            # callback is a no-op if the epoch already sealed on count.
+            epoch_id = batcher.epoch_id
+            self.sim.schedule(
+                spec.max_delay_s, lambda: self._seal_epoch_if(epoch_id)
+            )
+        send_oob = self.out_of_band if oob is None else oob
+        target = oob_target or self.appraiser_node
+        packet = ctx.packet
+        if send_oob:
+            if packet is not None and packet.ra_shim is not None:
+                ctx.packet = packet.with_shim(packet.ra_shim.with_hop())
+
+            def release(batched: BatchedHopRecord) -> None:
+                previous_target = self.appraiser_node
+                self.appraiser_node = target
+                try:
+                    self._send_out_of_band(batched, trace=trace)
+                finally:
+                    self.appraiser_node = previous_target
+
+        elif packet is not None and packet.ra_shim is not None:
+            ctx._epoch_parked = True
+
+            def release(batched: BatchedHopRecord) -> None:
+                self._release_in_band(ctx, batched, trace)
+
+        else:
+
+            def release(batched: BatchedHopRecord) -> None:
+                return None
+
+        batcher.add(record, release)
+        if batcher.open_count >= spec.max_records:
+            self._seal_epoch("count")
+
+    def _release_in_band(
+        self, ctx: PacketContext, batched: BatchedHopRecord, trace
+    ) -> None:
+        """Push the proof-bearing record and forward the parked packet.
+
+        Emission goes through :class:`PisaSwitch`'s ``emit`` directly:
+        the parked flag stays set, so the ``handle_packet`` frame that
+        parked this context (still on the stack during a count-triggered
+        seal) will not emit it a second time.
+        """
+        if ctx.packet is not None and ctx.packet.ra_shim is not None:
+            ctx.packet = self._push_in_band(ctx.packet, batched)
+            if self.mirror_out_of_band and self.appraiser_node is not None:
+                self._send_out_of_band(batched, trace=trace)
+        if self.sim is not None:
+            PisaSwitch.emit(self, ctx)
+
+    def _seal_epoch(self, reason: str) -> None:
+        self.epoch_batcher.seal(reason=reason, on_sealed=self._on_epoch_sealed)
+
+    def _seal_epoch_if(self, epoch_id: int) -> None:
+        """Timer callback: seal epoch ``epoch_id`` if still open."""
+        self.epoch_batcher.seal_if(
+            epoch_id, reason="timer", on_sealed=self._on_epoch_sealed
+        )
+
+    def flush_epochs(self) -> None:
+        """Seal any open epoch now (end of run, link teardown)."""
+        if self._batcher is not None and self._batcher.open_count:
+            self._seal_epoch("flush")
+
+    def _on_epoch_sealed(self, sealed: SealedEpoch) -> None:
+        """Account one epoch-root signature (fires before the releases)."""
+        self.ra_stats.epochs_sealed += 1
+        self.ra_stats.records_batched += sealed.leaf_count
+        self.ra_stats.signatures_produced += 1
+        if self.runtime.pipeline:
+            cost = self.pipeline.cost_model
+            # One signature plus the Merkle tree build: ~2n-1 hashes of
+            # 64-byte nodes for n leaves.
+            self.ra_cost += cost.sign
+            self.ra_cost += cost.hash_per_byte * 64 * max(
+                2 * sealed.leaf_count - 1, 1
+            )
+        tel = self.telemetry
+        if tel.active:
+            tel.audit_event(
+                AuditKind.SIGNATURE_MADE,
+                self.name,
+                digest=sealed.root,
+                signer=self.attesting_identity,
+                epoch=sealed.epoch_id,
+            )
+            tel.audit_event(
+                AuditKind.EPOCH_SEALED,
+                self.name,
+                epoch=sealed.epoch_id,
+                records=sealed.leaf_count,
+                reason=sealed.reason,
+            )
+
+    def emit(self, ctx: PacketContext) -> None:
+        """Suppress emission for packets parked awaiting an epoch seal."""
+        if getattr(ctx, "_epoch_parked", False):
+            return
+        super().emit(ctx)
 
     def _send_out_of_band(self, record: HopRecord, trace=None) -> None:
         """Fig. 3 (E): evidence leaves separately, to the appraiser.

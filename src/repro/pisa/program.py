@@ -104,17 +104,28 @@ class DataplaneProgram:
         raise PipelineError(f"program {self.full_name!r} has no table {name!r}")
 
     def measurement(self) -> bytes:
-        """The attestation digest of this program (32 bytes)."""
-        blob = b"\x00".join(
-            [
-                self.name.encode("utf-8"),
-                self.version.encode("utf-8"),
-                self.parser.describe(),
-            ]
-            + [t.describe() for t in self.tables]
-            + [a.describe() for a in sorted(self.actions, key=lambda a: a.name)]
-        )
-        return digest(blob, domain="dataplane-program")
+        """The attestation digest of this program (32 bytes).
+
+        Computed once per (frozen) program object and cached: the
+        measurement engine reads it per attested packet, and the
+        serialization below is by far its hottest part. A config change
+        installs a *different* program object, so the cache can never
+        go stale.
+        """
+        cached = self.__dict__.get("_measurement")
+        if cached is None:
+            blob = b"\x00".join(
+                [
+                    self.name.encode("utf-8"),
+                    self.version.encode("utf-8"),
+                    self.parser.describe(),
+                ]
+                + [t.describe() for t in self.tables]
+                + [a.describe() for a in sorted(self.actions, key=lambda a: a.name)]
+            )
+            cached = digest(blob, domain="dataplane-program")
+            object.__setattr__(self, "_measurement", cached)
+        return cached
 
     def default_call(self, table: TableSpec) -> ActionCall:
         """Build the default-action call for ``table`` (no parameters).

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.crypto.hashing import digest
 from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.evidence.verify import registry_verify
 from repro.faults.retry import FailMode, RetryPolicy
 from repro.net.host import Host
 from repro.ra.nonce import NonceManager
@@ -57,7 +58,10 @@ class AttestationResponse:
         return b"".join(parts)
 
     def verify(self, anchors: KeyRegistry) -> bool:
-        return anchors.verify(
+        # Memoized in the substrate cache: re-appraising the same
+        # response (protocol retries, audit replay) costs a dict hit.
+        return registry_verify(
+            anchors,
             self.attester,
             self.payload(self.attester, self.nonce, self.measurements),
             self.signature,

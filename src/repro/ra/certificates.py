@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.evidence.verify import registry_verify
 from repro.ra.claims import AppraisalVerdict
 from repro.util.errors import VerificationError
 
@@ -58,8 +59,13 @@ class Certificate:
         )
 
     def verify(self, anchors: KeyRegistry) -> bool:
-        """Check the certificate signature against trusted appraisers."""
-        return anchors.verify(
+        """Check the certificate signature against trusted appraisers.
+
+        Memoized through the substrate verify cache: a certificate
+        presented repeatedly (UC5 gating per flow) is verified once.
+        """
+        return registry_verify(
+            anchors,
             self.appraiser,
             self.payload(self.appraiser, self.attester, self.nonce, self.accepted),
             self.signature,

@@ -55,6 +55,7 @@ class AuditKind:
     EVIDENCE_CACHE_MISS = "evidence.cache_miss"
     SIGNATURE_MADE = "signature.made"
     SIGNATURE_VERIFIED = "signature.verified"
+    EPOCH_SEALED = "epoch.sealed"
     CHECK_FAILED = "check.failed"
     VERDICT_ISSUED = "verdict.issued"
     POLICY_TEST_FAILED = "policy.test_failed"
@@ -288,6 +289,12 @@ def _describe(doc: Mapping[str, object]) -> str:
         return f"{actor}: evidence cache miss"
     if kind == AuditKind.SIGNATURE_MADE:
         return f"{actor}: signed evidence record{short}"
+    if kind == AuditKind.EPOCH_SEALED:
+        return (
+            f"{actor}: epoch {detail.get('epoch', '?')} sealed "
+            f"({detail.get('records', 0)} records, "
+            f"{detail.get('reason', '?')})"
+        )
     if kind == AuditKind.SIGNATURE_VERIFIED:
         ok = detail.get("ok", True)
         place = detail.get("place", "?")

@@ -317,6 +317,12 @@ def collect_node(telemetry: Telemetry, node) -> None:
         g("pera.evidence_bytes_added", switch=switch).set(
             ra_stats.evidence_bytes_added
         )
+        g("pera.epochs_sealed", switch=switch).set(
+            getattr(ra_stats, "epochs_sealed", 0)
+        )
+        g("pera.records_batched", switch=switch).set(
+            getattr(ra_stats, "records_batched", 0)
+        )
         g("pera.gated_drops", switch=switch).set(ra_stats.gated_drops)
         g("pera.ra_cost", switch=switch).set(node.ra_cost)
         cache = node.cache

@@ -121,3 +121,80 @@ class TestSignVerify:
     def test_sign_verify_property(self, message):
         key = SigningKey.from_deterministic_seed("prop")
         assert key.verify_key().verify(message, key.sign(message))
+
+
+class TestFastMathEquivalence:
+    """The windowed base table and Shamir double-scalar trick must be
+    drop-in equivalent to plain double-and-add on the same curve."""
+
+    def scalars(self):
+        from repro.crypto.ed25519 import _L
+
+        return [0, 1, 2, 7, _L - 1, _L + 5, 2**252 + 1, 0xDEADBEEF]
+
+    def test_base_mul_matches_generic_ladder(self):
+        from repro.crypto.ed25519 import (
+            _BASE,
+            _base_mul,
+            _point_equal,
+            _point_mul,
+        )
+
+        for scalar in self.scalars():
+            assert _point_equal(_base_mul(scalar), _point_mul(scalar, _BASE))
+
+    def test_double_scalar_mul_matches_two_ladders(self):
+        from repro.crypto.ed25519 import (
+            _BASE,
+            _double_scalar_mul,
+            _point_add,
+            _point_equal,
+            _point_mul,
+        )
+
+        other = _point_mul(9, _BASE)
+        for k1 in (0, 3, 0xABCDEF, 2**250 + 11):
+            for k2 in (0, 5, 0x123456789):
+                combined = _double_scalar_mul(k1, _BASE, k2, other)
+                separate = _point_add(
+                    _point_mul(k1, _BASE), _point_mul(k2, other)
+                )
+                assert _point_equal(combined, separate)
+
+    def test_point_double_matches_add_with_self(self):
+        from repro.crypto.ed25519 import (
+            _BASE,
+            _point_add,
+            _point_double,
+            _point_equal,
+            _point_mul,
+        )
+
+        for scalar in (1, 2, 42, 2**200 + 3):
+            point = _point_mul(scalar, _BASE)
+            assert _point_equal(_point_double(point), _point_add(point, point))
+
+    def test_negate_cancels(self):
+        from repro.crypto.ed25519 import (
+            _BASE,
+            _IDENTITY,
+            _point_add,
+            _point_equal,
+            _point_negate,
+        )
+
+        assert _point_equal(_point_add(_BASE, _point_negate(_BASE)), _IDENTITY)
+
+    def test_verify_key_point_is_cached(self):
+        from repro.crypto.ed25519 import SigningKey
+
+        key = SigningKey.from_deterministic_seed("cache-pin").verify_key()
+        assert key.point() is key.point()
+
+    @settings(max_examples=30, deadline=None)
+    @given(message=st.binary(max_size=64), seed=st.text(min_size=1, max_size=8))
+    def test_fast_sign_verify_round_trip_property(self, message, seed):
+        from repro.crypto.ed25519 import SigningKey
+
+        key = SigningKey.from_deterministic_seed(seed)
+        assert key.verify_key().verify(message, key.sign(message))

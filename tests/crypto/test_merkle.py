@@ -131,3 +131,40 @@ class TestPseudonyms:
         pseu = auth.pseudonym_for("alice", "switch-SN42")
         assert auth.is_pseudonym(pseu)
         assert not auth.is_pseudonym("switch-SN42")
+
+
+class TestProofIndexBinding:
+    """The claimed leaf index must agree with the proof's shape.
+
+    The hash walk alone never consults ``leaf_index``, so without the
+    shape check the index field would be malleable in transit (the
+    epoch-batched record header ships it on the wire)."""
+
+    @given(
+        count=st.integers(min_value=1, max_value=33),
+        data=st.data(),
+    )
+    def test_wrong_claimed_index_is_rejected(self, count, data):
+        from dataclasses import replace
+
+        leaves = [bytes([i]) * 4 for i in range(count)]
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=count - 1))
+        proof = tree.prove(index)
+        assert proof.verify(leaves[index], tree.root)
+        claimed = data.draw(st.integers(min_value=0, max_value=count - 1))
+        if claimed == index:
+            return
+        forged = replace(proof, leaf_index=claimed)
+        assert not forged.verify(leaves[index], tree.root)
+
+    def test_truncated_or_padded_path_is_rejected(self):
+        from dataclasses import replace
+
+        tree = MerkleTree([bytes([i]) * 4 for i in range(8)])
+        proof = tree.prove(3)
+        leaf = tree.leaf(3)
+        assert proof.verify(leaf, tree.root)
+        assert not replace(proof, path=proof.path[:-1]).verify(leaf, tree.root)
+        padded = proof.path + ((b"\x00" * 32, True),)
+        assert not replace(proof, path=padded).verify(leaf, tree.root)

@@ -1,0 +1,227 @@
+"""Batched-mode tamper matrix: every forgery leaves exactly one
+``check.failed`` audit event.
+
+Per-packet signatures and epoch-batched Merkle proofs must be
+equivalent under tampering: a flipped record byte, a forged proof
+sibling, a forged root signature, and a cross-epoch proof replay each
+yield exactly one journaled check failure — and a byte-identical
+replay of a packet's genuine evidence is still caught by the nonce
+check, so batching opens no replay hole.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.appraisal import PathAppraiser
+from repro.core.compiler import compile_policy_for_path
+from repro.core.policies import ap1_bank_path_attestation
+from repro.core.usecases import _appraiser_for, _pera_chain
+from repro.core.wire import encode_compiled_policy
+from repro.net.headers import RaShimHeader
+from repro.pera.config import BatchingSpec, CompositionMode, EvidenceConfig
+from repro.pera.records import BatchedHopRecord, decode_record_stack
+from repro.pisa.programs import firewall_program
+from repro.ra.nonce import NonceManager
+from repro.telemetry import AuditKind, Check, Telemetry, TraceContext
+
+TRACE = TraceContext(trace_id="abcdef012345", hop=3, origin="h-src")
+
+
+@pytest.fixture(scope="module")
+def delivered():
+    """One honest 2-switch CHAINED+batched run spanning two epochs.
+
+    Four packets with ``max_records=2`` give every switch two sealed
+    epochs, so the matrix can replay proofs and records across epoch
+    boundaries. Returns (stacks, hop_count, switches, program) where
+    ``stacks[i]`` is packet *i*'s decoded record list.
+    """
+    config = EvidenceConfig(
+        composition=CompositionMode.CHAINED,
+        batching=BatchingSpec(max_records=2, max_delay_s=0.0),
+    )
+    program = firewall_program()
+    sim, src, dst, switches = _pera_chain(2, config, programs=[program] * 2)
+    policy = compile_policy_for_path(
+        ap1_bank_path_attestation(),
+        path=["h-src", "s1", "s2", "h-dst"],
+        bindings={"client": "h-dst"},
+        composition=CompositionMode.CHAINED,
+    )
+    for _ in range(4):
+        src.send_udp(
+            dst_mac=dst.mac, dst_ip=dst.ip, src_port=1000, dst_port=2000,
+            payload=b"probe",
+            ra_shim=RaShimHeader(
+                flags=RaShimHeader.FLAG_POLICY,
+                body=encode_compiled_policy(policy),
+            ),
+        )
+    sim.run()
+    assert len(dst.received_packets) == 4
+    stacks = [
+        decode_record_stack(p.ra_shim.body) for p in dst.received_packets
+    ]
+    hop_count = dst.received_packets[0].ra_shim.hop_count
+    return stacks, hop_count, switches, program
+
+
+def _appraiser(switches, program, telemetry, **kwargs):
+    base = _appraiser_for(switches, [program] * len(switches))
+    return PathAppraiser(
+        "Appraiser", base.policy, telemetry=telemetry, **kwargs
+    )
+
+
+def _check_failures(telemetry):
+    return [
+        e for e in telemetry.audit.events if e.kind == AuditKind.CHECK_FAILED
+    ]
+
+
+class TestBatchedTamperMatrix:
+    def test_honest_batched_run_appraises_clean(self, delivered):
+        stacks, hop_count, switches, program = delivered
+        tel = Telemetry()
+        appraiser = _appraiser(switches, program, tel)
+        for stack in stacks:
+            assert all(isinstance(r, BatchedHopRecord) for r in stack)
+            verdict = appraiser.appraise_records(stack, hop_count, trace=TRACE)
+            assert verdict.accepted, verdict.failures
+        assert _check_failures(tel) == []
+
+    def test_flipped_record_byte_breaks_the_proof(self, delivered):
+        stacks, hop_count, switches, program = delivered
+        tel = Telemetry()
+        appraiser = _appraiser(switches, program, tel)
+        honest = stacks[0]
+        # Flip a payload field: the leaf hash changes, the proof dies.
+        forged = replace(honest[0], sequence=honest[0].sequence + 1)
+        verdict = appraiser.appraise_records(
+            [forged, honest[1]], hop_count, trace=TRACE
+        )
+        assert not verdict.accepted
+        events = _check_failures(tel)
+        assert len(events) == 1
+        assert events[0].detail["check"] == Check.SIGNATURE
+        assert "Merkle proof" in events[0].detail["message"]
+        assert events[0].detail["message"] in verdict.failures
+        assert events[0].trace == TRACE.trace_id
+
+    def test_forged_proof_sibling_breaks_the_proof(self, delivered):
+        stacks, hop_count, switches, program = delivered
+        tel = Telemetry()
+        appraiser = _appraiser(switches, program, tel)
+        honest = stacks[0]
+        (sibling, is_left), *rest = honest[0].proof_path
+        flipped = bytes((sibling[0] ^ 0x01,)) + sibling[1:]
+        forged = replace(
+            honest[0], proof_path=((flipped, is_left),) + tuple(rest)
+        )
+        verdict = appraiser.appraise_records(
+            [forged, honest[1]], hop_count, trace=TRACE
+        )
+        assert not verdict.accepted
+        events = _check_failures(tel)
+        assert len(events) == 1
+        assert events[0].detail["check"] == Check.SIGNATURE
+        assert "Merkle proof" in events[0].detail["message"]
+
+    def test_forged_root_signature_is_rejected(self, delivered):
+        stacks, hop_count, switches, program = delivered
+        tel = Telemetry()
+        appraiser = _appraiser(switches, program, tel)
+        honest = stacks[0]
+        signature = honest[0].root_signature
+        forged = replace(
+            honest[0],
+            root_signature=signature[:-1] + bytes((signature[-1] ^ 0xFF,)),
+        )
+        verdict = appraiser.appraise_records(
+            [forged, honest[1]], hop_count, trace=TRACE
+        )
+        assert not verdict.accepted
+        events = _check_failures(tel)
+        assert len(events) == 1
+        assert events[0].detail["check"] == Check.SIGNATURE
+        assert "epoch root signature" in events[0].detail["message"]
+
+    def test_cross_epoch_proof_replay_is_rejected(self, delivered):
+        """Splice epoch 2's (genuinely signed) header onto an epoch-1
+        record: the root signature verifies, the proof must not."""
+        stacks, hop_count, switches, program = delivered
+        tel = Telemetry()
+        appraiser = _appraiser(switches, program, tel)
+        epoch1 = stacks[0][0]
+        epoch2 = stacks[2][0]
+        assert epoch1.epoch_id != epoch2.epoch_id
+        spliced = replace(
+            epoch1,
+            epoch_id=epoch2.epoch_id,
+            epoch_root=epoch2.epoch_root,
+            root_signature=epoch2.root_signature,
+            leaf_count=epoch2.leaf_count,
+        )
+        # The stolen header itself is genuine...
+        assert spliced.verify_root(appraiser.policy.anchors)
+        # ...but it does not commit to this record.
+        verdict = appraiser.appraise_records(
+            [spliced, stacks[0][1]], hop_count, trace=TRACE
+        )
+        assert not verdict.accepted
+        events = _check_failures(tel)
+        assert len(events) == 1
+        assert events[0].detail["check"] == Check.SIGNATURE
+        assert "Merkle proof" in events[0].detail["message"]
+
+    def test_flipped_leaf_index_breaks_the_proof(self, delivered):
+        """The claimed leaf index is part of what the proof binds.
+
+        The hash walk must be driven by the claimed position, so an
+        otherwise-genuine record whose ``leaf_index`` is flipped in
+        transit dies in the proof check."""
+        stacks, hop_count, switches, program = delivered
+        tel = Telemetry()
+        appraiser = _appraiser(switches, program, tel)
+        honest = stacks[0]
+        forged = replace(honest[0], leaf_index=honest[0].leaf_index ^ 1)
+        verdict = appraiser.appraise_records(
+            [forged, honest[1]], hop_count, trace=TRACE
+        )
+        assert not verdict.accepted
+        events = _check_failures(tel)
+        assert len(events) == 1
+        assert events[0].detail["check"] == Check.SIGNATURE
+        assert "Merkle proof" in events[0].detail["message"]
+
+    def test_byte_identical_replay_is_caught_by_the_nonce(self, delivered):
+        """Replay a packet's *unmodified* batched evidence wholesale.
+
+        Every record is genuine, so signatures, proofs, measurements
+        and chain all verify — replay protection is the nonce's job,
+        and epoch batching must not open a hole in it: the consumed
+        nonce yields exactly one ``check.failed``."""
+        stacks, hop_count, switches, program = delivered
+        tel = Telemetry()
+        nonces = NonceManager(seed="batched-matrix")
+        nonce = nonces.issue()
+        nonces.consume(nonce)  # the relying party already accepted it
+        compiled = compile_policy_for_path(
+            ap1_bank_path_attestation(),
+            path=["h-src", "s1", "s2", "h-dst"],
+            bindings={"client": "h-dst"},
+            composition=CompositionMode.CHAINED,
+            nonce=nonce,
+        )
+        appraiser = _appraiser(switches, program, tel, nonces=nonces)
+        replayed = stacks[0]  # byte-identical: no fields touched
+        assert all(r.verify(appraiser.policy.anchors) for r in replayed)
+        verdict = appraiser.appraise_records(
+            replayed, hop_count, compiled=compiled, trace=TRACE
+        )
+        assert not verdict.accepted
+        events = _check_failures(tel)
+        assert len(events) == 1
+        assert events[0].detail["check"] == Check.NONCE
+        assert events[0].detail["message"] == "nonce replayed"

@@ -334,3 +334,58 @@ class TestPeraSwitchOutOfBand:
         send_ra_packet(src, dst)
         with pytest.raises(PipelineError, match="out-of-band"):
             sim.run()
+
+
+class TestCryptoCallCounts:
+    """Pin the cache's crypto economics with raw Ed25519 call counts.
+
+    The evidence-cache hit path must be crypto-free: a pointwise switch
+    signs once on the miss and then serves every later packet from the
+    cache without signing *or* re-verifying the cached record (the
+    record was signed locally; appraisal is the verifier's job).
+    """
+
+    @pytest.fixture
+    def crypto_calls(self, monkeypatch):
+        from repro.crypto import ed25519
+
+        calls = {"sign": 0, "verify": 0}
+        real_sign = ed25519.SigningKey.sign
+        real_verify = ed25519.VerifyKey.verify
+
+        def counting_sign(self, message):
+            calls["sign"] += 1
+            return real_sign(self, message)
+
+        def counting_verify(self, message, signature):
+            calls["verify"] += 1
+            return real_verify(self, message, signature)
+
+        monkeypatch.setattr(ed25519.SigningKey, "sign", counting_sign)
+        monkeypatch.setattr(ed25519.VerifyKey, "verify", counting_verify)
+        return calls
+
+    def test_cache_hit_path_does_no_crypto(self, crypto_calls):
+        sim, src, dst, switches, _ = build_pera_chain(1)  # pointwise
+        for _ in range(5):
+            send_ra_packet(src, dst)
+        sim.run()
+        stats = switches[0].ra_stats
+        assert stats.records_from_cache == 4
+        assert crypto_calls["sign"] == 1  # the miss signs once...
+        assert crypto_calls["verify"] == 0  # ...and no hit re-verifies
+
+    def test_batched_mode_signs_once_per_epoch(self, crypto_calls):
+        from repro.pera.config import BatchingSpec
+
+        config = EvidenceConfig(
+            composition=CompositionMode.CHAINED,
+            batching=BatchingSpec(max_records=4, max_delay_s=0.0),
+        )
+        sim, src, dst, switches, _ = build_pera_chain(1, config=config)
+        for _ in range(8):
+            send_ra_packet(src, dst)
+        sim.run()
+        assert len(dst.received_packets) == 8
+        assert crypto_calls["sign"] == 2  # 8 packets, 2 epoch roots
+        assert crypto_calls["verify"] == 0
