@@ -2,9 +2,10 @@
 
 Compares a fresh ``BENCH_results.json`` against a committed baseline
 and fails (exit 1) when any watched benchmark's median slowed down by
-more than the threshold (default 25%). Watched benchmarks are the two
+more than the threshold (default 25%). Watched benchmarks are the
 hot-path suites the repository makes throughput claims about:
-``bench_fig3_pipeline`` and ``bench_substrate_crypto``.
+``bench_fig3_pipeline``, ``bench_substrate_crypto``, and the sharded
+event-core scaling run ``bench_shard_scaling``.
 
 Usage::
 
@@ -25,7 +26,11 @@ import json
 import sys
 from typing import Dict
 
-WATCHED_MODULES = ("bench_fig3_pipeline", "bench_substrate_crypto")
+WATCHED_MODULES = (
+    "bench_fig3_pipeline",
+    "bench_substrate_crypto",
+    "bench_shard_scaling",
+)
 
 
 def load_medians(path: str) -> Dict[str, float]:

@@ -18,6 +18,14 @@ What the run demonstrates:
 - the whole story replays byte-identically from the same seed.
 
 Run:  python examples/chaos_athens.py [--seed N] [--audit-out FILE]
+                                      [--shards K] [--backend inline|mp]
+
+With ``--shards`` the campaign runs on the sharded simulation core
+(docs/SHARDING.md): the fabric is partitioned into K event loops —
+``--backend mp`` forks one worker process per shard — and the merged
+canonical audit journal is byte-identical for *any* shard count,
+which the determinism check at the end demonstrates against a
+1-shard replay.
 """
 
 import argparse
@@ -33,10 +41,23 @@ def main() -> None:
         "--audit-out", default=None,
         help="write the canonical audit-journal JSON to this file",
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="run on the sharded core with K partitioned event loops",
+    )
+    parser.add_argument(
+        "--backend", choices=("inline", "mp"), default="inline",
+        help="sharded backend: in-process (inline) or multiprocessing "
+        "(mp); only meaningful with --shards",
+    )
     args = parser.parse_args()
 
-    print(f"=== chaos plan (seed {args.seed}) ===")
-    result = run_chaos_athens(seed=args.seed)
+    sharding = dict(shards=args.shards, backend=args.backend) \
+        if args.shards else {}
+    print(f"=== chaos plan (seed {args.seed}"
+          + (f", {args.shards} shards via {args.backend}" if args.shards
+             else "") + ") ===")
+    result = run_chaos_athens(seed=args.seed, **sharding)
     print(result.plan.describe())
 
     print("\n=== recovery narrative ===")
@@ -58,9 +79,15 @@ def main() -> None:
     assert open_.verdict.accepted and open_.verdict.degraded
 
     print("\n=== determinism ===")
-    replay = run_chaos_athens(seed=args.seed)
+    # Sharded runs replay against a 1-shard run: the canonical merged
+    # journal must not depend on the partitioning. Monolithic runs
+    # replay against themselves.
+    replay_kwargs = dict(sharding, shards=1) if args.shards else {}
+    replay = run_chaos_athens(seed=args.seed, **replay_kwargs)
     identical = replay.audit_export() == result.audit_export()
-    print(f"replay with seed {args.seed}: audit journals byte-identical: "
+    what = (f"{args.shards}-shard vs 1-shard journals"
+            if args.shards else "audit journals")
+    print(f"replay with seed {args.seed}: {what} byte-identical: "
           f"{identical}")
     assert identical, "same seed must replay byte-identically"
 

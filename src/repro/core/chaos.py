@@ -29,7 +29,8 @@ default fail-closed policy — which the acceptance tests pin.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
+from functools import partial
 from typing import Dict, List, Optional
 
 from repro.core.appraisal import (
@@ -47,8 +48,9 @@ from repro.faults import FailMode, FaultInjector, FaultPlan, FaultStats, RetryPo
 from repro.net.controller import RoutingController
 from repro.net.headers import ip_to_int
 from repro.net.host import Host
+from repro.net.shardrun import ScenarioSpec, ShardedResult, run_sharded
 from repro.net.simulator import SimStats, Simulator
-from repro.net.topology import linear_topology
+from repro.net.topology import Topology, linear_topology
 from repro.pera.config import CompositionMode, DetailLevel, EvidenceConfig
 from repro.pera.inertia import InertiaClass
 from repro.pisa.programs import athens_rogue_program, firewall_program
@@ -93,6 +95,9 @@ class ChaosResult:
     plan: FaultPlan
     telemetry: Telemetry
     ra_counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Populated only by sharded runs: the merged runner output
+    #: (windows, lookahead, canonical metric snapshot, ...).
+    sharded: Optional[ShardedResult] = field(default=None, repr=False)
 
     def audit_export(self) -> str:
         """Canonical JSON of the audit journal (replay comparisons)."""
@@ -143,28 +148,56 @@ class ChaosResult:
         return "\n".join(lines)
 
 
-def run_chaos_athens(
-    seed: int = 0,
-    packets: int = 30,
-    swap_at: int = 10,
-    reprovision_at: int = 16,
-) -> ChaosResult:
-    """UC1 under chaos: flapping links, a compromise, a crashed
-    appraiser, corruption — and recovery from all of them.
-
-    ``swap_at``/``reprovision_at`` are packet indices (packets go out
-    every millisecond); everything else in the fault plan is anchored
-    to them.
-    """
-    reset_trace_ids()  # byte-identical replay needs a fresh id sequence
-    telemetry = Telemetry(active=True)
+def _chaos_topology() -> Topology:
     topo = linear_topology(2)
     topo.add_node("collector", kind="host")
     topo.add_link("s2", 3, "collector", 1)
     topo.add_node("h-spy", kind="host")
     topo.add_link("s1", 3, "h-spy", 1)
-    sim = Simulator(topo, seed=seed, telemetry=telemetry)
+    return topo
 
+
+def _chaos_plan(
+    seed: int, packets: int, swap_at: int, reprovision_at: int
+) -> FaultPlan:
+    """The chaos fault plan, all times anchored to the packet schedule."""
+    t = lambda index: index * _PACKET_GAP_S  # noqa: E731
+    plan = FaultPlan(seed=seed)
+    # Early turbulence: extra loss, then a flap, on the middle link.
+    plan.link_loss(t(2), "s1", "s2", rate=0.3)
+    plan.link_loss(t(6), "s1", "s2", rate=0.0)
+    plan.link_flap(t(7), "s1", "s2", down_s=0.4e-3, up_s=1.1e-3, cycles=2)
+    # The Athens swap: the injector *is* the attacker here.
+    plan.compromise_switch(
+        t(swap_at), "s1", athens_rogue_program, configure=_rogue_configure
+    )
+    # The appraiser mirror target dies and comes back.
+    plan.crash_node(t(swap_at) + 0.5e-3, "collector")
+    plan.restart_node(t(reprovision_at), "collector")
+    # Late corruption window on the last hop: evidence must reject,
+    # never crash.
+    plan.corrupt_packets(
+        t(packets - 5), "s2", "h-dst", rate=1.0, duration_s=2 * _PACKET_GAP_S
+    )
+    # And a skewed cache clock on s2 for the remainder.
+    plan.clock_skew(t(packets - 3), "s2", skew_s=120.0)
+    return plan
+
+
+def _chaos_build(sim, packets: int, swap_at: int, reprovision_at: int):
+    """Bind the full chaos deployment into ``sim`` and schedule its
+    driving events.
+
+    Works on the monolithic :class:`Simulator` (where ``schedule_on`` /
+    ``schedule_replicated`` are plain ``schedule``) and on a
+    :class:`~repro.net.sharding.ShardSimulator`, where each shard
+    builds this complete world and the ownership gates arrange
+    single-writer execution. Notably ``rp.send`` is *replicated*: nonce
+    issuance and the policy-by-nonce table must exist in the
+    destination's shard for appraisal, while the actual transmit is
+    gated to h-src's owner.
+    """
+    telemetry = sim.telemetry
     src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
     dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
     spy = Host("h-spy", mac=0x3, ip=ip_to_int("10.9.9.9"))
@@ -227,77 +260,189 @@ def run_chaos_athens(
 
     controller = RoutingController(sim, name="ctl", election_id=1)
 
-    # --- the fault plan, all times anchored to the packet schedule -----
     t = lambda index: index * _PACKET_GAP_S  # noqa: E731
-    plan = FaultPlan(seed=seed)
-    # Early turbulence: extra loss, then a flap, on the middle link.
-    plan.link_loss(t(2), "s1", "s2", rate=0.3)
-    plan.link_loss(t(6), "s1", "s2", rate=0.0)
-    plan.link_flap(t(7), "s1", "s2", down_s=0.4e-3, up_s=1.1e-3, cycles=2)
-    # The Athens swap: the injector *is* the attacker here.
-    plan.compromise_switch(
-        t(swap_at), "s1", athens_rogue_program, configure=_rogue_configure
-    )
-    # The appraiser mirror target dies and comes back.
-    plan.crash_node(t(swap_at) + 0.5e-3, "collector")
-    plan.restart_node(t(reprovision_at), "collector")
-    # Late corruption window on the last hop: evidence must reject,
-    # never crash.
-    plan.corrupt_packets(
-        t(packets - 5), "s2", "h-dst", rate=1.0, duration_s=2 * _PACKET_GAP_S
-    )
-    # And a skewed cache clock on s2 for the remainder.
-    plan.clock_skew(t(packets - 3), "s2", skew_s=120.0)
+    plan = _chaos_plan(sim.seed, packets, swap_at, reprovision_at)
     injector = FaultInjector(plan)
     injector.attach(sim)
 
     # The operator notices the rejections and reprovisions the switch.
-    sim.schedule(t(reprovision_at), lambda: controller.reprovision(
+    sim.schedule_on("s1", t(reprovision_at), lambda: controller.reprovision(
         "s1", program_factory=firewall_program
     ))
 
     for index in range(packets):
-        sim.schedule(
+        sim.schedule_replicated(
+            "h-src",
             t(index),
             lambda seq=index: rp.send(payload=seq.to_bytes(4, "big")),
         )
-    sim.run()
+    return {
+        "src": src,
+        "dst": dst,
+        "spy": spy,
+        "collector": collector,
+        "switches": switches,
+        "rp": rp,
+        "controller": controller,
+        "injector": injector,
+        "plan": plan,
+    }
 
+
+def _ra_counters_of(switch) -> Dict[str, int]:
+    return {
+        "oob_send_failures": switch.ra_stats.oob_send_failures,
+        "oob_retries": switch.ra_stats.oob_retries,
+        "oob_recovered": switch.ra_stats.oob_recovered,
+        "oob_gave_up": switch.ra_stats.oob_gave_up,
+        "undecodable_evidence": switch.ra_stats.undecodable_evidence,
+    }
+
+
+def _verdict_markers(verdicts):
     first_rejection = next(
-        (i for i, v in enumerate(rp.verdicts) if not v.accepted), None
+        (i for i, v in enumerate(verdicts) if not v.accepted), None
     )
     recovered_at = None
     if first_rejection is not None:
         recovered_at = next(
             (
                 i
-                for i, v in enumerate(rp.verdicts)
+                for i, v in enumerate(verdicts)
                 if i > first_rejection and v.accepted
             ),
             None,
         )
-    ra_counters = {
-        switch.name: {
-            "oob_send_failures": switch.ra_stats.oob_send_failures,
-            "oob_retries": switch.ra_stats.oob_retries,
-            "oob_recovered": switch.ra_stats.oob_recovered,
-            "oob_gave_up": switch.ra_stats.oob_gave_up,
-            "undecodable_evidence": switch.ra_stats.undecodable_evidence,
-        }
-        for switch in switches
-    }
+    return first_rejection, recovered_at
+
+
+def run_chaos_athens(
+    seed: int = 0,
+    packets: int = 30,
+    swap_at: int = 10,
+    reprovision_at: int = 16,
+    shards: Optional[int] = None,
+    backend: str = "inline",
+) -> ChaosResult:
+    """UC1 under chaos: flapping links, a compromise, a crashed
+    appraiser, corruption — and recovery from all of them.
+
+    ``swap_at``/``reprovision_at`` are packet indices (packets go out
+    every millisecond); everything else in the fault plan is anchored
+    to them.
+
+    With ``shards`` given, the same deployment runs partitioned under
+    the sharded runner (:mod:`repro.net.shardrun`) on the chosen
+    ``backend``; the merged result is byte-for-byte the same story.
+    ``shards=None`` is the original monolithic path.
+    """
+    if shards is not None:
+        return _run_chaos_sharded(
+            seed, packets, swap_at, reprovision_at, shards, backend
+        )
+    reset_trace_ids()  # byte-identical replay needs a fresh id sequence
+    telemetry = Telemetry(active=True)
+    sim = Simulator(_chaos_topology(), seed=seed, telemetry=telemetry)
+    ctx = _chaos_build(
+        sim, packets=packets, swap_at=swap_at, reprovision_at=reprovision_at
+    )
+    sim.run()
+
+    rp = ctx["rp"]
+    first_rejection, recovered_at = _verdict_markers(rp.verdicts)
     return ChaosResult(
         packets_sent=packets,
         verdicts=list(rp.verdicts),
         first_rejection=first_rejection,
         recovered_at=recovered_at,
-        exfiltrated=len(spy.received_packets),
-        collector_records=len(collector.control_received),
+        exfiltrated=len(ctx["spy"].received_packets),
+        collector_records=len(ctx["collector"].control_received),
         stats=sim.stats,
-        fault_stats=injector.stats,
-        plan=plan,
+        fault_stats=ctx["injector"].stats,
+        plan=ctx["plan"],
         telemetry=telemetry,
-        ra_counters=ra_counters,
+        ra_counters={
+            switch.name: _ra_counters_of(switch)
+            for switch in ctx["switches"]
+        },
+    )
+
+
+def _chaos_harvest(sim, ctx):
+    """Per-shard picklable output: each observation is reported by the
+    shard owning its vantage point, and the parent reassembles."""
+    return {
+        "verdicts": (
+            list(ctx["rp"].verdicts) if sim.owns("h-dst") else None
+        ),
+        "exfiltrated": (
+            len(ctx["spy"].received_packets) if sim.owns("h-spy") else 0
+        ),
+        "collector_records": (
+            len(ctx["collector"].control_received)
+            if sim.owns("collector") else 0
+        ),
+        "fault_stats": {
+            spec.name: getattr(ctx["injector"].stats, spec.name)
+            for spec in dataclass_fields(ctx["injector"].stats)
+        },
+        "ra_counters": {
+            switch.name: _ra_counters_of(switch)
+            for switch in ctx["switches"]
+            if sim.owns(switch.name)
+        },
+    }
+
+
+def _run_chaos_sharded(
+    seed: int,
+    packets: int,
+    swap_at: int,
+    reprovision_at: int,
+    shards: int,
+    backend: str,
+) -> ChaosResult:
+    spec = ScenarioSpec(
+        topology=_chaos_topology,
+        build=partial(
+            _chaos_build,
+            packets=packets,
+            swap_at=swap_at,
+            reprovision_at=reprovision_at,
+        ),
+        harvest=_chaos_harvest,
+    )
+    result = run_sharded(spec, shards=shards, backend=backend, seed=seed)
+    verdicts = next(
+        (out["verdicts"] for out in result.outputs
+         if out["verdicts"] is not None),
+        [],
+    )
+    first_rejection, recovered_at = _verdict_markers(verdicts)
+    fault_stats = FaultStats()
+    for out in result.outputs:
+        for name, value in out["fault_stats"].items():
+            setattr(fault_stats, name, getattr(fault_stats, name) + value)
+    ra_counters: Dict[str, Dict[str, int]] = {}
+    for out in result.outputs:
+        ra_counters.update(out["ra_counters"])
+    return ChaosResult(
+        packets_sent=packets,
+        verdicts=verdicts,
+        first_rejection=first_rejection,
+        recovered_at=recovered_at,
+        exfiltrated=sum(out["exfiltrated"] for out in result.outputs),
+        collector_records=sum(
+            out["collector_records"] for out in result.outputs
+        ),
+        stats=result.stats,
+        fault_stats=fault_stats,
+        plan=_chaos_plan(seed, packets, swap_at, reprovision_at),
+        telemetry=result.telemetry,
+        ra_counters={
+            name: ra_counters[name] for name in sorted(ra_counters)
+        },
+        sharded=result,
     )
 
 

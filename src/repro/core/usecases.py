@@ -18,7 +18,8 @@ their parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.copland.parser import parse_phrase
@@ -39,6 +40,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.crypto.merkle import MerkleTree
 from repro.net.headers import RaShimHeader, ip_to_int
 from repro.net.host import Host
+from repro.net.shardrun import ScenarioSpec, ShardedResult, run_sharded
 from repro.net.simulator import Simulator
 from repro.net.topology import Topology, linear_topology
 from repro.pera.config import (
@@ -125,6 +127,10 @@ class ConfigAssuranceResult:
     first_rejection: Optional[int]
     swap_at: Optional[int]
     exfiltrated: int
+    #: Populated only by sharded runs (``shards=`` given): the merged
+    #: runner output, carrying the canonical audit/metrics/stats the
+    #: determinism tests compare across shard counts.
+    sharded: Optional[ShardedResult] = field(default=None, repr=False)
 
     @property
     def detection_delay(self) -> Optional[int]:
@@ -140,6 +146,9 @@ def run_config_assurance(
     sampling: Optional[SamplingSpec] = None,
     switch_count: int = 2,
     batching: Optional[BatchingSpec] = None,
+    shards: Optional[int] = None,
+    backend: str = "inline",
+    seed: int = 0,
 ) -> ConfigAssuranceResult:
     """UC1 / the Athens affair, end to end.
 
@@ -150,7 +159,18 @@ def run_config_assurance(
     path evidence: the program measurement changes, so appraisal
     rejects from the swap on — with per-packet attestation, at the very
     first rogue packet.
+
+    With ``shards`` given, the deployment runs under the sharded
+    runner (:mod:`repro.net.shardrun`) partitioned into that many
+    event loops on the chosen ``backend``; the result additionally
+    carries the merged :class:`~repro.net.shardrun.ShardedResult` in
+    ``.sharded``. ``shards=None`` is the original monolithic path.
     """
+    if shards is not None:
+        return _run_config_assurance_sharded(
+            packets, swap_at, sampling, switch_count, batching,
+            shards, backend, seed,
+        )
     config = EvidenceConfig(
         detail=DetailLevel.MINIMAL,
         composition=CompositionMode.CHAINED,
@@ -183,21 +203,7 @@ def run_config_assurance(
     for index in range(packets):
         def fire(seq=index):
             if swap_at is not None and seq == swap_at:
-                attacker_switch = switches[0]
-                attacker_switch.runtime.arbitrate("attacker", 99)
-                attacker_switch.runtime.set_forwarding_pipeline_config(
-                    "attacker", athens_rogue_program()
-                )
-                _install_routing_as(attacker_switch, "attacker")
-                attacker_switch.runtime.write("attacker", TableEntry(
-                    table="intercept",
-                    keys=(MatchKey(
-                        MatchKind.TERNARY, ip_to_int("10.0.0.1"),
-                        mask=0xFFFFFFFF,
-                    ),),
-                    action="clone_to", params=(3,), priority=1,
-                ))
-                attacker_switch.notify_state_change(InertiaClass.PROGRAM)
+                _uc1_athens_swap(switches[0])
             src.send_udp(
                 dst_mac=dst.mac, dst_ip=dst.ip, src_port=1000, dst_port=2000,
                 payload=seq.to_bytes(4, "big"),
@@ -236,6 +242,177 @@ def _install_routing_as(switch, controller: str) -> None:
         keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
         action="forward", params=(2,),
     ))
+
+
+def _uc1_athens_swap(switch) -> None:
+    """The Athens-affair compromise: an attacker with master arbitration
+    installs the rogue firewall variant and an intercept rule cloning
+    h-src's traffic to the spy port."""
+    switch.runtime.arbitrate("attacker", 99)
+    switch.runtime.set_forwarding_pipeline_config(
+        "attacker", athens_rogue_program()
+    )
+    _install_routing_as(switch, "attacker")
+    switch.runtime.write("attacker", TableEntry(
+        table="intercept",
+        keys=(MatchKey(
+            MatchKind.TERNARY, ip_to_int("10.0.0.1"),
+            mask=0xFFFFFFFF,
+        ),),
+        action="clone_to", params=(3,), priority=1,
+    ))
+    switch.notify_state_change(InertiaClass.PROGRAM)
+
+
+# --- UC1, sharded -------------------------------------------------------------
+#
+# The same deployment expressed as a ScenarioSpec for the sharded
+# runner. Every shard builds the complete world — hosts, switches,
+# programs, routing — so control-plane state and appraisal anchors are
+# replicated deterministically; the simulator's ownership gates make
+# each scheduled action (the swap on s1's shard, each send on h-src's)
+# fire exactly once across the fleet.
+
+
+def _uc1_topology(switch_count: int) -> Topology:
+    topo = linear_topology(switch_count)
+    topo.add_node("h-spy", kind="host")
+    topo.add_link("s1", 3, "h-spy", 1)
+    return topo
+
+
+def _uc1_build(
+    sim,
+    packets: int,
+    swap_at: Optional[int],
+    sampling: Optional[SamplingSpec],
+    batching: Optional[BatchingSpec],
+    switch_count: int,
+):
+    config = EvidenceConfig(
+        detail=DetailLevel.MINIMAL,
+        composition=CompositionMode.CHAINED,
+        sampling=sampling or SamplingSpec(),
+        batching=batching,
+    )
+    genuine = firewall_program()
+    src = Host("h-src", mac=0x1, ip=ip_to_int("10.0.0.1"))
+    dst = Host("h-dst", mac=0x2, ip=ip_to_int("10.0.1.1"))
+    sim.bind(src)
+    sim.bind(dst)
+    switches = []
+    for i in range(1, switch_count + 1):
+        switch = NetworkAwarePeraSwitch(f"s{i}", config=config)
+        sim.bind(switch)
+        switch.runtime.arbitrate("ctl", 1)
+        switch.runtime.set_forwarding_pipeline_config("ctl", genuine)
+        _install_routing(switch, "10.0.1.0", 2)
+        switches.append(switch)
+    spy = Host("h-spy", mac=0x3, ip=ip_to_int("10.9.9.9"))
+    sim.bind(spy)
+
+    appraiser = _appraiser_for(
+        switches, [genuine] * switch_count,
+        allow_sampling=sampling is not None
+        and sampling.mode is not SamplingMode.EVERY_PACKET,
+    )
+    policy = compile_policy_for_path(
+        ap1_bank_path_attestation(),
+        path=["h-src"] + [s.name for s in switches] + ["h-dst"],
+        bindings={"client": "h-dst"},
+        composition=CompositionMode.CHAINED,
+    )
+    shim_body = encode_compiled_policy(policy)
+
+    for index in range(packets):
+        # The swap is its own event on s1's shard, scheduled ahead of
+        # the same-time send so it lands first everywhere.
+        if swap_at is not None and index == swap_at:
+            sim.schedule_on(
+                "s1", index * 1e-3,
+                lambda: _uc1_athens_swap(switches[0]),
+            )
+        sim.schedule_on(
+            "h-src", index * 1e-3,
+            lambda seq=index: src.send_udp(
+                dst_mac=dst.mac, dst_ip=dst.ip,
+                src_port=1000, dst_port=2000,
+                payload=seq.to_bytes(4, "big"),
+                ra_shim=RaShimHeader(
+                    flags=RaShimHeader.FLAG_POLICY, body=shim_body
+                ),
+            ),
+        )
+    return {
+        "dst": dst,
+        "spy": spy,
+        "switches": switches,
+        "appraiser": appraiser,
+        "policy": policy,
+    }
+
+
+def _uc1_harvest(sim, ctx):
+    """Per-shard output: the dst-owning shard appraises delivered
+    packets locally (its appraisal anchors are replicas of the same
+    deterministic keys), the spy-owning shard counts exfiltration."""
+    verdicts = None
+    if sim.owns("h-dst"):
+        verdicts = [
+            ctx["appraiser"].appraise_packet(packet, compiled=ctx["policy"])
+            for packet in ctx["dst"].received_packets
+        ]
+    return {
+        "verdicts": verdicts,
+        "exfiltrated": (
+            len(ctx["spy"].received_packets) if sim.owns("h-spy") else 0
+        ),
+    }
+
+
+def _uc1_drain(sim, ctx) -> None:
+    """Barrier-synced equivalent of the monolith's flush-then-run: seal
+    epochs still open on this shard's switches so their releases (and
+    parked packets) enter the next window cycle."""
+    for switch in ctx["switches"]:
+        if sim.owns(switch.name):
+            switch.flush_epochs()
+
+
+def _run_config_assurance_sharded(
+    packets, swap_at, sampling, switch_count, batching, shards, backend, seed
+) -> ConfigAssuranceResult:
+    spec = ScenarioSpec(
+        topology=partial(_uc1_topology, switch_count),
+        build=partial(
+            _uc1_build,
+            packets=packets,
+            swap_at=swap_at,
+            sampling=sampling,
+            batching=batching,
+            switch_count=switch_count,
+        ),
+        harvest=_uc1_harvest,
+        drain=_uc1_drain if batching is not None else None,
+    )
+    result = run_sharded(spec, shards=shards, backend=backend, seed=seed)
+    verdicts = next(
+        (out["verdicts"] for out in result.outputs
+         if out["verdicts"] is not None),
+        [],
+    )
+    first_rejection = next(
+        (i for i, verdict in enumerate(verdicts) if not verdict.accepted),
+        None,
+    )
+    return ConfigAssuranceResult(
+        packets_sent=packets,
+        verdicts=verdicts,
+        first_rejection=first_rejection,
+        swap_at=swap_at,
+        exfiltrated=sum(out["exfiltrated"] for out in result.outputs),
+        sharded=result,
+    )
 
 
 # --- UC2: path evidence as an authentication factor ------------------------------

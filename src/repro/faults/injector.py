@@ -9,9 +9,20 @@ simulator's own event queue, so fault application is ordered by the
 same deterministic ``(time, seq)`` discipline as everything else.
 
 Probabilistic faults (extra loss, bit corruption) draw from the
-injector's own ``random.Random(plan.seed)`` — separate from the
-simulator's loss RNG, so attaching a fault plan never perturbs the
-baseline loss sequence of an existing scenario.
+injector's own per-directed-link streams hashed from ``plan.seed`` —
+separate from the simulator's loss RNG, so attaching a fault plan
+never perturbs the baseline loss sequence of an existing scenario,
+and keyed per link so the draw sequence is invariant under sharding
+(see :mod:`repro.net.sharding`).
+
+Sharding: the injector is shard-aware through two small simulator
+capabilities. Activations are scheduled with
+``schedule_replicated(owner_hint, ...)`` so state toggles (down links,
+loss windows, crashed nodes) flip in *every* shard that might consult
+them, while journaling, :class:`FaultStats` accounting, and node
+mutations (compromise, clock skew) happen only in the shard that
+``owns()`` the target — one logical fault, one audit event, one count,
+no matter the partitioning.
 
 Every activation lands in the audit journal as ``fault.injected`` (or
 ``fault.cleared`` for up/restart/rate-0 events), and per-packet effects
@@ -30,6 +41,7 @@ from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, link_key
 from repro.telemetry.audit import AuditKind
 from repro.util.clock import SkewedClock
 from repro.util.errors import NetworkError
+from repro.util.ids import spawn_seed
 
 #: Election id the simulated intruder arbitrates with — high enough to
 #: out-rank any honest controller that has not escalated yet.
@@ -58,7 +70,11 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self.stats = FaultStats()
-        self._rng = random.Random(plan.seed)
+        # One lazily-spawned stream per (purpose, directed link): the
+        # draws for a given link happen in its sender's causal order
+        # regardless of partitioning, so keyed streams replay
+        # identically at any shard count.
+        self._streams: Dict[Tuple[str, str], random.Random] = {}
         self._sim = None
         self._telemetry = None
         self._down_links: Set[str] = set()
@@ -80,13 +96,41 @@ class FaultInjector:
         sim.install_faults(self)
         for event in self.plan.schedule():
             delay = max(0.0, event.time_s - sim.clock.now)
-            sim.schedule(delay, lambda e=event: self._apply(e))
+            sim.schedule_replicated(
+                self._owner_hint(event), delay, lambda e=event: self._apply(e)
+            )
         return self
+
+    @staticmethod
+    def _owner_hint(event: FaultEvent) -> str:
+        """The node whose shard records (counts + journals) this event.
+
+        Link targets are ``"a|b"`` (sorted by :func:`link_key`); the
+        lexicographic min endpoint is the canonical recorder, so the
+        choice depends only on the target, never on the partitioning.
+        """
+        target = event.target
+        return min(target.split("|")) if "|" in target else target
+
+    def _stream(self, purpose: str, key: str) -> random.Random:
+        """The fault RNG for one (purpose, directed link)."""
+        stream = self._streams.get((purpose, key))
+        if stream is None:
+            stream = random.Random(
+                spawn_seed(self.plan.seed, "fault", purpose, key)
+            )
+            self._streams[(purpose, key)] = stream
+        return stream
 
     # --- activation --------------------------------------------------------
 
     def _apply(self, event: FaultEvent) -> None:
         kind, target, params = event.kind, event.target, event.params
+        # State toggles apply in every shard (any shard may consult
+        # them on its half of a cut link); accounting, journaling and
+        # node mutations happen only where the canonical recorder node
+        # is owned — one logical fault, one audit event, one count.
+        record = self._sim.owns(self._owner_hint(event))
         cleared = False
         if kind == FaultKind.LINK_DOWN:
             self._down_links.add(target)
@@ -113,15 +157,21 @@ class FaultInjector:
             self._down_nodes.discard(target)
             cleared = True
         elif kind == FaultKind.CLOCK_SKEW:
-            self._apply_clock_skew(target, float(params.get("skew_s", 0.0)))
+            if record:
+                self._apply_clock_skew(
+                    target, float(params.get("skew_s", 0.0))
+                )
         elif kind == FaultKind.SWITCH_COMPROMISE:
-            self._apply_compromise(event)
+            if record:
+                self._apply_compromise(event)
         elif kind == FaultKind.EVIDENCE_TAMPER:
             self._tamper.add(target)
         elif kind == FaultKind.EVIDENCE_STRIP_OOB:
             self._strip_oob.add(target)
         elif kind == FaultKind.EVIDENCE_STRIP_INBAND:
             self._strip_inband.add(target)
+        if not record:
+            return
         if cleared:
             self.stats.cleared += 1
         else:
@@ -185,18 +235,21 @@ class FaultInjector:
         proceeds onto the wire.
         """
         key = link_key(from_node, to_node)
+        directed = f"{from_node}>{to_node}"
         if key in self._down_links:
             self.stats.link_down_drops += 1
             return "fault_link_down", packet
         rate = self._loss.get(key, 0.0)
-        if rate > 0 and self._rng.random() < rate:
+        if rate > 0 and self._stream("loss", directed).random() < rate:
             self.stats.extra_losses += 1
             return "fault_link_loss", packet
         if key in self._strip_inband:
             packet = self._strip_records(packet)
         rate = self._corrupt.get(key, 0.0)
-        if rate > 0 and self._rng.random() < rate:
-            packet = self._corrupt_packet(packet)
+        if rate > 0:
+            rng = self._stream("corrupt", directed)
+            if rng.random() < rate:
+                packet = self._corrupt_packet(packet, rng)
         return None, packet
 
     def filter_control(
@@ -224,22 +277,24 @@ class FaultInjector:
 
     # --- per-packet mutations ----------------------------------------------
 
-    def _corrupt_packet(self, packet):
+    def _corrupt_packet(self, packet, rng: random.Random):
         """Flip one byte: payload if present, else the shim body.
 
         Same-length mutation keeps every header length field
         consistent, so corruption is a semantic fault (bad signature,
         bad digest, undecodable TLV) rather than a framing crash.
+        ``rng`` is the corrupting link's own stream, so the chosen
+        byte replays identically under sharding.
         """
         mutated = packet
         if packet.payload:
-            index = self._rng.randrange(len(packet.payload))
+            index = rng.randrange(len(packet.payload))
             payload = bytearray(packet.payload)
             payload[index] ^= 0xFF
             mutated = replace(packet, payload=bytes(payload))
         elif packet.ra_shim is not None and packet.ra_shim.body:
             shim = packet.ra_shim
-            index = self._rng.randrange(len(shim.body))
+            index = rng.randrange(len(shim.body))
             body = bytearray(shim.body)
             body[index] ^= 0xFF
             mutated = packet.with_shim(replace(shim, body=bytes(body)))

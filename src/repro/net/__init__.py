@@ -22,8 +22,15 @@ from repro.net.headers import (
     RA_UDP_PORT,
 )
 from repro.net.packet import Packet
-from repro.net.topology import Topology, Link, linear_topology, star_topology, fat_tree_topology, ring_topology
-from repro.net.simulator import Simulator, Node, PacketLogEntry
+from repro.net.topology import Topology, Link, linear_topology, star_topology, fat_tree_topology, ring_topology, leaf_spine
+from repro.net.simulator import Simulator, Node, PacketLogEntry, SimStats
+from repro.net.sharding import Partition, ShardSimulator, partition_topology
+from repro.net.shardrun import (
+    ScenarioSpec,
+    ShardedResult,
+    ShardedRunner,
+    run_sharded,
+)
 from repro.net.routing import shortest_path, all_pairs_next_hop
 from repro.net.host import Host
 from repro.net.flows import Flow, FlowGenerator
@@ -55,8 +62,17 @@ __all__ = [
     "star_topology",
     "fat_tree_topology",
     "ring_topology",
+    "leaf_spine",
     "Simulator",
+    "SimStats",
     "Node",
+    "Partition",
+    "ShardSimulator",
+    "partition_topology",
+    "ScenarioSpec",
+    "ShardedResult",
+    "ShardedRunner",
+    "run_sharded",
     "shortest_path",
     "all_pairs_next_hop",
     "Host",

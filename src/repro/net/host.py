@@ -45,6 +45,12 @@ class Host(Node):
         """
         if self.sim is None:
             raise NetworkError(f"host {self.name!r} is not bound to a simulator")
+        if not self.sim.owns(self.name):
+            # A foreign-shard replica of this host: the owning shard
+            # performs the send (and stamps the trace) — bailing before
+            # the trace stamp keeps per-origin id serials identical in
+            # every shard.
+            return packet
         tel = self.sim.telemetry
         if tel.active and packet.trace is None:
             packet = packet.with_trace(start_trace(self.name))

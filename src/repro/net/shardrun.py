@@ -1,0 +1,543 @@
+"""The sharded runner: drive N :class:`ShardSimulator` loops to one
+merged, canonical result.
+
+Two backends run the identical barrier protocol:
+
+* ``inline`` — every shard in this process, stepped round-robin. This
+  is the reference implementation and the fast path on small machines
+  (the window engine batches heap work, so even 1 "shard" under the
+  runner outruns the monolithic event loop on fabric-scale runs).
+* ``mp`` — one ``multiprocessing`` worker per shard (fork start
+  method), a pipe per worker, one message round-trip per window.
+
+Whatever the backend or shard count, the *merge* is canonical:
+:meth:`~repro.net.simulator.SimStats.merge` folds stats field-wise,
+metric snapshots merge by label
+(:func:`repro.telemetry.metrics.merge_snapshots`), and audit streams
+merge into one journal ordered by ``(sim_time, trace_id, seq)``
+(:func:`repro.telemetry.audit.merge_audit_events`). The runner
+canonicalizes even at one shard, so ``shards=1`` output is the
+byte-identical baseline the determinism tests pin 2- and 4-shard runs
+against.
+
+The scenario contract is a :class:`ScenarioSpec`: a topology (or
+factory), a ``build(sim)`` callable that constructs the *full* world
+on every shard (ownership gates make execution single-writer — see
+:mod:`repro.net.sharding`), and an optional ``harvest(sim, ctx)``
+returning a picklable per-shard output. Builds must be deterministic
+and, for the ``mp`` backend, module-level callables (or
+``functools.partial`` of one) so results can cross the pipe.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.net.sharding import (
+    KIND_PACKET,
+    Partition,
+    ShardSimulator,
+    partition_topology,
+)
+from repro.net.simulator import SimStats
+from repro.net.topology import Topology
+from repro.telemetry.audit import merge_audit_events
+from repro.telemetry.instrument import Telemetry
+from repro.telemetry.metrics import merge_snapshots
+from repro.telemetry.tracing import reset_trace_ids
+from repro.util.errors import NetworkError
+
+BACKENDS = ("inline", "mp")
+
+#: Runaway guard on the drain/resume cycle (a drain hook that keeps
+#: scheduling fresh work forever is a scenario bug, not a slow run).
+MAX_DRAIN_ROUNDS = 64
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A sharding-ready scenario: topology + full-world build + harvest.
+
+    ``topology`` may be a :class:`Topology` instance or a zero-argument
+    factory (factories rebuild per worker under ``mp``, instances are
+    shared read-only). ``build(sim)`` binds every node and schedules
+    all driving events; it runs once per shard and must be
+    deterministic. ``harvest(sim, ctx)`` extracts the per-shard output
+    (verdicts, received packets, fault stats) after finalization.
+
+    ``drain(sim, ctx)``, when given, runs after the event queues go
+    dry, with every shard's clock advanced to the same global time; it
+    may schedule fresh events (the canonical use: sealing still-open
+    evidence epochs, whose releases forward parked packets). The
+    runner then resumes the window loop, repeating until a drain round
+    leaves all shards idle — the sharded equivalent of the monolith's
+    "flush, then run() again" idiom.
+    """
+
+    topology: Union[Topology, Callable[[], Topology]]
+    build: Callable[[Any], Any]
+    harvest: Optional[Callable[[Any, Any], Any]] = None
+    drain: Optional[Callable[[Any, Any], None]] = None
+
+    def make_topology(self) -> Topology:
+        topo = self.topology() if callable(self.topology) else self.topology
+        if not isinstance(topo, Topology):
+            raise NetworkError(
+                f"scenario topology resolved to {type(topo).__name__}, "
+                "expected Topology"
+            )
+        return topo
+
+
+@dataclass
+class ShardedResult:
+    """The canonical merged output of one sharded run."""
+
+    shards: int
+    backend: str
+    stats: SimStats
+    audit_events: List[Dict[str, object]]
+    metrics: Dict[str, Dict[str, object]]
+    outputs: List[Any]
+    lookahead_s: float
+    windows: int
+    partition: Partition
+    telemetry: Optional[Telemetry] = field(default=None, repr=False)
+    #: Per-shard compute time (seconds of event processing, summed over
+    #: windows). Wall-clock measurements — deliberately *outside* the
+    #: deterministic exports.
+    shard_busy_s: List[float] = field(default_factory=list)
+
+    @property
+    def events_processed(self) -> int:
+        return self.stats.events_processed
+
+    @property
+    def critical_path_s(self) -> float:
+        """The slowest shard's compute time: what the run's wall clock
+        converges to when every shard has its own core (the standard
+        conservative-PDES capacity metric)."""
+        return max(self.shard_busy_s, default=0.0)
+
+    def audit_export(self) -> str:
+        """The merged audit journal as deterministic JSON — the byte
+        string the determinism tests compare across shard counts."""
+        return json.dumps(self.audit_events, sort_keys=True)
+
+    def stats_export(self) -> str:
+        return json.dumps(self.stats.as_dict(), sort_keys=True)
+
+
+def _worker_opts(runner: "ShardedRunner", max_events: int) -> Dict[str, Any]:
+    return {
+        "seed": runner.seed,
+        "control_latency_s": runner.control_latency_s,
+        "telemetry_active": runner.telemetry_active,
+        "max_events": max_events,
+    }
+
+
+def _build_shard(
+    spec: ScenarioSpec,
+    topology: Topology,
+    partition: Partition,
+    shard_id: int,
+    opts: Dict[str, Any],
+) -> tuple:
+    """Construct one shard's simulator and run the scenario build."""
+    telemetry = Telemetry(active=opts["telemetry_active"])
+    sim = ShardSimulator(
+        topology,
+        partition,
+        shard_id,
+        seed=opts["seed"],
+        control_latency_s=opts["control_latency_s"],
+        telemetry=telemetry,
+    )
+    ctx = spec.build(sim)
+    return sim, ctx
+
+
+def _finish_shard(
+    spec: ScenarioSpec, sim: ShardSimulator, ctx: Any, until: Optional[float]
+) -> Dict[str, Any]:
+    """Advance to ``until``, run the final barrier, and bundle the
+    shard's picklable contribution to the merge."""
+    if until is not None:
+        sim.clock.advance_to(until)
+    sim.run_barrier_hooks()
+    sim.finalize()
+    output = spec.harvest(sim, ctx) if spec.harvest is not None else None
+    return {
+        "stats": sim.stats.as_dict(),
+        "audit": [event.as_dict() for event in sim.telemetry.audit.events],
+        "metrics": sim.telemetry.metrics.snapshot(),
+        "output": output,
+        "busy_s": sim.busy_seconds,
+    }
+
+
+def _shard_worker(conn, spec, partition, shard_id, opts) -> None:
+    """The ``mp`` backend's per-shard process body.
+
+    Protocol (one pipe round-trip per window):
+
+    * worker → parent: ``("ready", next_event_time, clock_now)``
+    * parent → worker: ``("step", t_end, hard_limit, inject_entries)``
+    * worker → parent: ``("stepped", outbox, processed, next_time,
+      clock_now)``
+    * parent → worker: ``("drain", t_sync)`` — advance to the global
+      sync time, run the scenario's drain hook
+    * worker → parent: ``("drained", outbox, next_time, clock_now)``
+    * parent → worker: ``("finish", until)``
+    * worker → parent: ``("finished", bundle)`` and exit.
+
+    Any exception is shipped back as ``("error", traceback)`` so the
+    parent can fail loudly instead of hanging on a dead pipe.
+    """
+    try:
+        reset_trace_ids()
+        topology = spec.make_topology()
+        sim, ctx = _build_shard(spec, topology, partition, shard_id, opts)
+        conn.send(("ready", sim.next_event_time(), sim.clock.now))
+        while True:
+            message = conn.recv()
+            if message[0] == "step":
+                _, t_end, hard_limit, entries = message
+                sim.inject(entries)
+                processed = sim.run_window(
+                    t_end, hard_limit=hard_limit,
+                    max_events=opts["max_events"],
+                )
+                sim.run_barrier_hooks()
+                conn.send(
+                    ("stepped", sim.take_outbox(), processed,
+                     sim.next_event_time(), sim.clock.now)
+                )
+            elif message[0] == "drain":
+                sim.clock.advance_to(message[1])
+                if spec.drain is not None:
+                    spec.drain(sim, ctx)
+                conn.send(
+                    ("drained", sim.take_outbox(), sim.next_event_time(),
+                     sim.clock.now)
+                )
+            elif message[0] == "finish":
+                conn.send(
+                    ("finished", _finish_shard(spec, sim, ctx, message[1]))
+                )
+                return
+            else:
+                raise NetworkError(f"unknown runner command {message[0]!r}")
+    except Exception:
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ShardedRunner:
+    """Partition a scenario, run its shards to completion, merge."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        shards: int = 1,
+        backend: str = "inline",
+        seed: int = 0,
+        control_latency_s: float = 50e-6,
+        telemetry_active: bool = True,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise NetworkError(
+                f"unknown backend {backend!r} (choose from {BACKENDS})"
+            )
+        self.spec = spec
+        self.shards = shards
+        self.backend = backend
+        self.seed = seed
+        self.control_latency_s = control_latency_s
+        self.telemetry_active = telemetry_active
+
+    # --- public entry ---------------------------------------------------------
+
+    def run(
+        self, until: Optional[float] = None, max_events: int = 1_000_000
+    ) -> ShardedResult:
+        topology = self.spec.make_topology()
+        partition = partition_topology(
+            topology, self.shards, self.control_latency_s
+        )
+        if self.backend == "mp":
+            bundles, windows = self._run_mp(partition, until, max_events)
+        else:
+            bundles, windows = self._run_inline(
+                topology, partition, until, max_events
+            )
+        return self._merge(partition, bundles, windows)
+
+    # --- backends -------------------------------------------------------------
+
+    @staticmethod
+    def _route(partition: Partition, merged: List[tuple], pending) -> None:
+        """Canonically order the merged outboxes and route each entry
+        to its destination shard's pending queue. The sort key is the
+        entry's data prefix ``(time, kind, endpoint..., index)`` —
+        stable, total for entries from distinct endpoints, and
+        independent of which shard produced what."""
+        merged.sort(key=lambda entry: entry[:5])
+        for entry in merged:
+            target = entry[2] if entry[1] == KIND_PACKET else entry[3]
+            pending[partition.owner[target]].append(entry)
+
+    def _run_inline(self, topology, partition, until, max_events):
+        reset_trace_ids()
+        opts = _worker_opts(self, max_events)
+        sims: List[ShardSimulator] = []
+        ctxs: List[Any] = []
+        for shard_id in range(partition.shard_count):
+            sim, ctx = _build_shard(
+                self.spec, topology, partition, shard_id, opts
+            )
+            sims.append(sim)
+            ctxs.append(ctx)
+        pending: List[List[tuple]] = [[] for _ in sims]
+        windows = 0
+        drain_rounds = 0
+        while True:
+            while True:
+                start = self._next_start(
+                    [sim.next_event_time() for sim in sims], pending, until
+                )
+                if start is None:
+                    break
+                t_end = start + partition.lookahead_s
+                merged: List[tuple] = []
+                for shard_id, sim in enumerate(sims):
+                    if pending[shard_id]:
+                        sim.inject(pending[shard_id])
+                        pending[shard_id] = []
+                    sim.run_window(
+                        t_end, hard_limit=until, max_events=max_events
+                    )
+                    sim.run_barrier_hooks()
+                    merged.extend(sim.take_outbox())
+                windows += 1
+                self._route(partition, merged, pending)
+            if self.spec.drain is None:
+                break
+            drain_rounds += 1
+            if drain_rounds > MAX_DRAIN_ROUNDS:
+                raise NetworkError(
+                    "scenario drain hook kept scheduling work after "
+                    f"{MAX_DRAIN_ROUNDS} rounds"
+                )
+            t_sync = max(sim.clock.now for sim in sims)
+            merged = []
+            for sim, ctx in zip(sims, ctxs):
+                sim.clock.advance_to(t_sync)
+                self.spec.drain(sim, ctx)
+                merged.extend(sim.take_outbox())
+            self._route(partition, merged, pending)
+            if (
+                self._next_start(
+                    [sim.next_event_time() for sim in sims], pending, until
+                )
+                is None
+            ):
+                break
+        bundles = [
+            _finish_shard(self.spec, sim, ctx, until)
+            for sim, ctx in zip(sims, ctxs)
+        ]
+        return bundles, windows
+
+    @staticmethod
+    def _next_start(
+        next_times: List[Optional[float]],
+        pending: List[List[tuple]],
+        until: Optional[float],
+    ) -> Optional[float]:
+        """The next window's start time, or None when the run is over
+        (no pending work, or all of it beyond ``until``)."""
+        times = [t for t in next_times if t is not None]
+        times.extend(entry[0] for queue in pending for entry in queue)
+        if not times:
+            return None
+        start = min(times)
+        if until is not None and start > until:
+            return None
+        return start
+
+    def _run_mp(self, partition, until, max_events):
+        mp = multiprocessing.get_context("fork")
+        opts = _worker_opts(self, max_events)
+        conns = []
+        procs = []
+        try:
+            for shard_id in range(partition.shard_count):
+                parent_conn, child_conn = mp.Pipe()
+                proc = mp.Process(
+                    target=_shard_worker,
+                    args=(child_conn, self.spec, partition, shard_id, opts),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+            next_times = []
+            clocks = []
+            for conn in conns:
+                _, next_time, now = self._recv(conn, "ready")
+                next_times.append(next_time)
+                clocks.append(now)
+            pending: List[List[tuple]] = [[] for _ in conns]
+            windows = 0
+            drain_rounds = 0
+            while True:
+                while True:
+                    start = self._next_start(next_times, pending, until)
+                    if start is None:
+                        break
+                    t_end = start + partition.lookahead_s
+                    for shard_id, conn in enumerate(conns):
+                        conn.send(("step", t_end, until, pending[shard_id]))
+                        pending[shard_id] = []
+                    merged: List[tuple] = []
+                    for shard_id, conn in enumerate(conns):
+                        _, outbox, _processed, next_time, now = self._recv(
+                            conn, "stepped"
+                        )
+                        next_times[shard_id] = next_time
+                        clocks[shard_id] = now
+                        merged.extend(outbox)
+                    windows += 1
+                    self._route(partition, merged, pending)
+                if self.spec.drain is None:
+                    break
+                drain_rounds += 1
+                if drain_rounds > MAX_DRAIN_ROUNDS:
+                    raise NetworkError(
+                        "scenario drain hook kept scheduling work after "
+                        f"{MAX_DRAIN_ROUNDS} rounds"
+                    )
+                t_sync = max(clocks)
+                for conn in conns:
+                    conn.send(("drain", t_sync))
+                merged = []
+                for shard_id, conn in enumerate(conns):
+                    _, outbox, next_time, now = self._recv(conn, "drained")
+                    next_times[shard_id] = next_time
+                    clocks[shard_id] = now
+                    merged.extend(outbox)
+                self._route(partition, merged, pending)
+                if self._next_start(next_times, pending, until) is None:
+                    break
+            for conn in conns:
+                conn.send(("finish", until))
+            bundles = [self._recv(conn, "finished")[1] for conn in conns]
+            return bundles, windows
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for proc in procs:
+                proc.join(timeout=30)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+
+    @staticmethod
+    def _recv(conn, expected: str):
+        try:
+            message = conn.recv()
+        except EOFError:
+            raise NetworkError(
+                "shard worker died without reporting an error"
+            ) from None
+        if message[0] == "error":
+            raise NetworkError(f"shard worker failed:\n{message[1]}")
+        if message[0] != expected:
+            raise NetworkError(
+                f"shard worker protocol error: got {message[0]!r}, "
+                f"expected {expected!r}"
+            )
+        return message
+
+    # --- merge ----------------------------------------------------------------
+
+    def _merge(
+        self,
+        partition: Partition,
+        bundles: List[Dict[str, Any]],
+        windows: int,
+    ) -> ShardedResult:
+        stats = SimStats()
+        for bundle in bundles:
+            stats = stats.merge(SimStats(**bundle["stats"]))
+        audit = merge_audit_events(
+            [bundle["audit"] for bundle in bundles]
+        )
+        metrics = merge_snapshots(
+            [bundle["metrics"] for bundle in bundles]
+        )
+        telemetry: Optional[Telemetry] = None
+        if self.telemetry_active:
+            telemetry = Telemetry(active=True)
+            telemetry.audit.load(audit)
+            telemetry.metrics.absorb_snapshot(metrics)
+        return ShardedResult(
+            shards=partition.shard_count,
+            backend=self.backend,
+            stats=stats,
+            audit_events=audit,
+            metrics=metrics,
+            outputs=[bundle["output"] for bundle in bundles],
+            lookahead_s=partition.lookahead_s,
+            windows=windows,
+            partition=partition,
+            telemetry=telemetry,
+            shard_busy_s=[
+                float(bundle.get("busy_s", 0.0)) for bundle in bundles
+            ],
+        )
+
+
+def run_sharded(
+    spec: ScenarioSpec,
+    shards: int = 1,
+    backend: str = "inline",
+    seed: int = 0,
+    until: Optional[float] = None,
+    max_events: int = 1_000_000,
+    control_latency_s: float = 50e-6,
+    telemetry_active: bool = True,
+) -> ShardedResult:
+    """One-call convenience wrapper around :class:`ShardedRunner`."""
+    return ShardedRunner(
+        spec,
+        shards=shards,
+        backend=backend,
+        seed=seed,
+        control_latency_s=control_latency_s,
+        telemetry_active=telemetry_active,
+    ).run(until=until, max_events=max_events)
+
+
+__all__ = [
+    "BACKENDS",
+    "ScenarioSpec",
+    "ShardedResult",
+    "ShardedRunner",
+    "run_sharded",
+]

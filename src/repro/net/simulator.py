@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
@@ -44,6 +44,7 @@ from repro.telemetry.instrument import (
 from repro.telemetry.tracing import TraceContext
 from repro.util.clock import SimClock
 from repro.util.errors import NetworkError
+from repro.util.ids import spawn_seed
 from repro.util.ring import RingBuffer
 
 #: Default bound on the event trace and the packet log, each.
@@ -71,11 +72,10 @@ class Node:
         """Receive an out-of-band control message. Default: drop."""
 
 
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    action: Callable[[], None] = field(compare=False)
+# Events live on the heap as bare (time, seq, action) tuples: seq is
+# unique, so comparisons resolve before reaching the (incomparable)
+# action, and tuple ordering is several times cheaper than a dataclass
+# __lt__ on the ~1 heap op per simulated event the run loop performs.
 
 
 @dataclass(frozen=True)
@@ -108,6 +108,21 @@ class SimStats:
     #: budget (LinkGuardian-style); not counted in packets_dropped.
     local_resends: int = 0
 
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Combine two shards' stats. Every field is a pure per-shard
+        count (no averages, no shared globals), so merge is field-wise
+        addition — commutative and associative, which is what lets the
+        sharded runner fold any number of shards in any grouping and
+        get the same totals."""
+        return SimStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def as_dict(self) -> Dict[str, int]:
+        """Picklable/JSON export form (field order is declaration order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class Simulator:
     """Event loop binding node behaviours onto a :class:`Topology`."""
@@ -126,10 +141,19 @@ class Simulator:
         self.control_latency_s = control_latency_s
         self.telemetry = telemetry if telemetry is not None else default_telemetry()
         self.telemetry.bind_clock(self.clock)
-        self._rng = random.Random(seed)  # loss injection only
+        # Loss draws come from one independent stream per *directed*
+        # link, derived by hashing (seed, "loss", "node:port"). A
+        # directed link's transmissions happen in its sender's causal
+        # order no matter how the fabric is partitioned, so the draw
+        # sequence — hence every drop decision — is invariant under
+        # sharding (a single shared sequential RNG would entangle
+        # unrelated links through global event interleaving).
+        self.seed = seed
+        self._loss_streams: Dict[str, random.Random] = {}
         self._nodes: Dict[str, Node] = {}
-        self._queue: List[_Event] = []
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
+        self._barrier_hooks: List[Callable[[], None]] = []
         self._trace: RingBuffer[Tuple[float, str, str]] = RingBuffer(trace_limit)
         self.trace_enabled = False
         self.packet_log: RingBuffer[PacketLogEntry] = RingBuffer(trace_limit)
@@ -174,7 +198,66 @@ class Simulator:
         if delay < 0:
             raise NetworkError(f"cannot schedule in the past (delay {delay})")
         self._seq += 1
-        heapq.heappush(self._queue, _Event(self.clock.now + delay, self._seq, action))
+        heapq.heappush(
+            self._queue, (self.clock.now + delay, self._seq, action)
+        )
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Run ``action`` at absolute sim time ``time`` (≥ now)."""
+        self.schedule(time - self.clock.now, action)
+
+    def owns(self, name: str) -> bool:
+        """Whether this simulator is responsible for node ``name``.
+
+        The monolithic simulator owns everything; a
+        :class:`~repro.net.sharding.ShardSimulator` owns only its
+        partition's nodes. Scenario code and node behaviours consult
+        this to stay single-writer under sharding (a foreign replica
+        of a host must not originate the traffic its owner sends).
+        """
+        return True
+
+    def schedule_on(
+        self, node_name: str, delay: float, action: Callable[[], None]
+    ) -> None:
+        """Schedule scenario-driving work attributed to ``node_name``.
+
+        Same as :meth:`schedule` on the monolith; under sharding the
+        action runs only in the shard that owns ``node_name``, so a
+        scripted send fires exactly once no matter how many shards
+        replay the scenario build.
+        """
+        self.schedule(delay, action)
+
+    def schedule_replicated(
+        self, owner_hint: str, delay: float, action: Callable[[], None]
+    ) -> None:
+        """Schedule state-sync work that must run in *every* shard.
+
+        ``owner_hint`` names the node whose shard counts the event in
+        ``SimStats.events_processed`` (all other shards process it
+        uncounted), keeping the merged count invariant under
+        re-partitioning. The fault injector uses this for activations:
+        a link-down toggle must flip state wherever either endpoint
+        lives, but is one logical event.
+        """
+        self.schedule(delay, action)
+
+    def run_barrier_hooks(self) -> None:
+        """Fire every registered barrier hook (window boundaries)."""
+        for hook in self._barrier_hooks:
+            hook()
+
+    def add_barrier_hook(self, hook: Callable[[], None]) -> None:
+        """Register a hook run at every window barrier.
+
+        The monolithic engine has no windows, so hooks registered here
+        never fire in a plain :meth:`run` — but node behaviours (epoch
+        batchers, telemetry flushers) register unconditionally and get
+        barrier-synced sealing for free when the same scenario runs
+        under :class:`~repro.net.sharding.ShardSimulator`.
+        """
+        self._barrier_hooks.append(hook)
 
     def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
         """Drain the event queue; returns the number of events processed.
@@ -185,11 +268,11 @@ class Simulator:
         processed = 0
         try:
             while self._queue and processed < max_events:
-                if until is not None and self._queue[0].time > until:
+                if until is not None and self._queue[0][0] > until:
                     break
-                event = heapq.heappop(self._queue)
-                self.clock.advance_to(event.time)
-                event.action()
+                time, _seq, action = heapq.heappop(self._queue)
+                self.clock.advance_to(time)
+                action()
                 processed += 1
             if until is not None:
                 self.clock.advance_to(until)
@@ -245,7 +328,8 @@ class Simulator:
             if (
                 reason is None
                 and link.drop_rate > 0
-                and self._rng.random() < link.drop_rate
+                and self._loss_stream(from_node, out_port).random()
+                < link.drop_rate
             ):
                 reason = "link_loss"
             if reason is None:
@@ -291,8 +375,12 @@ class Simulator:
                     attempts=attempts,
                     link=link_label,
                 )
-        self._note(f"{from_node}:{out_port} -> {peer}:{peer_port} {packet!r}")
         if self.trace_enabled:
+            # Building the note (a Packet repr) is the expensive part;
+            # gate it here rather than inside _note.
+            self._note(
+                f"{from_node}:{out_port} -> {peer}:{peer_port} {packet!r}"
+            )
             if self.packet_log.append(PacketLogEntry(
                 time=self.clock.now,
                 from_node=from_node,
@@ -305,20 +393,40 @@ class Simulator:
             )):
                 self.stats.dropped_trace_entries += 1
 
-        def deliver() -> None:
-            behaviour = self._nodes.get(peer)
-            if behaviour is None:
-                self._count_drop(peer, "unbound_node", packet)
-                self._note(f"{peer} has no behaviour; dropped {packet!r}")
-                return
-            if self.faults is not None and self.faults.node_is_down(peer):
-                self._count_drop(peer, "node_down", packet)
-                self._note(f"{peer} is down; dropped {packet!r}")
-                return
-            behaviour.handle_packet(packet, peer_port)
-
-        self.schedule(delay, deliver)
+        self._schedule_packet_delivery(peer, peer_port, packet, delay)
         return True
+
+    def _loss_stream(self, from_node: str, out_port: int) -> random.Random:
+        """The loss RNG for one directed link (lazily spawned)."""
+        key = f"{from_node}:{out_port}"
+        stream = self._loss_streams.get(key)
+        if stream is None:
+            stream = random.Random(spawn_seed(self.seed, "loss", key))
+            self._loss_streams[key] = stream
+        return stream
+
+    def _schedule_packet_delivery(
+        self, peer: str, peer_port: int, packet: Packet, delay: float
+    ) -> None:
+        """Arrange for ``packet`` to hit ``peer`` after ``delay``.
+
+        Split out of :meth:`transmit` so the sharded engine can route
+        deliveries whose target lives in another shard through the
+        barrier outboxes instead of the local queue.
+        """
+        self.schedule(delay, lambda: self._deliver_packet(peer, peer_port, packet))
+
+    def _deliver_packet(self, peer: str, peer_port: int, packet: Packet) -> None:
+        behaviour = self._nodes.get(peer)
+        if behaviour is None:
+            self._count_drop(peer, "unbound_node", packet)
+            self._note(f"{peer} has no behaviour; dropped {packet!r}")
+            return
+        if self.faults is not None and self.faults.node_is_down(peer):
+            self._count_drop(peer, "node_down", packet)
+            self._note(f"{peer} is down; dropped {packet!r}")
+            return
+        behaviour.handle_packet(packet, peer_port)
 
     def drop(self, at_node: str, packet: Packet, reason: str) -> None:
         """Record an intentional drop (policy decision, TTL expiry...)."""
@@ -375,7 +483,7 @@ class Simulator:
                     f"control {sender} -> {recipient}: dropped ({reason})"
                 )
                 return False
-        if recipient not in self._nodes:
+        if not self._is_bound_anywhere(recipient):
             self._count_control_drop(recipient, "unbound_at_send", trace=trace)
             self._note(
                 f"control {sender} -> {recipient}: dropped (no behaviour bound)"
@@ -400,29 +508,56 @@ class Simulator:
                     message=type(message).__name__,
                 )
         self._note(f"control {sender} -> {recipient}: {type(message).__name__}")
-
-        def deliver() -> None:
-            behaviour = self._nodes.get(recipient)
-            if behaviour is None:
-                self._count_control_drop(
-                    recipient, "unbound_at_delivery", trace=trace
-                )
-                self._note(
-                    f"control {sender} -> {recipient}: dropped at delivery"
-                )
-                return
-            if self.faults is not None and self.faults.node_is_down(recipient):
-                self._count_control_drop(
-                    recipient, "node_down_at_delivery", trace=trace
-                )
-                self._note(
-                    f"control {sender} -> {recipient}: dropped (node down)"
-                )
-                return
-            behaviour.handle_control(sender, message)
-
-        self.schedule(self.control_latency_s, deliver)
+        self._schedule_control_delivery(sender, recipient, message, trace)
         return True
+
+    def _is_bound_anywhere(self, name: str) -> bool:
+        """Whether ``name`` has a behaviour in this world (any shard)."""
+        return name in self._nodes
+
+    def _schedule_control_delivery(
+        self,
+        sender: str,
+        recipient: str,
+        message: Any,
+        trace: Optional[TraceContext],
+    ) -> None:
+        """Arrange control delivery after the control-plane latency.
+
+        Split out of :meth:`send_control` for the same reason as
+        :meth:`_schedule_packet_delivery`: a sharded engine overrides
+        this to route cross-shard messages through barrier outboxes.
+        """
+        self.schedule(
+            self.control_latency_s,
+            lambda: self._deliver_control(sender, recipient, message, trace),
+        )
+
+    def _deliver_control(
+        self,
+        sender: str,
+        recipient: str,
+        message: Any,
+        trace: Optional[TraceContext],
+    ) -> None:
+        behaviour = self._nodes.get(recipient)
+        if behaviour is None:
+            self._count_control_drop(
+                recipient, "unbound_at_delivery", trace=trace
+            )
+            self._note(
+                f"control {sender} -> {recipient}: dropped at delivery"
+            )
+            return
+        if self.faults is not None and self.faults.node_is_down(recipient):
+            self._count_control_drop(
+                recipient, "node_down_at_delivery", trace=trace
+            )
+            self._note(
+                f"control {sender} -> {recipient}: dropped (node down)"
+            )
+            return
+        behaviour.handle_control(sender, message)
 
     def _count_control_drop(
         self,

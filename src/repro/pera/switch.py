@@ -106,6 +106,10 @@ class PeraSwitch(PisaSwitch):
         self._attest_sequence = 0
         self._cache: Optional[EvidenceCache[HopRecord]] = None
         self._batcher: Optional[EpochBatcher] = None
+        # (epoch_id, absolute deadline) of the armed epoch timer, for
+        # the sharded runner's window-barrier sweep (see
+        # :meth:`seal_overdue_epochs`).
+        self._epoch_deadline: Optional[Tuple[int, float]] = None
         # Control-plane writes invalidate cached evidence immediately.
         self.runtime.change_observers.append(self._on_control_change)
         # Evidence gate (UC3): when set, packets failing the gate drop.
@@ -118,6 +122,13 @@ class PeraSwitch(PisaSwitch):
     def on_bind(self, sim) -> None:
         super().on_bind(sim)
         self._cache = EvidenceCache(sim.clock, ttls=self.config.cache_ttls)
+        # Epoch sealing joins the window barrier under sharding: the
+        # hook catches a deadline that fell exactly at a window edge
+        # (the monolithic engine never fires barrier hooks, and the
+        # armed timer event already handles everything in-window).
+        add_hook = getattr(sim, "add_barrier_hook", None)
+        if add_hook is not None:
+            add_hook(self.seal_overdue_epochs)
 
     @property
     def cache(self) -> EvidenceCache:
@@ -459,6 +470,9 @@ class PeraSwitch(PisaSwitch):
             # Arm the epoch deadline when the first record arrives; the
             # callback is a no-op if the epoch already sealed on count.
             epoch_id = batcher.epoch_id
+            self._epoch_deadline = (
+                epoch_id, self.sim.clock.now + spec.max_delay_s
+            )
             self.sim.schedule(
                 spec.max_delay_s, lambda: self._seal_epoch_if(epoch_id)
             )
@@ -522,6 +536,25 @@ class PeraSwitch(PisaSwitch):
         """Seal any open epoch now (end of run, link teardown)."""
         if self._batcher is not None and self._batcher.open_count:
             self._seal_epoch("flush")
+
+    def seal_overdue_epochs(self) -> None:
+        """Window-barrier hook: seal the open epoch if its armed
+        deadline has passed.
+
+        Inside a lookahead window the armed timer event itself seals
+        the epoch (it sorts before any later event), so this sweep is
+        provably a no-op mid-run; it matters only when a bounded run
+        stops at ``until`` with the deadline beyond the final window.
+        Sealing here uses reason ``"timer"`` via the same
+        epoch-id-guarded path, so barrier timing can never double-seal.
+        """
+        if self._batcher is None or not self._batcher.open_count:
+            return
+        if self._epoch_deadline is None or self.sim is None:
+            return
+        epoch_id, deadline = self._epoch_deadline
+        if deadline <= self.sim.clock.now:
+            self._seal_epoch_if(epoch_id)
 
     def _on_epoch_sealed(self, sealed: SealedEpoch) -> None:
         """Account one epoch-root signature (fires before the releases)."""

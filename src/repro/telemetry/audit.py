@@ -26,7 +26,7 @@ does nothing and allocates nothing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.util.clock import SimClock
 from repro.util.ring import RingBuffer
@@ -221,6 +221,15 @@ class AuditJournal:
                 seen.append(event.trace)
         return seen
 
+    def load(self, events: Iterable["EventLike"]) -> None:
+        """Append pre-built events (merged shard streams, replays)."""
+        for event in events:
+            if not isinstance(event, AuditEvent):
+                event = event_from_dict(event)
+            self._events.append(event)
+            if event.seq > self._seq:
+                self._seq = event.seq
+
     def clear(self) -> None:
         self._events.clear()
 
@@ -239,6 +248,68 @@ class _NullJournal(AuditJournal):
 
 
 NULL_JOURNAL = _NullJournal(max_events=1)
+
+
+def event_from_dict(doc: Mapping[str, object]) -> AuditEvent:
+    """Rebuild an :class:`AuditEvent` from its :meth:`~AuditEvent.as_dict`
+    export form (the sharded runner ships events across processes as
+    dicts and rehydrates them into the parent journal)."""
+    return AuditEvent(
+        seq=int(doc["seq"]),  # type: ignore[arg-type]
+        time_s=float(doc["time_s"]),  # type: ignore[arg-type]
+        kind=str(doc["kind"]),
+        actor=str(doc["actor"]),
+        trace=doc.get("trace"),  # type: ignore[arg-type]
+        hop=doc.get("hop"),  # type: ignore[arg-type]
+        digest=doc.get("digest"),  # type: ignore[arg-type]
+        detail=dict(doc.get("detail", {}) or {}),  # type: ignore[arg-type]
+    )
+
+
+def _merge_sort_key(doc: Mapping[str, object], shard_seq: int):
+    """Canonical ordering for merged journals:
+    ``(time, trace, actor, seq)``.
+
+    Every actor is owned by exactly one shard (ownership gates), so an
+    actor's events all carry shard-local seqs from the same journal and
+    their relative order is the actor's causal order — invariant under
+    re-partitioning. Distinct actors sharing a ``(time, trace)`` group
+    are causally concurrent (an effect at another node always pays a
+    strictly positive link latency, landing at a later timestamp; a
+    cloned packet *can* put one trace at two nodes at the same instant,
+    which is exactly the concurrent case), so ordering them by name is
+    a sound canonical choice.
+    """
+    trace = doc.get("trace") or ""
+    return (
+        float(doc["time_s"]),  # type: ignore[arg-type]
+        trace,
+        str(doc.get("actor", "")),
+        shard_seq,
+    )
+
+
+def merge_audit_events(
+    shard_events: Sequence[Sequence[EventLike]],
+) -> List[Dict[str, object]]:
+    """Merge per-shard audit streams into one canonical journal.
+
+    Returns export-form dicts sorted by ``(sim_time, trace_id,
+    tiebreak)`` and renumbered ``seq`` = 1..N, so the merged stream is
+    byte-identical no matter how the fabric was partitioned — the
+    determinism contract :mod:`repro.net.shardrun` pins in tests.
+    """
+    keyed = []
+    for events in shard_events:
+        for event in events:
+            doc = event.as_dict() if isinstance(event, AuditEvent) else dict(event)
+            keyed.append((_merge_sort_key(doc, int(doc.get("seq", 0))), doc))
+    keyed.sort(key=lambda pair: pair[0])
+    merged = []
+    for new_seq, (_, doc) in enumerate(keyed, start=1):
+        doc["seq"] = new_seq
+        merged.append(doc)
+    return merged
 
 # --- the narrative renderer (shared by explain() and the report CLI) ----------
 
@@ -441,6 +512,8 @@ __all__ = [
     "NULL_JOURNAL",
     "classify_failure",
     "describe_event",
+    "event_from_dict",
     "explain_verdict",
+    "merge_audit_events",
     "narrative",
 ]

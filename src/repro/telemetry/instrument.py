@@ -267,7 +267,13 @@ def collect_simulator(telemetry: Telemetry, sim) -> None:
         g("faults.records_stripped").set(fault_stats.records_stripped)
         g("faults.control_stripped").set(fault_stats.control_stripped)
         g("faults.control_tampered").set(fault_stats.control_tampered)
+    owns = getattr(sim, "owns", None)
     for name in getattr(sim, "bound_nodes", []):
+        # Sharded runs bind foreign *replicas* for world visibility;
+        # only the owner shard reports a node, so per-node gauges
+        # appear exactly once in the merged snapshot.
+        if owns is not None and not owns(name):
+            continue
         collect_node(telemetry, sim.node(name))
 
 

@@ -39,6 +39,18 @@ def render_name(name: str, labels: LabelItems) -> str:
     return f"{name}{{{inner}}}"
 
 
+def parse_name(flat: str) -> Tuple[str, LabelItems]:
+    """Invert :func:`render_name` (labels must not contain ``,`` / ``=``)."""
+    if not flat.endswith("}") or "{" not in flat:
+        return flat, ()
+    name, _, inner = flat[:-1].partition("{")
+    items = []
+    for pair in inner.split(","):
+        key, _, value = pair.partition("=")
+        items.append((key, value))
+    return name, tuple(items)
+
+
 class Counter:
     """A monotonically increasing count (events, packets, bytes)."""
 
@@ -219,3 +231,45 @@ class MetricsRegistry:
             flat = render_name(name, labels)
             out[metric.kind + "s"][flat] = metric.snapshot()
         return out
+
+    def absorb_snapshot(self, snap: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold an exported snapshot into this registry's live metrics.
+
+        The sharded runner's merge path: each shard exports its own
+        ``snapshot()`` (a picklable dict), and the parent absorbs them
+        one by one. Counters and gauges add; histograms merge
+        bucket-wise (bucket layouts must match). Gauges are summed
+        because every simulator-level gauge in this codebase is a
+        per-shard total (packets, bytes, cache sizes) — a ratio-style
+        gauge would need its own merge rule and deserves a counter pair
+        instead.
+        """
+        for flat, value in snap.get("counters", {}).items():
+            name, labels = parse_name(flat)
+            self._get_or_create(Counter, name, labels).value += float(value)
+        for flat, value in snap.get("gauges", {}).items():
+            name, labels = parse_name(flat)
+            self._get_or_create(Gauge, name, labels).value += float(value)
+        for flat, doc in snap.get("histograms", {}).items():
+            name, labels = parse_name(flat)
+            buckets = tuple(doc["buckets"])
+            hist = self.histogram(name, buckets=buckets, **dict(labels))
+            if hist.buckets != buckets:
+                raise ValueError(
+                    f"histogram {flat!r} bucket mismatch: "
+                    f"{hist.buckets} vs {buckets}"
+                )
+            for i, count in enumerate(doc["counts"]):
+                hist.counts[i] += int(count)
+            hist.sum += float(doc["sum"])
+            hist.count += int(doc["count"])
+
+
+def merge_snapshots(
+    snapshots: Iterator[Mapping[str, Mapping[str, object]]] | List,
+) -> Dict[str, Dict[str, object]]:
+    """Merge per-shard metric snapshots into one combined snapshot."""
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.absorb_snapshot(snap)
+    return merged.snapshot()

@@ -37,14 +37,22 @@ _allocator = IdAllocator()
 
 
 def new_trace_id(origin: str = "") -> str:
-    """Allocate a deterministic trace id (stable across identical runs)."""
-    serial = _allocator.next("trace")
+    """Allocate a deterministic trace id (stable across identical runs).
+
+    Serials are per-origin, so a host's Nth trace id depends only on
+    ``(origin, N)`` — not on how sends from *other* hosts interleave
+    with its own. That makes trace ids invariant under sharding: the
+    sharded runner replays the same per-host send sequences in any
+    partitioning and gets byte-identical ids.
+    """
+    serial = _allocator.next(f"trace:{origin}")
     return short_id(f"trace|{origin}|{serial}".encode(), length=TRACE_ID_LEN)
 
 
 def reset_trace_ids() -> None:
-    """Restart the deterministic id sequence (tests and fresh runs)."""
-    _allocator.reset("trace")
+    """Restart the deterministic id sequences (tests and fresh runs)."""
+    global _allocator
+    _allocator = IdAllocator()
 
 
 @dataclass(frozen=True)

@@ -41,3 +41,19 @@ def short_id(content: bytes, length: int = 8) -> str:
     if length < 1 or length > 64:
         raise ValueError(f"short_id length {length} out of range [1, 64]")
     return hashlib.sha256(content).hexdigest()[:length]
+
+
+def spawn_seed(seed: int, *labels: object) -> int:
+    """Derive a child RNG seed from ``seed`` and a label path.
+
+    The sharded runner (and the per-target fault/loss streams) must
+    draw random numbers whose values depend only on *what* is being
+    decided — which link, which fault target, which shard — never on
+    the order decisions interleave across shards. Hash-derived child
+    seeds give every labelled consumer its own independent stream, the
+    same trick as ``random.Random.spawn`` / philox counter-based RNGs,
+    but stable across processes and Python versions (pure SHA-256).
+    """
+    material = "\x1f".join([str(seed), *[str(label) for label in labels]])
+    digest = hashlib.sha256(material.encode()).digest()
+    return int.from_bytes(digest[:8], "big")

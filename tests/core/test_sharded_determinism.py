@@ -1,0 +1,166 @@
+"""The sharded core's determinism contract, pinned end to end.
+
+Same seed => byte-identical merged outputs for 1, 2 and 4 shards, on
+both backends, for three scenarios of increasing hostility:
+
+- the leaf-spine fabric workload (pure dataplane load),
+- UC1 config assurance (attestation verdicts + epoch batching),
+- the chaos campaign (an installed :class:`~repro.faults.FaultPlan`
+  with losses, a compromise, crash/restart and clock skew).
+
+"Byte-identical" is taken literally: the comparisons below are over
+JSON strings of the merged :class:`~repro.net.simulator.SimStats`,
+the merged audit journal, metric counters and gauges, and the
+scenario's own verdict/exfiltration outputs. Timing *histograms*
+(e.g. ``core.path_appraise_seconds``) measure real wall-clock spans
+and are the one deliberate exclusion — see docs/SHARDING.md.
+
+The multiprocessing backend is exercised sparingly (one case per
+scenario): it must agree with inline, but each mp case forks workers
+and costs real wall time.
+"""
+
+import json
+
+import pytest
+
+from repro.core.chaos import run_chaos_athens
+from repro.core.fabric import FabricShape, run_fabric
+from repro.core.usecases import run_config_assurance
+from repro.pera.config import BatchingSpec
+
+SHARD_COUNTS = (1, 2, 4)
+
+FABRIC_SHAPE = FabricShape(
+    leaves=8, spines=2, hosts_per_leaf=2, flows_per_host=4
+)
+
+
+def metric_signature(result):
+    """Counters and gauges as deterministic JSON; histograms excluded
+    (the only section allowed to carry wall-clock measurements)."""
+    return json.dumps(
+        {
+            "counters": result.metrics.get("counters", {}),
+            "gauges": result.metrics.get("gauges", {}),
+        },
+        sort_keys=True,
+        default=str,
+    )
+
+
+def fabric_signature(shards, backend, chaos, seed=0):
+    run = run_fabric(
+        FABRIC_SHAPE, shards=shards, backend=backend, seed=seed, chaos=chaos
+    )
+    return json.dumps({
+        "delivered": run.delivered,
+        "stats": run.result.stats_export(),
+        "audit": run.result.audit_export(),
+        "metrics": metric_signature(run.result),
+    }, sort_keys=True)
+
+
+def uc1_signature(shards, backend, batching=None):
+    result = run_config_assurance(shards=shards, backend=backend,
+                                  batching=batching)
+    return json.dumps({
+        "verdicts": [repr(v) for v in result.verdicts],
+        "exfiltrated": result.exfiltrated,
+        "stats": result.sharded.stats_export(),
+        "audit": result.sharded.audit_export(),
+        "metrics": metric_signature(result.sharded),
+    }, sort_keys=True)
+
+
+def chaos_signature(shards, backend, seed):
+    result = run_chaos_athens(seed=seed, shards=shards, backend=backend)
+    return json.dumps({
+        "verdicts": [repr(v) for v in result.verdicts],
+        "exfiltrated": result.exfiltrated,
+        "collector_records": result.collector_records,
+        "fault_stats": result.fault_stats,
+        "ra_counters": result.ra_counters,
+        "stats": result.sharded.stats_export(),
+        "audit": result.sharded.audit_export(),
+        "metrics": metric_signature(result.sharded),
+    }, sort_keys=True, default=str)
+
+
+class TestFabricDeterminism:
+    @pytest.mark.parametrize("chaos", [False, True], ids=["plain", "chaos"])
+    def test_shard_sweep(self, chaos):
+        sigs = {s: fabric_signature(s, "inline", chaos) for s in SHARD_COUNTS}
+        assert sigs[2] == sigs[1]
+        assert sigs[4] == sigs[1]
+
+    def test_mp_backend_agrees(self):
+        assert fabric_signature(2, "mp", chaos=True) == fabric_signature(
+            2, "inline", chaos=True
+        )
+
+    def test_seeds_differ(self):
+        # The sweep would be vacuous if the signature ignored the run.
+        assert fabric_signature(2, "inline", chaos=True, seed=0) != \
+            fabric_signature(2, "inline", chaos=True, seed=3)
+
+
+class TestUC1Determinism:
+    def test_shard_sweep(self):
+        sigs = {s: uc1_signature(s, "inline") for s in SHARD_COUNTS}
+        assert sigs[2] == sigs[1]
+        assert sigs[4] == sigs[1]
+
+    def test_shard_sweep_with_batching(self):
+        # Epoch sealing rides the barrier drain hook; exercise both a
+        # count-triggered and a timer-triggered batching config.
+        for batching in (
+            BatchingSpec(max_records=4, max_delay_s=0.0),
+            BatchingSpec(max_records=6, max_delay_s=2e-3),
+        ):
+            sigs = {
+                s: uc1_signature(s, "inline", batching=batching)
+                for s in SHARD_COUNTS
+            }
+            assert sigs[2] == sigs[1]
+            assert sigs[4] == sigs[1]
+
+    def test_mp_backend_agrees(self):
+        assert uc1_signature(2, "mp") == uc1_signature(2, "inline")
+
+    def test_verdicts_match_monolith(self):
+        # The sharded entry point always runs with telemetry active,
+        # the monolith default does not — so verdict trace ids differ
+        # by construction; every semantic field must agree.
+        def semantic(v):
+            return (v.accepted, v.failures, v.records_checked,
+                    v.hop_count, v.functions_seen, v.degraded)
+
+        mono = run_config_assurance()
+        sharded = run_config_assurance(shards=4)
+        assert [semantic(v) for v in sharded.verdicts] == [
+            semantic(v) for v in mono.verdicts
+        ]
+        assert sharded.exfiltrated == mono.exfiltrated
+        assert sharded.first_rejection == mono.first_rejection
+
+
+class TestChaosDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_shard_sweep_under_fault_plan(self, seed):
+        sigs = {s: chaos_signature(s, "inline", seed) for s in SHARD_COUNTS}
+        assert sigs[2] == sigs[1]
+        assert sigs[4] == sigs[1]
+
+    def test_mp_backend_agrees(self):
+        assert chaos_signature(4, "mp", seed=0) == chaos_signature(
+            4, "inline", seed=0
+        )
+
+    def test_markers_match_monolith(self):
+        mono = run_chaos_athens(seed=0)
+        sharded = run_chaos_athens(seed=0, shards=2)
+        assert sharded.first_rejection == mono.first_rejection
+        assert sharded.recovered_at == mono.recovered_at
+        assert sharded.exfiltrated == mono.exfiltrated
+        assert sharded.collector_records == mono.collector_records

@@ -1,0 +1,366 @@
+"""Unit tests for the sharded simulation core.
+
+Covers the partitioner (balanced contiguous anchor chunks, host
+adoption, lookahead derivation), the ``leaf_spine`` canned fabric, the
+windowed shard engine with its ownership gates and lookahead guard,
+``SimStats.merge`` algebra, and the canonical audit-journal merge.
+The end-to-end byte-identity contract lives in
+``tests/core/test_sharded_determinism.py``.
+"""
+
+import random
+
+import pytest
+
+from repro.net.headers import EthernetHeader, ip_to_int
+from repro.net.host import Host
+from repro.net.packet import Packet
+from repro.net.sharding import (
+    Partition,
+    ShardSimulator,
+    partition_topology,
+)
+from repro.net.shardrun import ScenarioSpec, run_sharded
+from repro.net.simulator import Node, SimStats, Simulator
+from repro.net.topology import Topology, leaf_spine
+from repro.telemetry.audit import merge_audit_events
+from repro.util.errors import NetworkError
+
+
+def chain(n=4, latency_s=1e-6):
+    """n switches in a line, one host on each end."""
+    topo = Topology()
+    for i in range(n):
+        topo.add_node(f"s{i}")
+    topo.add_node("h-a", kind="host")
+    topo.add_node("h-b", kind="host")
+    for i in range(n - 1):
+        topo.add_link(f"s{i}", 2, f"s{i+1}", 1, latency_s=latency_s)
+    topo.add_link("h-a", 1, "s0", 1, latency_s=latency_s)
+    topo.add_link(f"s{n-1}", 3, "h-b", 1, latency_s=latency_s)
+    return topo
+
+
+class TestPartitionTopology:
+    def test_balanced_contiguous_split(self):
+        part = partition_topology(chain(4), shards=2)
+        assert part.shard_count == 2
+        assert part.nodes_of(0) == ["h-a", "s0", "s1"]
+        assert part.nodes_of(1) == ["h-b", "s2", "s3"]
+
+    def test_uneven_split_front_loads_remainder(self):
+        part = partition_topology(chain(5), shards=2)
+        # 5 anchors over 2 shards: 3 + 2.
+        assert sorted(n for n in part.nodes_of(0) if n.startswith("s")) == [
+            "s0", "s1", "s2",
+        ]
+
+    def test_hosts_adopt_their_switch_shard(self):
+        part = partition_topology(chain(4), shards=4)
+        assert part.owner["h-a"] == part.owner["s0"]
+        assert part.owner["h-b"] == part.owner["s3"]
+
+    def test_effective_count_capped_at_anchor_count(self):
+        part = partition_topology(chain(2), shards=8)
+        assert part.shard_count == 2
+
+    def test_lookahead_is_min_cut_latency(self):
+        part = partition_topology(chain(4, latency_s=3e-6), shards=2)
+        # control_latency_s default (50e-6) exceeds the 3µs cut link.
+        assert part.lookahead_s == pytest.approx(3e-6)
+        assert len(part.cut_links) == 1
+
+    def test_lookahead_capped_by_control_latency(self):
+        part = partition_topology(
+            chain(4, latency_s=3e-6), shards=2, control_latency_s=1e-6
+        )
+        assert part.lookahead_s == pytest.approx(1e-6)
+
+    def test_single_shard_has_infinite_lookahead(self):
+        part = partition_topology(chain(4), shards=1)
+        assert part.lookahead_s == float("inf")
+        assert part.cut_links == ()
+
+    def test_zero_latency_cut_rejected(self):
+        topo = Topology()
+        topo.add_node("s0")
+        topo.add_node("s1")
+        topo.add_link("s0", 1, "s1", 1, latency_s=0.0)
+        with pytest.raises(NetworkError, match="lookahead"):
+            partition_topology(topo, shards=2)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(NetworkError):
+            partition_topology(chain(2), shards=0)
+
+    def test_partition_is_deterministic(self):
+        a = partition_topology(leaf_spine(6, 2), shards=4)
+        b = partition_topology(leaf_spine(6, 2), shards=4)
+        assert a.owner == b.owner
+        assert a.lookahead_s == b.lookahead_s
+
+
+class TestLeafSpine:
+    def test_shape(self):
+        topo = leaf_spine(4, 2, hosts_per_leaf=3)
+        switches = topo.nodes_of_kind("switch")
+        hosts = topo.nodes_of_kind("host")
+        assert len(switches) == 6
+        assert len(hosts) == 12
+        # Every leaf uplinks to every spine, plus one link per host.
+        assert len(topo.links) == 4 * 2 + 12
+
+    def test_port_conventions(self):
+        topo = leaf_spine(3, 2, hosts_per_leaf=2)
+        # Leaf downlinks 1..hosts_per_leaf, uplinks after.
+        assert topo.neighbor("leaf00", 1) == ("h-leaf00-0", 1)
+        assert topo.neighbor("leaf00", 2) == ("h-leaf00-1", 1)
+        assert topo.neighbor("leaf00", 3) == ("spine00", 1)
+        assert topo.neighbor("leaf00", 4) == ("spine01", 1)
+        # Spine port 1+li faces leaf li.
+        assert topo.neighbor("spine01", 3) == ("leaf02", 4)
+
+    def test_names_zero_padded_for_lexicographic_order(self):
+        topo = leaf_spine(12, 2)
+        leaves = [n for n in topo.node_names if n.startswith("leaf")]
+        assert leaves == sorted(leaves)
+        assert "leaf02" in leaves and "leaf11" in leaves
+
+    def test_uplinks_slower_than_host_links(self):
+        topo = leaf_spine(2, 1)
+        latencies = {
+            frozenset((l.node_a, l.node_b)): l.latency_s for l in topo.links
+        }
+        assert latencies[frozenset(("leaf00", "spine00"))] > latencies[
+            frozenset(("h-leaf00-0", "leaf00"))
+        ]
+
+    def test_degenerate_shapes_rejected(self):
+        with pytest.raises(NetworkError):
+            leaf_spine(0, 1)
+        with pytest.raises(NetworkError):
+            leaf_spine(1, 0)
+        with pytest.raises(NetworkError):
+            leaf_spine(1, 1, hosts_per_leaf=-1)
+
+
+def make_packet():
+    return Packet(eth=EthernetHeader(dst=2, src=1))
+
+
+def two_host_spec():
+    """h-a on shard 0 sends one packet to h-b on shard 1."""
+    def build(sim):
+        topo_hosts = {}
+        a = Host("h-a", mac=1, ip=ip_to_int("10.0.0.1"))
+        b = Host("h-b", mac=2, ip=ip_to_int("10.0.1.1"))
+        sim.bind(a)
+        sim.bind(b)
+        for name in ("s0", "s1", "s2", "s3"):
+            sim.bind(_ForwardRight(name))
+        topo_hosts["a"], topo_hosts["b"] = a, b
+        sim.schedule_on("h-a", 0.0, lambda: a.send_udp(
+            dst_mac=2, dst_ip=b.ip, src_port=1, dst_port=2, payload=b"x",
+        ))
+        return topo_hosts
+
+    def harvest(sim, ctx):
+        return {
+            "delivered": len(ctx["b"].received) if sim.owns("h-b") else 0,
+        }
+
+    return ScenarioSpec(topology=lambda: chain(4), build=build, harvest=harvest)
+
+
+class _ForwardRight(Node):
+    """Minimal switch behaviour: everything goes out the next port."""
+
+    def handle_packet(self, packet, in_port):
+        out = 3 if self.name == "s3" else 2
+        self.sim.transmit(self.name, out, packet)
+
+
+class TestWindowedEngine:
+    def test_cross_shard_delivery(self):
+        result = run_sharded(two_host_spec(), shards=2)
+        assert sum(out["delivered"] for out in result.outputs) == 1
+        assert result.windows > 1
+
+    def test_events_match_monolith(self):
+        mono = run_sharded(two_host_spec(), shards=1)
+        duo = run_sharded(two_host_spec(), shards=2)
+        assert duo.stats.as_dict() == mono.stats.as_dict()
+        assert mono.windows == 1  # infinite lookahead: one window
+
+    def test_shard_busy_time_recorded(self):
+        result = run_sharded(two_host_spec(), shards=2)
+        assert len(result.shard_busy_s) == 2
+        assert result.critical_path_s == max(result.shard_busy_s)
+
+    def test_lookahead_violation_raises(self):
+        part = partition_topology(chain(4), shards=2)
+        sim = ShardSimulator(chain(4), part, shard_id=0)
+        sim._window_end = 1.0  # open window [0, 1)
+        with pytest.raises(NetworkError, match="lookahead violation"):
+            sim._schedule_packet_delivery("s2", 1, make_packet(), delay=0.1)
+
+    def test_bad_shard_id_rejected(self):
+        part = partition_topology(chain(4), shards=2)
+        with pytest.raises(NetworkError):
+            ShardSimulator(chain(4), part, shard_id=2)
+
+
+class TestOwnershipGates:
+    def make(self, shard_id=0):
+        topo = chain(4)
+        part = partition_topology(topo, shards=2)
+        return ShardSimulator(topo, part, shard_id=shard_id)
+
+    def test_owns(self):
+        sim = self.make(0)
+        assert sim.owns("s0") and sim.owns("h-a")
+        assert not sim.owns("s3") and not sim.owns("h-b")
+
+    def test_foreign_bind_is_replica(self):
+        sim = self.make(0)
+        b = Host("h-b", mac=2, ip=ip_to_int("10.0.1.1"))
+        sim.bind(b)
+        # Resolvable (controllers need the full world) but not owned.
+        assert sim.node("h-b") is b
+        assert "h-b" in sim.bound_nodes
+        assert not sim.owns("h-b")
+
+    def test_foreign_transmit_is_gated(self):
+        sim = self.make(0)
+        sim.bind(_ForwardRight("s3"))
+        assert sim.transmit("s3", 2, make_packet()) is True
+        assert sim.stats.packets_transmitted == 0
+
+    def test_foreign_control_send_is_gated(self):
+        sim = self.make(0)
+        assert sim.send_control("s3", "s0", {"m": 1}) is True
+        assert sim.stats.control_messages == 0
+
+    def test_schedule_on_foreign_node_is_noop(self):
+        sim = self.make(0)
+        fired = []
+        sim.schedule_on("s3", 0.0, lambda: fired.append(1))
+        sim.schedule_on("s0", 0.0, lambda: fired.append(2))
+        sim.run_window(1.0)
+        assert fired == [2]
+
+    def test_schedule_replicated_fires_everywhere(self):
+        fired = []
+        for shard_id in (0, 1):
+            sim = self.make(shard_id)
+            sim.schedule_replicated("h-a", 0.0, lambda s=shard_id: fired.append(s))
+            sim.run_window(1.0)
+        assert fired == [0, 1]
+
+    def test_double_bind_rejected(self):
+        sim = self.make(0)
+        sim.bind(Host("h-b", mac=2, ip=ip_to_int("10.0.1.1")))
+        with pytest.raises(NetworkError):
+            sim.bind(Host("h-b", mac=2, ip=ip_to_int("10.0.1.1")))
+
+    def test_monolith_simulator_gate_compat(self):
+        # The shared scenario builds rely on the monolith answering
+        # the same protocol: owns() is always true, schedule_on /
+        # schedule_replicated degrade to plain schedule.
+        sim = Simulator(chain(4))
+        assert sim.owns("s3")
+        fired = []
+        sim.schedule_on("s3", 0.0, lambda: fired.append(1))
+        sim.schedule_replicated("h-a", 0.0, lambda: fired.append(2))
+        sim.run()
+        assert sorted(fired) == [1, 2]
+
+
+class TestSimStatsMerge:
+    def random_stats(self, rng):
+        from dataclasses import fields
+        return SimStats(**{f.name: rng.randrange(1000) for f in fields(SimStats)})
+
+    def test_merge_round_trip_property(self):
+        """Splitting counts across shards and merging in any grouping
+        reproduces the monolith totals — 50 random trials."""
+        from dataclasses import fields
+        rng = random.Random(1234)
+        for _ in range(50):
+            parts = [self.random_stats(rng) for _ in range(rng.randrange(2, 6))]
+            expected = {
+                f.name: sum(getattr(p, f.name) for p in parts)
+                for f in fields(SimStats)
+            }
+            # Left fold.
+            folded = parts[0]
+            for p in parts[1:]:
+                folded = folded.merge(p)
+            assert folded.as_dict() == expected
+            # Random grouping (tree fold over a shuffled order).
+            shuffled = parts[:]
+            rng.shuffle(shuffled)
+            while len(shuffled) > 1:
+                i = rng.randrange(len(shuffled) - 1)
+                shuffled[i : i + 2] = [shuffled[i].merge(shuffled[i + 1])]
+            assert shuffled[0].as_dict() == expected
+
+    def test_merge_identity(self):
+        stats = SimStats(packets_transmitted=7, events_processed=3)
+        merged = stats.merge(SimStats())
+        assert merged.as_dict() == stats.as_dict()
+
+    def test_merge_does_not_mutate(self):
+        a = SimStats(packets_transmitted=1)
+        b = SimStats(packets_transmitted=2)
+        a.merge(b)
+        assert a.packets_transmitted == 1
+        assert b.packets_transmitted == 2
+
+
+def _event(time_s, actor, seq, trace=None, kind="k"):
+    return {
+        "seq": seq,
+        "time_s": time_s,
+        "kind": kind,
+        "actor": actor,
+        "trace": trace,
+        "hop": None,
+        "digest": None,
+        "detail": {},
+    }
+
+
+class TestAuditMerge:
+    def test_orders_by_time_then_trace_then_actor(self):
+        merged = merge_audit_events([
+            [_event(2.0, "b", 1), _event(1.0, "b", 2, trace="t2")],
+            [_event(1.0, "a", 1, trace="t1")],
+        ])
+        assert [(e["time_s"], e["actor"]) for e in merged] == [
+            (1.0, "a"), (1.0, "b"), (2.0, "b"),
+        ]
+        assert [e["seq"] for e in merged] == [1, 2, 3]
+
+    def test_per_actor_order_preserved(self):
+        # One actor's events keep their journal (causal) order even
+        # when timestamps tie.
+        merged = merge_audit_events([
+            [_event(1.0, "a", 1, kind="first"), _event(1.0, "a", 2, kind="second")],
+        ])
+        assert [e["kind"] for e in merged] == ["first", "second"]
+
+    def test_partition_invariance(self):
+        """The merged journal is identical no matter how actors are
+        distributed over shards."""
+        a = [_event(1.0, "a", 1), _event(1.5, "a", 2)]
+        b = [_event(1.0, "b", 1), _event(2.0, "b", 2)]
+        one_shard = merge_audit_events([
+            sorted(a + b, key=lambda e: (e["time_s"], e["actor"]))
+        ])
+        # Renumber the single-journal seqs the way one shard would
+        # have assigned them.
+        for seq, event in enumerate(one_shard, start=1):
+            event["seq"] = seq
+        two_shards = merge_audit_events([a, b])
+        assert one_shard == two_shards
