@@ -4,8 +4,9 @@ Compares a fresh ``BENCH_results.json`` against a committed baseline
 and fails (exit 1) when any watched benchmark's median slowed down by
 more than the threshold (default 25%). Watched benchmarks are the
 hot-path suites the repository makes throughput claims about:
-``bench_fig3_pipeline``, ``bench_substrate_crypto``, and the sharded
-event-core scaling run ``bench_shard_scaling``.
+``bench_fig3_pipeline``, ``bench_substrate_crypto``, the sharded
+event-core scaling run ``bench_shard_scaling``, and the million-packet
+fat-tree campaign ``bench_fabric_traffic``.
 
 Usage::
 
@@ -30,6 +31,7 @@ WATCHED_MODULES = (
     "bench_fig3_pipeline",
     "bench_substrate_crypto",
     "bench_shard_scaling",
+    "bench_fabric_traffic",
 )
 
 

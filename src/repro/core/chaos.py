@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields as dataclass_fields
 from functools import partial
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,
@@ -58,6 +58,7 @@ from repro.pisa.runtime import TableEntry
 from repro.pisa.tables import MatchKey, MatchKind
 from repro.telemetry.instrument import Telemetry
 from repro.telemetry.tracing import reset_trace_ids
+from repro.util.ids import spawn_seed
 
 _PACKET_GAP_S = 1e-3
 
@@ -184,9 +185,21 @@ def _chaos_plan(
     return plan
 
 
-def _chaos_build(sim, packets: int, swap_at: int, reprovision_at: int):
+def _chaos_build(
+    sim,
+    packets: int,
+    swap_at: int,
+    reprovision_at: Optional[int],
+    plan_factory: Optional[Callable[[int], FaultPlan]] = None,
+):
     """Bind the full chaos deployment into ``sim`` and schedule its
     driving events.
+
+    ``plan_factory`` (called with ``sim.seed``) swaps the default
+    Athens plan for any other :class:`FaultPlan` over the same
+    deployment — the fault-matrix campaigns replay one fault family at
+    a time this way. ``reprovision_at=None`` skips the operator's
+    scripted recovery.
 
     Works on the monolithic :class:`Simulator` (where ``schedule_on`` /
     ``schedule_replicated`` are plain ``schedule``) and on a
@@ -261,14 +274,22 @@ def _chaos_build(sim, packets: int, swap_at: int, reprovision_at: int):
     controller = RoutingController(sim, name="ctl", election_id=1)
 
     t = lambda index: index * _PACKET_GAP_S  # noqa: E731
-    plan = _chaos_plan(sim.seed, packets, swap_at, reprovision_at)
+    if plan_factory is None:
+        plan = _chaos_plan(sim.seed, packets, swap_at, reprovision_at)
+    else:
+        plan = plan_factory(sim.seed)
     injector = FaultInjector(plan)
     injector.attach(sim)
 
-    # The operator notices the rejections and reprovisions the switch.
-    sim.schedule_on("s1", t(reprovision_at), lambda: controller.reprovision(
-        "s1", program_factory=firewall_program
-    ))
+    if reprovision_at is not None:
+        # The operator notices the rejections and reprovisions.
+        sim.schedule_on(
+            "s1",
+            t(reprovision_at),
+            lambda: controller.reprovision(
+                "s1", program_factory=firewall_program
+            ),
+        )
 
     for index in range(packets):
         sim.schedule_replicated(
@@ -320,9 +341,10 @@ def run_chaos_athens(
     seed: int = 0,
     packets: int = 30,
     swap_at: int = 10,
-    reprovision_at: int = 16,
+    reprovision_at: Optional[int] = 16,
     shards: Optional[int] = None,
     backend: str = "inline",
+    plan_factory: Optional[Callable[[int], FaultPlan]] = None,
 ) -> ChaosResult:
     """UC1 under chaos: flapping links, a compromise, a crashed
     appraiser, corruption — and recovery from all of them.
@@ -338,13 +360,18 @@ def run_chaos_athens(
     """
     if shards is not None:
         return _run_chaos_sharded(
-            seed, packets, swap_at, reprovision_at, shards, backend
+            seed, packets, swap_at, reprovision_at, shards, backend,
+            plan_factory,
         )
     reset_trace_ids()  # byte-identical replay needs a fresh id sequence
     telemetry = Telemetry(active=True)
     sim = Simulator(_chaos_topology(), seed=seed, telemetry=telemetry)
     ctx = _chaos_build(
-        sim, packets=packets, swap_at=swap_at, reprovision_at=reprovision_at
+        sim,
+        packets=packets,
+        swap_at=swap_at,
+        reprovision_at=reprovision_at,
+        plan_factory=plan_factory,
     )
     sim.run()
 
@@ -398,9 +425,10 @@ def _run_chaos_sharded(
     seed: int,
     packets: int,
     swap_at: int,
-    reprovision_at: int,
+    reprovision_at: Optional[int],
     shards: int,
     backend: str,
+    plan_factory: Optional[Callable[[int], FaultPlan]] = None,
 ) -> ChaosResult:
     spec = ScenarioSpec(
         topology=_chaos_topology,
@@ -409,6 +437,7 @@ def _run_chaos_sharded(
             packets=packets,
             swap_at=swap_at,
             reprovision_at=reprovision_at,
+            plan_factory=plan_factory,
         ),
         harvest=_chaos_harvest,
     )
@@ -437,13 +466,153 @@ def _run_chaos_sharded(
         ),
         stats=result.stats,
         fault_stats=fault_stats,
-        plan=_chaos_plan(seed, packets, swap_at, reprovision_at),
+        plan=(
+            _chaos_plan(seed, packets, swap_at, reprovision_at)
+            if plan_factory is None else plan_factory(seed)
+        ),
         telemetry=result.telemetry,
         ra_counters={
             name: ra_counters[name] for name in sorted(ra_counters)
         },
         sharded=result,
     )
+
+
+# --- fault matrix -----------------------------------------------------------
+#
+# One fault family at a time over the same chaos deployment: each kind
+# gets a minimal single-fault plan and an expected protocol signal, so
+# a sweep both exercises every resilience mechanism in isolation and
+# *proves* each one actually fired — a campaign that quietly injects
+# nothing would fail its own predicate, not pass vacuously.
+
+_MATRIX_KINDS: Tuple[str, ...] = (
+    "link_loss",
+    "link_flap",
+    "compromise",
+    "appraiser_outage",
+    "corruption",
+    "clock_skew",
+    "evidence_strip",
+)
+
+_MATRIX_SIGNALS: Dict[str, str] = {
+    "link_loss": "dataplane drops or local resends observed",
+    "link_flap": "dataplane drops or local resends observed",
+    "compromise": "appraisal rejects evidence after the swap",
+    "appraiser_outage": "out-of-band mirror retry/backoff engaged",
+    "corruption": "corrupted evidence rejected (never crashed)",
+    "clock_skew": "fault injected; appraisals keep concluding",
+    "evidence_strip": "stripped evidence detected at appraisal",
+}
+
+
+def fault_matrix_kinds() -> Tuple[str, ...]:
+    """The fault families :func:`run_fault_matrix` sweeps by default."""
+    return _MATRIX_KINDS
+
+
+def _matrix_plan(seed: int, packets: int, kind: str) -> FaultPlan:
+    """A single-fault plan of family ``kind`` over the chaos topology."""
+    t = lambda index: index * _PACKET_GAP_S  # noqa: E731
+    mid = packets // 2
+    plan = FaultPlan(seed=seed)
+    if kind == "link_loss":
+        plan.link_loss(t(2), "s1", "s2", rate=0.45)
+        plan.link_loss(t(max(3, packets - 4)), "s1", "s2", rate=0.0)
+    elif kind == "link_flap":
+        plan.link_flap(
+            t(3), "s1", "s2", down_s=0.4e-3, up_s=1.1e-3, cycles=3
+        )
+    elif kind == "compromise":
+        plan.compromise_switch(
+            t(mid), "s1", athens_rogue_program, configure=_rogue_configure
+        )
+    elif kind == "appraiser_outage":
+        plan.crash_node(t(2), "collector")
+        plan.restart_node(t(max(3, packets - 6)), "collector")
+    elif kind == "corruption":
+        plan.corrupt_packets(
+            t(mid), "s2", "h-dst", rate=1.0, duration_s=3 * _PACKET_GAP_S
+        )
+    elif kind == "clock_skew":
+        plan.clock_skew(t(mid), "s2", skew_s=120.0)
+    elif kind == "evidence_strip":
+        plan.strip_inband(t(mid), "s2", "h-dst")
+    else:
+        raise ValueError(f"unknown fault-matrix kind {kind!r}")
+    return plan
+
+
+def _matrix_signal_seen(kind: str, result: ChaosResult) -> bool:
+    if kind in ("link_loss", "link_flap"):
+        return (
+            result.stats.packets_dropped + result.stats.local_resends
+        ) > 0
+    if kind == "compromise":
+        return result.first_rejection is not None
+    if kind == "appraiser_outage":
+        return any(
+            counters.get("oob_send_failures", 0)
+            + counters.get("oob_retries", 0)
+            + counters.get("oob_gave_up", 0) > 0
+            for counters in result.ra_counters.values()
+        )
+    if kind in ("corruption", "evidence_strip"):
+        return any(not verdict.accepted for verdict in result.verdicts)
+    if kind == "clock_skew":
+        return result.fault_stats.injected > 0 and bool(result.verdicts)
+    return False
+
+
+@dataclass
+class FaultMatrixEntry:
+    """One fault family's run plus its expected-signal check."""
+
+    kind: str
+    signal: str
+    signal_seen: bool
+    result: ChaosResult
+
+
+def run_fault_matrix(
+    seed: int = 0,
+    packets: int = 18,
+    shards: Optional[int] = None,
+    backend: str = "inline",
+    kinds: Optional[Sequence[str]] = None,
+) -> Dict[str, FaultMatrixEntry]:
+    """Sweep the fault matrix: one single-fault campaign per family.
+
+    Each campaign replays the chaos deployment under exactly one
+    injected fault family (its RNG stream keyed off ``seed`` and the
+    kind, so families are independent and shard-count-invariant) and
+    records whether the family's expected protocol signal actually
+    appeared. ``shards``/``backend`` run every campaign under the
+    sharded runner, which is how CI's chaos-smoke job replays the
+    matrix on the multiprocessing backend.
+    """
+    entries: Dict[str, FaultMatrixEntry] = {}
+    for kind in (kinds if kinds is not None else _MATRIX_KINDS):
+        result = run_chaos_athens(
+            seed=spawn_seed(seed, "fault-matrix", kind),
+            packets=packets,
+            swap_at=packets // 2,
+            reprovision_at=(
+                max(packets - 4, packets // 2 + 1)
+                if kind == "compromise" else None
+            ),
+            shards=shards,
+            backend=backend,
+            plan_factory=partial(_matrix_plan, packets=packets, kind=kind),
+        )
+        entries[kind] = FaultMatrixEntry(
+            kind=kind,
+            signal=_MATRIX_SIGNALS[kind],
+            signal_seen=_matrix_signal_seen(kind, result),
+            result=result,
+        )
+    return entries
 
 
 @dataclass

@@ -22,7 +22,17 @@ from repro.net.headers import (
     RA_UDP_PORT,
 )
 from repro.net.packet import Packet
-from repro.net.topology import Topology, Link, linear_topology, star_topology, fat_tree_topology, ring_topology, leaf_spine
+from repro.net.topology import (
+    Topology,
+    Link,
+    linear_topology,
+    star_topology,
+    fat_tree,
+    fat_tree_topology,
+    fabric_pod_map,
+    ring_topology,
+    leaf_spine,
+)
 from repro.net.simulator import Simulator, Node, PacketLogEntry, SimStats
 from repro.net.sharding import Partition, ShardSimulator, partition_topology
 from repro.net.shardrun import (
@@ -31,7 +41,16 @@ from repro.net.shardrun import (
     ShardedRunner,
     run_sharded,
 )
-from repro.net.routing import shortest_path, all_pairs_next_hop
+from repro.net.routing import (
+    EcmpSelector,
+    FlowletTable,
+    RoutingMode,
+    all_pairs_next_hop,
+    all_pairs_next_hops,
+    predict_multipath_path,
+    shortest_path,
+    stable_flow_hash,
+)
 from repro.net.host import Host
 from repro.net.flows import Flow, FlowGenerator
 from repro.net.trace import TraceAnalysis
@@ -60,7 +79,9 @@ __all__ = [
     "Link",
     "linear_topology",
     "star_topology",
+    "fat_tree",
     "fat_tree_topology",
+    "fabric_pod_map",
     "ring_topology",
     "leaf_spine",
     "Simulator",
@@ -75,6 +96,12 @@ __all__ = [
     "run_sharded",
     "shortest_path",
     "all_pairs_next_hop",
+    "all_pairs_next_hops",
+    "predict_multipath_path",
+    "stable_flow_hash",
+    "EcmpSelector",
+    "FlowletTable",
+    "RoutingMode",
     "Host",
     "Flow",
     "FlowGenerator",

@@ -9,11 +9,11 @@ control-plane scripting workflow. Works with any switch class built on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.faults.retry import RetryPolicy
 from repro.net.host import Host
-from repro.net.routing import shortest_path
+from repro.net.routing import all_pairs_next_hops, shortest_path
 from repro.net.simulator import Simulator
 from repro.pisa.program import DataplaneProgram
 from repro.pisa.programs import ipv4_forwarding_program
@@ -97,6 +97,72 @@ class RoutingController:
                 ),),
                 action="forward", params=(port,),
             ))
+            written += 1
+        return written
+
+    def install_multipath_routes(
+        self,
+        destinations: Optional[Sequence[Tuple[str, int]]] = None,
+        table: str = "ipv4_lpm",
+        next_hops: Optional[
+            Dict[Tuple[str, str], Tuple[int, ...]]
+        ] = None,
+    ) -> int:
+        """Write ECMP next-hop sets: groups plus /32 entries; returns
+        the number of entries written.
+
+        ``destinations`` is ``[(host_name, host_ip), ...]`` (defaults
+        to every bound host). For each switch and destination the
+        equal-cost egress port set comes from
+        :func:`~repro.net.routing.all_pairs_next_hops` (pass
+        ``next_hops`` to reuse a precomputed table); a single-member
+        set becomes a plain ``forward`` entry, a multi-member set
+        becomes a ``write_group`` + ``ecmp_select`` entry. Group ids
+        are per-switch ordinals over the sorted destination list, so
+        every shard computes identical ids. The program installed must
+        allow ``ecmp_select`` in ``table``
+        (:func:`~repro.pisa.programs.fabric_multipath_program`).
+        """
+        if destinations is None:
+            destinations = [(h.name, h.ip) for h in self.hosts()]
+        dsts = sorted(destinations)
+        if next_hops is None:
+            next_hops = all_pairs_next_hops(
+                self.sim.topology, [name for name, _ip in dsts]
+            )
+        written = 0
+        for switch in self.switches():
+            written += self._install_multipath_on(
+                switch, dsts, next_hops, table, self.name
+            )
+        return written
+
+    def _install_multipath_on(
+        self,
+        switch: PisaSwitch,
+        dsts: Sequence[Tuple[str, int]],
+        next_hops: Dict[Tuple[str, str], Tuple[int, ...]],
+        table: str,
+        as_controller: str,
+    ) -> int:
+        written = 0
+        for group_id, (host_name, host_ip) in enumerate(dsts, start=1):
+            members = next_hops.get((switch.name, host_name))
+            if not members:
+                continue
+            key = MatchKey(MatchKind.LPM, host_ip, prefix_len=32)
+            if len(members) == 1:
+                entry = TableEntry(
+                    table=table, keys=(key,),
+                    action="forward", params=(members[0],),
+                )
+            else:
+                switch.runtime.write_group(as_controller, group_id, members)
+                entry = TableEntry(
+                    table=table, keys=(key,),
+                    action="ecmp_select", params=(group_id,),
+                )
+            switch.runtime.write(as_controller, entry)
             written += 1
         return written
 

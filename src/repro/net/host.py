@@ -35,13 +35,17 @@ class Host(Node):
 
     # --- sending ------------------------------------------------------------
 
-    def send(self, packet: Packet) -> Packet:
+    def send(self, packet: Packet, traced: bool = True) -> Packet:
         """Transmit ``packet`` out of the host's single port.
 
         When telemetry is active the host is a trace origin: packets
         leaving without a :class:`TraceContext` get a fresh one stamped
         here, so every downstream span/audit event joins back to this
         send. Returns the packet as transmitted (trace attached).
+        Pass ``traced=False`` to skip the origin stamp — bulk workload
+        traffic at fabric scale would otherwise mint millions of
+        traces and overflow the audit ring, drowning the attested
+        flows the journal exists to explain.
         """
         if self.sim is None:
             raise NetworkError(f"host {self.name!r} is not bound to a simulator")
@@ -52,7 +56,7 @@ class Host(Node):
             # every shard.
             return packet
         tel = self.sim.telemetry
-        if tel.active and packet.trace is None:
+        if tel.active and traced and packet.trace is None:
             packet = packet.with_trace(start_trace(self.name))
             tel.audit_event(
                 AuditKind.TRACE_STARTED,
@@ -73,6 +77,7 @@ class Host(Node):
         dst_port: int,
         payload: bytes = b"",
         ra_shim: Optional[RaShimHeader] = None,
+        traced: bool = True,
     ) -> Packet:
         """Build and send a UDP packet from this host; returns it."""
         packet = Packet.udp_packet(
@@ -85,7 +90,7 @@ class Host(Node):
             payload=payload,
             ra_shim=ra_shim,
         )
-        return self.send(packet)
+        return self.send(packet, traced=traced)
 
     # --- receiving ------------------------------------------------------------
 

@@ -47,7 +47,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.simulator import Node, Simulator
-from repro.net.topology import Link, Topology
+from repro.net.topology import Link, Topology, fabric_pod_map
 from repro.telemetry.tracing import TraceContext
 from repro.util.errors import NetworkError
 
@@ -78,8 +78,59 @@ class Partition:
         return sorted(n for n, s in self.owner.items() if s == shard_id)
 
 
+def _assign_pod_groups(
+    anchors: List[str],
+    pods: Mapping[str, str],
+    shards: int,
+    owner: Dict[str, int],
+) -> int:
+    """Chunk pod groups onto shards, balancing anchor counts.
+
+    Groups (pods, plus singletons for unmapped anchors) are ordered by
+    their smallest member name and assigned contiguously: a shard
+    keeps taking whole groups while that moves its size strictly
+    closer to the running balance target, always leaving at least one
+    group per remaining shard. Returns the effective shard count.
+    """
+    by_tag: Dict[str, List[str]] = {}
+    for name in anchors:
+        by_tag.setdefault(pods.get(name, name), []).append(name)
+    groups = [
+        by_tag[tag] for tag in sorted(by_tag, key=lambda t: min(by_tag[t]))
+    ]
+    effective = min(shards, len(groups))
+    remaining = len(anchors)
+    gi = 0
+    for shard in range(effective):
+        remaining_shards = effective - shard
+        target = remaining / remaining_shards
+        took = 0
+        while gi < len(groups):
+            size = len(groups[gi])
+            if took > 0 and shard < effective - 1:
+                groups_left_if_skipped = len(groups) - gi
+                if groups_left_if_skipped <= remaining_shards - 1:
+                    break
+                if abs(took + size - target) >= abs(took - target):
+                    break
+            for name in groups[gi]:
+                owner[name] = shard
+            took += size
+            gi += 1
+            if (
+                shard < effective - 1
+                and len(groups) - gi == remaining_shards - 1
+            ):
+                break
+        remaining -= took
+    return effective
+
+
 def partition_topology(
-    topology: Topology, shards: int, control_latency_s: float = 50e-6
+    topology: Topology,
+    shards: int,
+    control_latency_s: float = 50e-6,
+    pods: Optional[Mapping[str, str]] = None,
 ) -> Partition:
     """Split ``topology`` into ``shards`` balanced switch groups.
 
@@ -90,11 +141,22 @@ def partition_topology(
     shard of their lowest-named assigned neighbor, so an edge host
     never sits across a one-hop boundary from its switch.
 
-    The effective shard count is capped at the anchor count; asking
-    for 4 shards of a 2-switch chain yields 2. A cut link with zero
-    latency (or a non-positive control latency) would make the
-    lookahead window empty — that is a configuration error, reported
-    as :class:`NetworkError` rather than a silent livelock.
+    ``pods`` optionally groups anchors into atomic units a shard
+    boundary never splits: a fat-tree pod's edge and aggregation
+    switches stay together, so the only cut links are pod–core
+    uplinks (whose latency then sets the lookahead window). When
+    ``pods`` is ``None`` the grouping is inferred from
+    :func:`repro.net.topology.fabric_pod_map`, which returns an empty
+    map for anything but :func:`~repro.net.topology.fat_tree`-style
+    names — legacy topologies keep the exact per-anchor chunking.
+    Unmapped anchors form singleton groups.
+
+    The effective shard count is capped at the anchor count (group
+    count when pods apply); asking for 4 shards of a 2-switch chain
+    yields 2. A cut link with zero latency (or a non-positive control
+    latency) would make the lookahead window empty — that is a
+    configuration error, reported as :class:`NetworkError` rather
+    than a silent livelock.
     """
     if shards < 1:
         raise NetworkError(f"shard count must be >= 1, got {shards}")
@@ -102,15 +164,20 @@ def partition_topology(
     anchors = [n for n in names if topology.kind_of(n) != "host"]
     if not anchors:
         anchors = list(names)
-    effective = min(shards, len(anchors))
+    if pods is None:
+        pods = fabric_pod_map(topology)
     owner: Dict[str, int] = {}
-    base, extra = divmod(len(anchors), effective)
-    start = 0
-    for shard in range(effective):
-        size = base + (1 if shard < extra else 0)
-        for name in anchors[start : start + size]:
-            owner[name] = shard
-        start += size
+    if pods:
+        effective = _assign_pod_groups(anchors, pods, shards, owner)
+    else:
+        effective = min(shards, len(anchors))
+        base, extra = divmod(len(anchors), effective)
+        start = 0
+        for shard in range(effective):
+            size = base + (1 if shard < extra else 0)
+            for name in anchors[start : start + size]:
+                owner[name] = shard
+            start += size
     for name in names:
         if name in owner:
             continue

@@ -8,6 +8,7 @@ switches, or adversarial nodes.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -220,23 +221,28 @@ def leaf_spine(
     leaf_spine_latency_s: float = 2e-6,
     host_latency_s: float = 1e-6,
     bandwidth_bps: float = 10e9,
+    parallel_links: int = 1,
 ) -> Topology:
     """A two-tier leaf–spine fabric: every leaf uplinks to every spine.
 
     Names: leaves ``leaf0..``, spines ``spine0..``, hosts
     ``h-<leaf>-<i>`` (zero-padded so lexicographic order == numeric
     order — the shard partitioner groups by sorted names). Ports on a
-    leaf: downlinks ``1..hosts_per_leaf``, then uplinks
-    ``hosts_per_leaf+1 ..`` towards ``spine0..``; port ``1+j`` on a
-    spine faces ``leaf<j>``. Leaf–spine links default to a slightly
-    higher latency than host links: the fabric's min cross-shard
-    latency sets the conservative lookahead window, and uplinks are
-    the natural shard cut.
+    leaf: downlinks ``1..hosts_per_leaf``, then ``parallel_links``
+    uplinks per spine at ``hosts_per_leaf+1 + si*parallel_links + p``
+    towards ``spine<si>``; a spine faces ``leaf<li>`` on ports
+    ``1 + li*parallel_links + p``. With ``parallel_links == 1`` this
+    reduces exactly to the original single-link convention. Leaf–spine
+    links default to a slightly higher latency than host links: the
+    fabric's min cross-shard latency sets the conservative lookahead
+    window, and uplinks are the natural shard cut.
     """
     if leaves < 1 or spines < 1:
         raise NetworkError("leaf_spine needs at least one leaf and one spine")
     if hosts_per_leaf < 0:
         raise NetworkError(f"negative hosts_per_leaf: {hosts_per_leaf}")
+    if parallel_links < 1:
+        raise NetworkError(f"parallel_links must be >= 1, got {parallel_links}")
     topo = Topology()
     width = max(2, len(str(max(leaves, spines) - 1)))
     leaf_names = [f"leaf{i:0{width}d}" for i in range(leaves)]
@@ -245,14 +251,15 @@ def leaf_spine(
         topo.add_node(name, kind="switch")
     for li, leaf in enumerate(leaf_names):
         for si, spine in enumerate(spine_names):
-            topo.add_link(
-                leaf,
-                hosts_per_leaf + 1 + si,
-                spine,
-                1 + li,
-                leaf_spine_latency_s,
-                bandwidth_bps,
-            )
+            for p in range(parallel_links):
+                topo.add_link(
+                    leaf,
+                    hosts_per_leaf + 1 + si * parallel_links + p,
+                    spine,
+                    1 + li * parallel_links + p,
+                    leaf_spine_latency_s,
+                    bandwidth_bps,
+                )
         for i in range(hosts_per_leaf):
             host = f"h-{leaf}-{i}"
             topo.add_node(host, kind="host")
@@ -260,6 +267,111 @@ def leaf_spine(
                 leaf, 1 + i, host, 1, host_latency_s, bandwidth_bps
             )
     return topo
+
+
+def fat_tree(
+    k: int = 4,
+    hosts_per_edge: Optional[int] = None,
+    host_latency_s: float = 1e-6,
+    fabric_latency_s: float = 2e-6,
+    bandwidth_bps: float = 10e9,
+) -> Topology:
+    """A k-ary fat-tree with pod-contiguous, shard-friendly names.
+
+    Layout (k even): k pods of k/2 edge + k/2 aggregation switches,
+    (k/2)^2 cores, and ``hosts_per_edge`` (default k/2) hosts per edge
+    switch. Unlike :func:`fat_tree_topology`, names sort pod-by-pod —
+    ``p<pod>a<i>`` / ``p<pod>e<i>`` (aggregation before edge within a
+    pod) with cores last as ``zcore<idx>`` — so the shard
+    partitioner's sorted-contiguous chunking, and especially the
+    pod-aware grouping built on :func:`fabric_pod_map`, keeps each
+    pod's switches in one shard and cuts the fabric only at
+    pod–core boundaries.
+
+    Ports: edge downlinks ``1..hosts_per_edge`` (host ``j`` on
+    ``1+j``), edge uplink to aggregation ``ai`` on
+    ``hosts_per_edge+1+ai``; aggregation downlink to edge ``ei`` on
+    ``1+ei``, uplink ``j`` on ``k/2+1+j`` to core ``ai*(k/2)+j``; a
+    core faces pod ``p`` on port ``1+p``. Hosts are named
+    ``h-<edge>-<j>``. Intra-fabric links use ``fabric_latency_s``
+    (the conservative-lookahead floor for pod cuts), host links
+    ``host_latency_s``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise NetworkError(f"fat-tree parameter k must be even and >= 2, got {k}")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+    if hosts_per_edge < 0:
+        raise NetworkError(f"negative hosts_per_edge: {hosts_per_edge}")
+    topo = Topology()
+    pw = max(2, len(str(k - 1)))
+    sw = max(2, len(str(half - 1)))
+    cw = max(2, len(str(half * half - 1)))
+    core_names = [f"zcore{i:0{cw}d}" for i in range(half * half)]
+    for name in core_names:
+        topo.add_node(name, kind="switch")
+    for pod in range(k):
+        aggs = [f"p{pod:0{pw}d}a{i:0{sw}d}" for i in range(half)]
+        edges = [f"p{pod:0{pw}d}e{i:0{sw}d}" for i in range(half)]
+        for name in aggs + edges:
+            topo.add_node(name, kind="switch")
+        for ei, edge in enumerate(edges):
+            for ai, agg in enumerate(aggs):
+                topo.add_link(
+                    edge,
+                    hosts_per_edge + 1 + ai,
+                    agg,
+                    1 + ei,
+                    fabric_latency_s,
+                    bandwidth_bps,
+                )
+        for ai, agg in enumerate(aggs):
+            for j in range(half):
+                topo.add_link(
+                    agg,
+                    half + 1 + j,
+                    core_names[ai * half + j],
+                    1 + pod,
+                    fabric_latency_s,
+                    bandwidth_bps,
+                )
+        for ei, edge in enumerate(edges):
+            for j in range(hosts_per_edge):
+                host = f"h-{edge}-{j}"
+                topo.add_node(host, kind="host")
+                topo.add_link(
+                    edge, 1 + j, host, 1, host_latency_s, bandwidth_bps
+                )
+    return topo
+
+
+_POD_NAME = re.compile(r"^(p\d+)[ae]\d+$")
+_CORE_NAME = re.compile(r"^zcore\d+$")
+
+
+def fabric_pod_map(topology: Topology) -> Dict[str, str]:
+    """Infer a pod tag for every non-host node from :func:`fat_tree` names.
+
+    Returns ``{switch_name: pod_tag}`` — ``p<pod>`` for pod switches,
+    ``zcore`` for the core block — or an *empty* dict unless **every**
+    non-host node matches the convention. The all-or-nothing rule
+    keeps the pod-aware shard partitioner conservative: hand-built and
+    legacy topologies fall back to plain sorted-contiguous chunking.
+    """
+    pods: Dict[str, str] = {}
+    for name in topology.node_names:
+        if topology.kind_of(name) == "host":
+            continue
+        match = _POD_NAME.match(name)
+        if match is not None:
+            pods[name] = match.group(1)
+            continue
+        if _CORE_NAME.match(name) is not None:
+            pods[name] = "zcore"
+            continue
+        return {}
+    return pods
 
 
 def fat_tree_topology(

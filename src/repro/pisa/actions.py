@@ -34,6 +34,7 @@ class Primitive(enum.Enum):
     MARK_RA = "mark_ra"  # () — request RA processing (PERA hook)
     CLONE = "clone"  # (port,) — duplicate the packet to another port
     NO_OP = "no_op"  # ()
+    SELECT_FORWARD = "select_forward"  # (group,) — pick an ECMP group member
 
 
 Arg = Union[int, str]
@@ -124,6 +125,19 @@ def noop_action() -> Action:
 def to_cpu_action() -> Action:
     """``to_cpu()`` — punt to the control plane."""
     return Action("to_cpu", (Step(Primitive.TO_CPU),))
+
+
+def ecmp_select_action() -> Action:
+    """``ecmp_select(group)`` — forward via a multipath group member.
+
+    The group id resolves against the pipeline's action-selector
+    groups (installed with :meth:`repro.pisa.runtime.P4Runtime.write_group`);
+    the pipeline's ``member_selector`` hook picks the member port —
+    mirroring a P4 action selector backed by a hash extern.
+    """
+    return Action(
+        "ecmp_select", (Step(Primitive.SELECT_FORWARD, ("$0",)),), param_count=1
+    )
 
 
 def forward_and_mark_ra_action() -> Action:

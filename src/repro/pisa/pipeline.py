@@ -10,7 +10,7 @@ calls "tuned to balance performance and security".
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.pisa.actions import ActionCall, Primitive
@@ -175,6 +175,16 @@ class Pipeline:
         self.registers: Dict[str, Register] = {}
         self.counters: Dict[str, Counter] = {}
         self.meters: Dict[str, Meter] = {}
+        # Action-selector groups (ECMP next-hop sets), installed via
+        # P4Runtime.write_group. Like table entries, they are runtime
+        # state: they do not survive a program swap.
+        self.groups: Dict[int, Tuple[int, ...]] = {}
+        # Hook the owning switch installs to pick a member for
+        # SELECT_FORWARD — models the hash extern behind a P4 action
+        # selector. Without one, the first (lowest) member wins.
+        self.member_selector: Optional[
+            Callable[[Tuple[int, ...], "PacketContext"], int]
+        ] = None
         for spec in program.tables:
             self.tables[spec.name] = MatchTable(
                 name=spec.name,
@@ -205,6 +215,14 @@ class Pipeline:
         if table is None:
             raise PipelineError(f"no table named {name!r}")
         return table
+
+    def set_group(self, group_id: int, ports: Tuple[int, ...]) -> None:
+        """Install (or replace) a multipath group's member ports."""
+        if group_id <= 0:
+            raise PipelineError(f"group id must be positive, got {group_id}")
+        if not ports:
+            raise PipelineError(f"group {group_id} needs at least one member")
+        self.groups[group_id] = tuple(sorted(int(p) for p in ports))
 
     # --- execution -----------------------------------------------------------
 
@@ -317,6 +335,17 @@ class Pipeline:
             elif step.primitive is Primitive.CLONE:
                 (port,) = args
                 ctx.clone_spec = int(port)
+            elif step.primitive is Primitive.SELECT_FORWARD:
+                (group_ref,) = args
+                members = self.groups.get(int(group_ref))
+                if not members:
+                    raise PipelineError(
+                        f"no members installed for group {group_ref}"
+                    )
+                if self.member_selector is not None:
+                    ctx.egress_spec = int(self.member_selector(members, ctx))
+                else:
+                    ctx.egress_spec = members[0]
             elif step.primitive is Primitive.NO_OP:
                 pass
             else:  # pragma: no cover - enum is closed
@@ -331,10 +360,18 @@ class Pipeline:
     # --- measurement hooks (consumed by PERA) ---------------------------------
 
     def measure_tables(self) -> Dict[str, bytes]:
-        """Canonical content of every table, for the Tables inertia class."""
+        """Canonical content of every table, for the Tables inertia class.
+
+        Multipath groups are measured alongside entries: a tampered
+        next-hop set is a forwarding-state compromise just like a
+        tampered entry.
+        """
         content: Dict[str, bytes] = {}
         for table in self.tables.values():
             content.update(table.measure_content())
+        for group_id in sorted(self.groups):
+            ports = ",".join(str(p) for p in self.groups[group_id])
+            content[f"__group__{group_id}"] = ports.encode("utf-8")
         return content
 
     def measure_state(self) -> Dict[str, bytes]:

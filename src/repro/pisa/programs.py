@@ -17,6 +17,7 @@ from repro.pisa.actions import (
     Primitive,
     Step,
     drop_action,
+    ecmp_select_action,
     forward_action,
     noop_action,
     to_cpu_action,
@@ -140,6 +141,74 @@ def l2_forwarding_program(
             ),
         ),
         actions=(forward_action(), drop_action(), to_cpu_action()),
+    )
+
+
+def fabric_multipath_program(
+    name: str = "fabric", version: str = "v1"
+) -> DataplaneProgram:
+    """Multipath LPM forwarding for datacenter fabrics.
+
+    Like :func:`ipv4_forwarding_program` but the LPM table may also
+    resolve to ``ecmp_select``, whose group id references a next-hop
+    *set* installed with
+    :meth:`repro.pisa.runtime.P4Runtime.write_group` — the program the
+    fat-tree campaign attests on every switch.
+    """
+    return DataplaneProgram(
+        name=name,
+        version=version,
+        parser=standard_parser(),
+        tables=(
+            TableSpec(
+                name="ipv4_lpm",
+                key_fields=("ipv4.dst",),
+                key_kinds=("lpm",),
+                allowed_actions=("forward", "ecmp_select", "drop", "no_op"),
+                default_action="drop",
+            ),
+        ),
+        actions=(
+            forward_action(),
+            ecmp_select_action(),
+            drop_action(),
+            noop_action(),
+        ),
+    )
+
+
+def fabric_rogue_program(
+    name: str = "fabric", base_version: str = "v1"
+) -> DataplaneProgram:
+    """A compromised fabric switch: multipath forwarding plus intercept.
+
+    Same parser, LPM table, name and version as
+    :func:`fabric_multipath_program`, with a hidden ``intercept``
+    table cloning matched traffic to an exfiltration port — the
+    Athens-affair move replayed inside a datacenter pod. Only the
+    program measurement gives it away.
+    """
+    clone_to = Action(
+        "clone_to",
+        (Step(Primitive.CLONE, ("$0",)),),
+        param_count=1,
+    )
+    genuine = fabric_multipath_program(name=name, version=base_version)
+    return DataplaneProgram(
+        name=name,
+        version=base_version,
+        parser=genuine.parser,
+        tables=genuine.tables
+        + (
+            TableSpec(
+                name="intercept",
+                key_fields=("ipv4.src",),
+                key_kinds=("ternary",),
+                allowed_actions=("clone_to", "no_op"),
+                default_action="no_op",
+            ),
+        ),
+        actions=genuine.actions + (clone_to,),
     )
 
 

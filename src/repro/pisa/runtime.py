@@ -158,6 +158,28 @@ class P4Runtime:
         """Read back a table's entries (P4Runtime READ)."""
         return self._require_pipeline().table(table).entries
 
+    # --- action-selector groups ----------------------------------------------
+
+    def write_group(
+        self, controller: str, group_id: int, ports: Tuple[int, ...]
+    ) -> None:
+        """Install a multipath group's member ports (P4Runtime
+        ``ActionProfileGroup`` INSERT/MODIFY).
+
+        Entries written with the ``ecmp_select`` action reference the
+        group by id; the pipeline's member-selector hook picks among
+        the ports per packet. Master-gated like every write — a rogue
+        controller rewriting a next-hop set is exactly as attestable
+        as one rewriting an entry.
+        """
+        self._check_master(controller)
+        self._require_pipeline().set_group(group_id, ports)
+        self._notify("table")
+
+    def read_groups(self) -> Dict[int, Tuple[int, ...]]:
+        """Read back all installed multipath groups."""
+        return dict(self._require_pipeline().groups)
+
     def read_counter(self, counter: str, index: int) -> Dict[str, int]:
         pipeline = self._require_pipeline()
         obj = pipeline.counters.get(counter)

@@ -1,0 +1,172 @@
+"""The fat-tree attested-traffic campaign: parity, determinism, faults.
+
+One small campaign (k=4, mixed bulk/web/attested load) is run on the
+monolithic simulator and on the sharded core at 1, 2, and 4 shards;
+every view of the result — merged stats, audit ordering, per-flow
+completion times, appraisal verdicts, per-port spread — must agree.
+"""
+
+import pytest
+
+from repro.core.fabric import (
+    FatTreeShape,
+    run_fabric_traffic,
+    run_fabric_traffic_monolith,
+)
+from repro.net.routing import RoutingMode
+from repro.pera.config import BatchingSpec
+
+SEED = 7
+
+SHAPE = FatTreeShape(
+    k=4,
+    bulk_flows=40,
+    web_sessions=6,
+    attested_flows=4,
+    attested_packets=6,
+)
+
+
+@pytest.fixture(scope="module")
+def sharded_runs():
+    return {
+        shards: run_fabric_traffic(
+            SHAPE, shards=shards, seed=SEED, telemetry_active=True
+        )
+        for shards in (1, 2, 4)
+    }
+
+
+@pytest.fixture(scope="module")
+def monolith_run():
+    return run_fabric_traffic_monolith(SHAPE, seed=SEED)
+
+
+class TestCampaignOutcome:
+    def test_traffic_flows_and_attestation_succeeds(self, monolith_run):
+        result = monolith_run
+        assert result.forwarded > 0
+        assert result.unroutable == 0
+        assert result.attested_hops > 0
+        accepted, rejected = result.verdict_counts
+        assert accepted > 0 and rejected == 0
+        # Half the attested flows divert evidence out-of-band; the
+        # collector verifies every record against the anchors.
+        assert result.oob_records > 0
+        assert result.oob_verified == result.oob_records
+
+    def test_flows_complete_with_sane_fct(self, monolith_run):
+        fct = monolith_run.fct_s
+        assert len(fct) > 30
+        assert all(v > 0 for v in fct.values())
+        pct = monolith_run.fct_percentiles()
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+
+class TestShardedDeterminism:
+    def test_byte_identical_journals_across_shard_counts(self, sharded_runs):
+        base = sharded_runs[1].result
+        for shards in (2, 4):
+            other = sharded_runs[shards].result
+            assert other.stats_export() == base.stats_export(), shards
+            assert other.audit_export() == base.audit_export(), shards
+
+    def test_merged_views_identical(self, sharded_runs):
+        base = sharded_runs[1]
+        for shards in (2, 4):
+            other = sharded_runs[shards]
+            assert other.fct_s == base.fct_s
+            assert other.verdicts == base.verdicts
+            assert other.tx_by_port == base.tx_by_port
+            assert other.forwarded == base.forwarded
+
+    def test_monolith_parity(self, sharded_runs, monolith_run):
+        sharded = sharded_runs[1]
+        assert monolith_run.forwarded == sharded.forwarded
+        assert monolith_run.fct_s == sharded.fct_s
+        assert monolith_run.verdicts == sharded.verdicts
+        assert monolith_run.tx_by_port == sharded.tx_by_port
+
+
+class TestCompromise:
+    def test_rogue_swap_rejected_identically_at_any_shard_count(self):
+        shape = FatTreeShape(
+            k=4,
+            bulk_flows=10,
+            web_sessions=2,
+            attested_flows=4,
+            attested_packets=8,
+            compromise_at_s=15e-6,
+        )
+        results = {
+            shards: run_fabric_traffic(shape, shards=shards, seed=3)
+            for shards in (1, 4)
+        }
+        for result in results.values():
+            assert result.victim is not None
+            accepted, rejected = result.verdict_counts
+            # Evidence keeps verifying (the rogue signs honestly) but
+            # the program measurement no longer matches the reference.
+            assert rejected > 0
+        a, b = results[1].result, results[4].result
+        assert a.stats_export() == b.stats_export()
+        assert a.audit_export() == b.audit_export()
+        assert results[1].verdicts == results[4].verdicts
+
+
+class TestEpochBatching:
+    def test_batched_out_of_band_evidence_seals_and_verifies(self):
+        shape = FatTreeShape(
+            k=4,
+            bulk_flows=10,
+            web_sessions=0,
+            attested_flows=4,
+            attested_packets=6,
+            batching=BatchingSpec(max_records=4, max_delay_s=50e-6),
+        )
+        results = {
+            shards: run_fabric_traffic(shape, shards=shards, seed=5)
+            for shards in (1, 4)
+        }
+        for result in results.values():
+            assert result.epochs_sealed > 0
+            assert result.oob_records > 0
+            assert result.oob_verified == result.oob_records
+        a, b = results[1].result, results[4].result
+        assert a.stats_export() == b.stats_export()
+        assert a.audit_export() == b.audit_export()
+
+
+class TestLoadBalance:
+    def test_ecmp_spread_within_tolerance(self):
+        # Mice-only ECMP load: many independent flow hashes per switch,
+        # so the per-port spread should sit close to even.
+        shape = FatTreeShape(
+            k=4,
+            bulk_flows=600,
+            web_sessions=0,
+            attested_flows=2,
+            attested_packets=4,
+            mice_fraction=1.0,
+            mice_packets=(1, 4),
+            routing=RoutingMode.ECMP,
+        )
+        result = run_fabric_traffic(shape, shards=2, seed=11)
+        assert result.forwarded > 1000
+        assert result.ecmp_imbalance(min_samples=100) <= 1.8
+
+    def test_flowlet_mode_is_deterministic(self):
+        shape = FatTreeShape(
+            k=4,
+            bulk_flows=30,
+            web_sessions=2,
+            attested_flows=2,
+            attested_packets=4,
+            routing=RoutingMode.FLOWLET,
+            flowlet_n_packets=8,
+        )
+        a = run_fabric_traffic(shape, shards=1, seed=11)
+        b = run_fabric_traffic(shape, shards=2, seed=11)
+        assert a.result.stats_export() == b.result.stats_export()
+        assert a.result.audit_export() == b.result.audit_export()
+        assert a.tx_by_port == b.tx_by_port

@@ -1,0 +1,44 @@
+"""The single-fault matrix: each resilience mechanism fires alone."""
+
+import pytest
+
+from repro.core.chaos import fault_matrix_kinds, run_fault_matrix
+
+
+class TestFaultMatrix:
+    def test_every_family_shows_its_signal(self):
+        entries = run_fault_matrix(seed=7, packets=18)
+        assert set(entries) == set(fault_matrix_kinds())
+        missing = [k for k, e in entries.items() if not e.signal_seen]
+        assert not missing, missing
+
+    def test_kinds_subset_and_unknown_kind(self):
+        entries = run_fault_matrix(seed=7, packets=18, kinds=["link_loss"])
+        assert list(entries) == ["link_loss"]
+        with pytest.raises(Exception):
+            run_fault_matrix(seed=7, packets=18, kinds=["volcano"])
+
+    def test_compromise_rejected_and_recovered(self):
+        entry = run_fault_matrix(
+            seed=7, packets=18, kinds=["compromise"]
+        )["compromise"]
+        assert entry.signal_seen
+        result = entry.result
+        assert result.first_rejection is not None
+        # Operator reprovision restores acceptance after the rogue window.
+        assert any(v.accepted for v in result.verdicts)
+
+    def test_sharded_matrix_matches_single_shard(self):
+        kinds = ["link_loss", "compromise", "clock_skew"]
+        sharded = run_fault_matrix(
+            seed=7, packets=18, shards=2, backend="inline", kinds=kinds
+        )
+        single = run_fault_matrix(
+            seed=7, packets=18, shards=1, backend="inline", kinds=kinds
+        )
+        for kind in kinds:
+            a = sharded[kind].result.sharded
+            b = single[kind].result.sharded
+            assert a.audit_export() == b.audit_export(), kind
+            assert a.stats_export() == b.stats_export(), kind
+            assert sharded[kind].signal_seen and single[kind].signal_seen

@@ -1,0 +1,107 @@
+"""Action-selector groups: SELECT_FORWARD, write_group, measurement."""
+
+import pytest
+
+from repro.net.headers import ip_to_int
+from repro.net.packet import Packet
+from repro.pisa.pipeline import PacketContext, Pipeline
+from repro.pisa.programs import fabric_multipath_program
+from repro.pisa.runtime import P4Runtime, TableEntry
+from repro.pisa.tables import MatchKey, MatchKind
+from repro.util.errors import PipelineError
+
+
+def make_packet(dst="10.0.1.5", src_port=1000):
+    return Packet.udp_packet(
+        src_mac=1, dst_mac=2,
+        src_ip=ip_to_int("10.0.0.1"), dst_ip=ip_to_int(dst),
+        src_port=src_port, dst_port=2000, payload=b"data",
+    )
+
+
+def multipath_runtime():
+    """A fabric program with 10.0.1.0/24 spread over group 1."""
+    runtime = P4Runtime("s1")
+    runtime.arbitrate("ctl", 1)
+    runtime.pipeline = Pipeline(fabric_multipath_program())
+    runtime.write_group("ctl", 1, (4, 2, 3))
+    runtime.write("ctl", TableEntry(
+        table="ipv4_lpm",
+        keys=(MatchKey(MatchKind.LPM, ip_to_int("10.0.1.0"), prefix_len=24),),
+        action="ecmp_select", params=(1,),
+    ))
+    return runtime
+
+
+class TestWriteGroup:
+    def test_groups_read_back_sorted(self):
+        runtime = multipath_runtime()
+        assert runtime.read_groups() == {1: (2, 3, 4)}
+
+    def test_master_gating(self):
+        runtime = multipath_runtime()
+        with pytest.raises(PipelineError, match="not master"):
+            runtime.write_group("intruder", 2, (1,))
+
+    def test_invalid_groups_rejected(self):
+        runtime = multipath_runtime()
+        with pytest.raises(PipelineError):
+            runtime.write_group("ctl", 0, (1,))
+        with pytest.raises(PipelineError):
+            runtime.write_group("ctl", 2, ())
+
+
+class TestSelectForward:
+    def test_default_selector_takes_lowest_member(self):
+        runtime = multipath_runtime()
+        ctx = PacketContext.from_packet(make_packet(), 1)
+        runtime.pipeline.process(ctx)
+        assert ctx.egress_spec == 2
+
+    def test_member_selector_hook_drives_choice(self):
+        runtime = multipath_runtime()
+        seen = {}
+
+        def selector(members, ctx):
+            seen["members"] = members
+            return members[-1]
+
+        runtime.pipeline.member_selector = selector
+        ctx = PacketContext.from_packet(make_packet(), 1)
+        runtime.pipeline.process(ctx)
+        assert ctx.egress_spec == 4
+        assert seen["members"] == (2, 3, 4)
+
+    def test_missing_group_is_a_pipeline_error(self):
+        runtime = multipath_runtime()
+        runtime.write("ctl", TableEntry(
+            table="ipv4_lpm",
+            keys=(
+                MatchKey(MatchKind.LPM, ip_to_int("10.0.9.0"), prefix_len=24),
+            ),
+            action="ecmp_select", params=(99,),
+        ))
+        ctx = PacketContext.from_packet(make_packet(dst="10.0.9.1"), 1)
+        with pytest.raises(PipelineError, match="group 99"):
+            runtime.pipeline.process(ctx)
+
+
+class TestGroupMeasurement:
+    def test_groups_are_measured(self):
+        runtime = multipath_runtime()
+        content = runtime.pipeline.measure_tables()
+        assert content["__group__1"] == b"2,3,4"
+
+    def test_tampered_group_changes_measurement(self):
+        runtime = multipath_runtime()
+        before = dict(runtime.pipeline.measure_tables())
+        runtime.write_group("ctl", 1, (2, 3, 5))
+        after = runtime.pipeline.measure_tables()
+        assert before["__group__1"] != after["__group__1"]
+
+    def test_groups_cleared_on_program_swap(self):
+        runtime = multipath_runtime()
+        runtime.set_forwarding_pipeline_config(
+            "ctl", fabric_multipath_program()
+        )
+        assert runtime.read_groups() == {}

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.telemetry",
     "repro.faults",
+    "repro.workload",
 ]
 
 

@@ -1,0 +1,112 @@
+"""Seeded traffic mixes: determinism, shape, and timing properties."""
+
+import random
+
+import pytest
+
+from repro.util.errors import NetworkError
+from repro.workload.mixes import (
+    elephant_mice_mix,
+    on_off_starts,
+    poisson_starts,
+    web_session_mix,
+)
+
+HOSTS = [f"h{i:02d}" for i in range(8)]
+
+
+class TestArrivalProcesses:
+    def test_poisson_monotone_and_seeded(self):
+        a = poisson_starts(random.Random(3), 50, 100_000.0, t0=1e-3)
+        b = poisson_starts(random.Random(3), 50, 100_000.0, t0=1e-3)
+        assert a == b
+        assert len(a) == 50
+        assert a[0] > 1e-3
+        assert all(x < y for x, y in zip(a, a[1:]))
+
+    def test_poisson_rate_validated(self):
+        with pytest.raises(NetworkError):
+            poisson_starts(random.Random(0), 5, 0.0)
+
+    def test_on_off_bursts(self):
+        starts = on_off_starts(
+            random.Random(1), 20, burst_len=5,
+            on_rate_per_s=1e6, off_gap_s=100e-6,
+        )
+        assert len(starts) == 20
+        assert all(x < y for x, y in zip(starts, starts[1:]))
+
+    def test_on_off_validated(self):
+        with pytest.raises(NetworkError):
+            on_off_starts(random.Random(0), 5, 0, 1e6, 1e-6)
+        with pytest.raises(NetworkError):
+            on_off_starts(random.Random(0), 5, 2, 1e6, 0.0)
+
+
+class TestElephantMiceMix:
+    def test_pure_function_of_arguments(self):
+        a = elephant_mice_mix(HOSTS, seed=7, flows=40)
+        b = elephant_mice_mix(HOSTS, seed=7, flows=40)
+        assert a == b
+        assert a != elephant_mice_mix(HOSTS, seed=8, flows=40)
+
+    def test_shape_and_ids(self):
+        specs = elephant_mice_mix(
+            HOSTS, seed=7, flows=40, first_flow_id=100
+        )
+        assert len(specs) == 40
+        assert [s.flow_id for s in specs] == list(range(100, 140))
+        assert all(s.src != s.dst for s in specs)
+        assert all(s.src in HOSTS and s.dst in HOSTS for s in specs)
+        assert {s.kind for s in specs} <= {"mouse", "elephant"}
+
+    def test_size_classes_respect_bounds(self):
+        specs = elephant_mice_mix(
+            HOSTS, seed=3, flows=200, mice_fraction=0.5,
+            mice_packets=(1, 4), elephant_packets=(50, 60),
+        )
+        mice = [s for s in specs if s.kind == "mouse"]
+        elephants = [s for s in specs if s.kind == "elephant"]
+        assert mice and elephants
+        assert all(1 <= s.packets <= 4 for s in mice)
+        assert all(50 <= s.packets <= 60 for s in elephants)
+
+    def test_start_times_staggered_uniquely(self):
+        specs = elephant_mice_mix(HOSTS, seed=5, flows=100)
+        starts = [s.start_s for s in specs]
+        assert len(set(starts)) == len(starts)
+        assert all(t >= 0 for t in starts)
+
+    def test_bad_arguments(self):
+        with pytest.raises(NetworkError):
+            elephant_mice_mix(["only"], seed=0, flows=1)
+        with pytest.raises(NetworkError):
+            elephant_mice_mix(HOSTS, seed=0, flows=1, mice_fraction=1.5)
+        with pytest.raises(NetworkError):
+            elephant_mice_mix(HOSTS, seed=0, flows=1, arrival="fractal")
+
+
+class TestWebSessionMix:
+    def test_request_response_pairing(self):
+        specs = web_session_mix(HOSTS, seed=9, sessions=20)
+        assert len(specs) == 40
+        for req, resp in zip(specs[0::2], specs[1::2]):
+            assert req.kind == "request" and resp.kind == "response"
+            assert resp.src == req.dst and resp.dst == req.src
+            assert req.dst_port == 80 and resp.src_port == 80
+            assert resp.dst_port == req.src_port
+            # Server thinks before answering; no causal coupling, but
+            # the schedule always leaves the turnaround visible.
+            assert resp.start_s > req.last_send_s
+
+    def test_seeded_determinism(self):
+        a = web_session_mix(HOSTS, seed=1, sessions=10)
+        assert a == web_session_mix(HOSTS, seed=1, sessions=10)
+
+    def test_dedicated_server_pool(self):
+        servers = HOSTS[:2]
+        specs = web_session_mix(
+            HOSTS[2:], seed=4, sessions=15, servers=servers
+        )
+        assert all(s.dst in servers for s in specs if s.kind == "request")
+        assert all(s.src in servers for s in specs if s.kind == "response")
