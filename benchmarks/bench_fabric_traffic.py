@@ -23,12 +23,19 @@ import os
 import pathlib
 import time
 
-from repro.core.fabric import FatTreeShape, run_fabric_traffic
+from repro.core.fabric import (
+    FatTreeShape,
+    fabric_sampling_spec,
+    run_fabric_traffic,
+    standard_fabric_rules,
+)
 from repro.net.routing import RoutingMode
+from repro.telemetry.timeseries import dump_timeseries
 
 from conftest import report, table
 
 _SUMMARY_PATH = pathlib.Path(__file__).parent / "FABRIC_summary.json"
+_TIMESERIES_PATH = pathlib.Path(__file__).parent / "TIMESERIES.json"
 
 SEED = 20260807
 
@@ -194,5 +201,92 @@ def test_fabric_traffic_report(benchmark):
             f"verdicts: {accepted} accepted, {rejected} rejected; "
             f"out-of-band: {four.oob_verified}/{four.oob_records} verified",
             f"x1 vs x4 byte-identical journals: {identical}",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Flight-recorder sampling overhead (docs/MONITORING.md)
+
+# A mid-size shape: ~66k forwardings, big enough that per-run wall
+# time (~1.5s) dwarfs timer noise, small enough to run six times.
+OVERHEAD_SHAPE = FatTreeShape(bulk_flows=1_200, web_sessions=60)
+
+#: Gate enforced by check_regression.py: sampling must cost <3%.
+MAX_SAMPLING_OVERHEAD = 0.03
+
+OVERHEAD_ROUNDS = 3
+
+
+def _timed_overhead_run(sampling):
+    gc.collect()
+    start = time.perf_counter()
+    result = run_fabric_traffic(
+        OVERHEAD_SHAPE,
+        shards=1,
+        backend="inline",
+        seed=SEED,
+        telemetry_active=True,
+        sampling=sampling,
+    )
+    return result, time.perf_counter() - start
+
+
+def test_fabric_sampling_overhead(benchmark):
+    """Timed: the sampled campaign; extra_info carries the overhead
+    fraction vs the identical unsampled run (min-of-N each,
+    interleaved so drift hits both configurations alike)."""
+    off_s, on_s = [], []
+    frames = 0
+    for _ in range(OVERHEAD_ROUNDS):
+        base, wall_off = _timed_overhead_run(None)
+        sampled, wall_on = _timed_overhead_run(fabric_sampling_spec())
+        off_s.append(wall_off)
+        on_s.append(wall_on)
+        # Sampling must not perturb the campaign itself.
+        assert sampled.forwarded == base.forwarded
+        assert sampled.fct_s == base.fct_s
+        frames = len(sampled.frames)
+    overhead = (min(on_s) - min(off_s)) / min(off_s)
+
+    # The timed row re-runs the sampled configuration so the median
+    # lands in BENCH_results.json for the regression gate.
+    result = benchmark.pedantic(
+        lambda: _timed_overhead_run(fabric_sampling_spec())[0],
+        rounds=1,
+        iterations=1,
+    )
+    assert result.frames, "sampling produced no frames"
+    benchmark.extra_info["sampling_overhead_frac"] = round(overhead, 4)
+    benchmark.extra_info["sampling_interval_us"] = round(
+        fabric_sampling_spec().interval_s * 1e6, 1
+    )
+    benchmark.extra_info["frames"] = frames
+    benchmark.extra_info["forwarded"] = result.forwarded
+
+    # The CI artifact: the same campaign once more under the standard
+    # health rules, dumped as the schema-versioned timeseries document
+    # (rendered by `python -m repro.telemetry.report timeline|health`).
+    monitored = run_fabric_traffic(
+        OVERHEAD_SHAPE,
+        shards=1,
+        backend="inline",
+        seed=SEED,
+        telemetry_active=True,
+        health=standard_fabric_rules(),
+    )
+    dump_timeseries(monitored.timeseries(), _TIMESERIES_PATH)
+
+    report(
+        "Flight-recorder sampling overhead "
+        f"({OVERHEAD_SHAPE.switch_count} switches, seed {SEED})",
+        [
+            f"unsampled best-of-{OVERHEAD_ROUNDS}: {min(off_s):.3f}s; "
+            f"sampled: {min(on_s):.3f}s",
+            f"overhead: {overhead:+.2%} (gate: <{MAX_SAMPLING_OVERHEAD:.0%} "
+            "in check_regression.py)",
+            f"frames: {frames} at "
+            f"{fabric_sampling_spec().interval_s * 1e6:.0f}us cadence; "
+            f"health alerts: {len(monitored.health.alerts)}",
         ],
     )

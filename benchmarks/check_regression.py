@@ -18,6 +18,12 @@ gate (new benchmarks must be able to land; retired ones to leave).
 Medians below ``--min-median-us`` are skipped: sub-10µs no-op anchors
 (the ``*_report`` table tests) and cache-hit micro-ops jitter far more
 than 25% on shared CI runners and carry no regression signal.
+
+The gate also enforces the flight-recorder cost budget: any benchmark
+in the *fresh* file recording a ``sampling_overhead_frac`` extra-info
+value (``bench_fabric_traffic``'s overhead test) must stay below
+``--max-sampling-overhead`` (default 0.03 — docs/MONITORING.md's <3%
+promise). This check is absolute, not baseline-relative.
 """
 
 from __future__ import annotations
@@ -50,6 +56,19 @@ def load_medians(path: str) -> Dict[str, float]:
     return medians
 
 
+def load_sampling_overheads(path: str) -> Dict[str, float]:
+    """Map fullname -> recorded sampling_overhead_frac, where present."""
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    overheads: Dict[str, float] = {}
+    for bench in document.get("benchmarks", []):
+        fullname = bench.get("fullname", bench.get("name", ""))
+        value = bench.get("extra_info", {}).get("sampling_overhead_frac")
+        if isinstance(value, (int, float)):
+            overheads[fullname] = float(value)
+    return overheads
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed BENCH_results.json")
@@ -66,13 +85,19 @@ def main(argv=None) -> int:
         default=10.0,
         help="skip benchmarks whose baseline median is below this (µs)",
     )
+    parser.add_argument(
+        "--max-sampling-overhead",
+        type=float,
+        default=0.03,
+        help="maximum tolerated flight-recorder sampling overhead "
+        "fraction recorded in the fresh run (default 0.03 = 3%%)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_medians(args.baseline)
     fresh = load_medians(args.fresh)
     if not baseline:
-        print(f"no watched benchmarks in baseline {args.baseline}; nothing to gate")
-        return 0
+        print(f"no watched benchmarks in baseline {args.baseline}")
 
     failures = []
     for name in sorted(baseline):
@@ -95,11 +120,18 @@ def main(argv=None) -> int:
     for name in sorted(set(fresh) - set(baseline)):
         print(f"NEW   {name}: {fresh[name] * 1e6:.1f}µs (no baseline)")
 
-    if failures:
+    for name, overhead in sorted(load_sampling_overheads(args.fresh).items()):
+        over = overhead >= args.max_sampling_overhead
+        status = "FAIL" if over else "ok"
         print(
-            f"\n{len(failures)} benchmark(s) regressed more than "
-            f"{args.threshold:.0%} vs baseline"
+            f"{status:4}  {name}: sampling overhead {overhead:+.2%} "
+            f"(gate: <{args.max_sampling_overhead:.0%})"
         )
+        if over:
+            failures.append((name, overhead))
+
+    if failures:
+        print(f"\n{len(failures)} benchmark gate failure(s)")
         return 1
     print("\nno benchmark regressions beyond threshold")
     return 0

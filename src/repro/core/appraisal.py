@@ -357,6 +357,7 @@ class PathAppraiser:
         if not self.telemetry.active:
             return self._appraise_records(records, hop_count, compiled, trace)
         started = perf_counter()
+        sim_started = self.telemetry.spans.clock.now
         tags = trace.span_args() if trace is not None else {}
         with self.telemetry.span(
             "core.appraise", track=self.name, records=len(records), **tags
@@ -365,6 +366,12 @@ class PathAppraiser:
         self.telemetry.histogram(
             "core.path_appraise_seconds", appraiser=self.name
         ).observe(perf_counter() - started)
+        # Sim-clock sibling of the wall-clock histogram above: fully
+        # deterministic, so latency distributions join the shard
+        # byte-identity checks (see docs/SHARDING.md).
+        self.telemetry.histogram(
+            "core.path_appraise_sim_seconds", appraiser=self.name
+        ).observe(self.telemetry.spans.clock.now - sim_started)
         self.telemetry.counter(
             "core.path_verdicts",
             appraiser=self.name,

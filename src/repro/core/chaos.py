@@ -56,11 +56,96 @@ from repro.pera.inertia import InertiaClass
 from repro.pisa.programs import athens_rogue_program, firewall_program
 from repro.pisa.runtime import TableEntry
 from repro.pisa.tables import MatchKey, MatchKind
+from repro.telemetry.health import (
+    HealthReport,
+    RatioRule,
+    ThresholdRule,
+    evaluate_health,
+    fold_alerts,
+    label_filter,
+)
 from repro.telemetry.instrument import Telemetry
+from repro.telemetry.timeseries import (
+    SamplingSpec,
+    install_recorder,
+    merge_frame_streams,
+    renumber_frame_times,
+    timeseries_export,
+    timeseries_snapshot,
+)
 from repro.telemetry.tracing import reset_trace_ids
 from repro.util.ids import spawn_seed
 
 _PACKET_GAP_S = 1e-3
+
+#: The standard chaos sampling cadence: two packet slots per window, so
+#: the 30-packet campaign produces ~15 windows and every fault window
+#: in the standard plan spans at least one full sample window.
+CHAOS_SAMPLE_INTERVAL_S = 2 * _PACKET_GAP_S
+
+
+def chaos_sampling_spec() -> SamplingSpec:
+    """The default flight-recorder spec for chaos campaigns."""
+    return SamplingSpec(interval_s=CHAOS_SAMPLE_INTERVAL_S)
+
+
+def standard_chaos_rules() -> List[object]:
+    """The chaos campaign's health rules, one symptom family each.
+
+    Every fault family in the standard plan has a rule that sees it
+    *live* (within the frames the flight recorder samples during the
+    run): dataplane drops for loss/flap, control-channel drops for the
+    appraiser outage, rejected path verdicts for compromise/tamper,
+    and the injector's own change-event counter for clock skew and
+    packet corruption — two faults whose dataplane symptom is
+    invisible in the Athens composition (``TRAFFIC_PATH`` never
+    consults the time cache, and appraisal runs off the uncorrupted
+    control-plane reports, so a payload bit flip on the egress edge
+    changes no verdict). The fail-rate ratio is the SLO-style smoothed
+    view over a trailing three windows.
+    """
+    return [
+        ThresholdRule(name="dataplane-drops", metric="net.link.dropped"),
+        ThresholdRule(name="control-drops", metric="net.control.dropped"),
+        ThresholdRule(
+            name="verdict-failures",
+            metric="core.path_verdicts",
+            labels=label_filter(accepted=False),
+        ),
+        RatioRule(
+            name="verdict-fail-rate",
+            numerator="core.path_verdicts",
+            numerator_labels=label_filter(accepted=False),
+            denominator="core.path_verdicts",
+            threshold=0.01,
+            over_windows=3,
+        ),
+        ThresholdRule(
+            name="clock-skew-events",
+            metric="faults.events",
+            labels=label_filter(fault="clock_skew", status="injected"),
+        ),
+        ThresholdRule(
+            name="corruption-events",
+            metric="faults.events",
+            labels=label_filter(fault="packet_corrupt", status="injected"),
+        ),
+    ]
+
+
+#: Which health rule detects each fault family's activation. Clearing
+#: kinds (``link_up``, ``node_restart``, zero-rate re-arms) are the
+#: recovery markers, not covered families.
+CHAOS_ALERT_FAMILIES: Dict[str, str] = {
+    "link_loss": "dataplane-drops",
+    "link_down": "dataplane-drops",
+    "switch_compromise": "verdict-failures",
+    "packet_corrupt": "corruption-events",
+    "evidence_tamper": "verdict-failures",
+    "evidence_strip_inband": "verdict-failures",
+    "node_crash": "control-drops",
+    "clock_skew": "clock-skew-events",
+}
 
 
 def _rogue_configure(node, actor: str) -> None:
@@ -99,6 +184,13 @@ class ChaosResult:
     #: Populated only by sharded runs: the merged runner output
     #: (windows, lookahead, canonical metric snapshot, ...).
     sharded: Optional[ShardedResult] = field(default=None, repr=False)
+    #: Flight-recorder output (``sampling=`` runs only): canonical
+    #: merged frames, byte-identical across shard counts.
+    frames: List[Dict[str, object]] = field(default_factory=list)
+    frames_dropped: int = 0
+    sampling: Optional[SamplingSpec] = None
+    #: Health evaluation over the frames (``health=`` runs only).
+    health: Optional[HealthReport] = None
 
     def audit_export(self) -> str:
         """Canonical JSON of the audit journal (replay comparisons)."""
@@ -107,6 +199,26 @@ class ChaosResult:
             sort_keys=True,
             default=repr,
         )
+
+    def frames_export(self) -> str:
+        """Canonical JSON of the frame stream (byte-identity checks)."""
+        return json.dumps(self.frames, sort_keys=True)
+
+    def timeseries(self) -> Dict[str, object]:
+        """The ``repro.timeseries/v1`` document for this run."""
+        if self.sampling is None:
+            raise ValueError("run had no sampling= spec; no frames recorded")
+        return timeseries_snapshot(
+            self.frames,
+            self.sampling.interval_s,
+            frames_dropped=self.frames_dropped,
+            alerts=self.health.alerts if self.health is not None else (),
+            rules=self.health.rules if self.health is not None else (),
+        )
+
+    def timeseries_export(self) -> str:
+        """Canonical JSON of frames + alert timeline (byte-pinned)."""
+        return timeseries_export(self.timeseries())
 
     def narrative(self) -> str:
         """The recovery story, line by line."""
@@ -337,6 +449,110 @@ def _verdict_markers(verdicts):
     return first_rejection, recovered_at
 
 
+def _fold_alerts_into_journal(telemetry: Telemetry, health) -> None:
+    """Merge alert events into the audit journal canonically (see
+    :func:`repro.telemetry.health.fold_alerts`)."""
+    if health is not None:
+        fold_alerts(telemetry.audit, health.alerts)
+
+
+def chaos_alert_coverage(
+    result: ChaosResult, within_windows: int = 2
+) -> Dict[str, Dict[str, object]]:
+    """Did the monitoring layer *detect* every injected fault family?
+
+    For each activation event in the plan (clearing kinds skipped),
+    checks that the family's mapped rule (:data:`CHAOS_ALERT_FAMILIES`)
+    was *raised* during the ``within_windows`` sample windows after the
+    activation window — either a fresh ``alert.raised`` lands there, or
+    the rule was already raised and has not yet cleared (a flap's
+    second ``link_down`` while drops are still alerting counts as
+    seen). Also checks the rule is not still raised when the run ends
+    (recovery cleared it). Returns per-family verdicts keyed by kind.
+    """
+    if result.health is None or result.sampling is None:
+        raise ValueError("run had no health= rules; nothing to check")
+    interval = result.sampling.interval_s
+    coverage: Dict[str, Dict[str, object]] = {}
+    for event in result.plan.events:
+        kind = event.kind
+        rule = CHAOS_ALERT_FAMILIES.get(kind)
+        if rule is None:
+            continue  # a clearing/recovery kind, not a covered family
+        if kind in ("link_loss", "packet_corrupt") and (
+            float(event.params.get("rate", 0.0)) == 0.0
+        ):
+            continue  # zero-rate re-arm: this is the recovery marker
+        activation_window = int(event.time_s // interval)
+        deadline = activation_window + within_windows
+        hit: Optional[int] = None
+        open_at: Optional[int] = None
+        for alert in result.health.alerts_for(rule):
+            window = int(alert["detail"]["window"])  # type: ignore[index]
+            if alert["kind"] == "alert.raised":
+                open_at = window
+                continue
+            # alert.cleared closes the interval [open_at, window)
+            if (
+                open_at is not None
+                and open_at <= deadline
+                and window > activation_window
+            ):
+                hit = max(open_at, activation_window)
+                break
+            open_at = None
+        if hit is None and open_at is not None and open_at <= deadline:
+            hit = max(open_at, activation_window)  # still raised at end
+        entry = coverage.setdefault(
+            kind,
+            {
+                "rule": rule,
+                "activations": [],
+                "detected": False,
+                "cleared": rule not in result.health.active,
+            },
+        )
+        entry["activations"].append(  # type: ignore[union-attr]
+            {
+                "time_s": event.time_s,
+                "window": activation_window,
+                "raised_window": hit,
+            }
+        )
+        if hit is not None:
+            # Coverage is per *family*: one detected activation is
+            # enough (a flap's second 0.4ms dip may drop nothing at
+            # all — there is no symptom to alert on).
+            entry["detected"] = True
+    return coverage
+
+
+def assert_chaos_alert_coverage(
+    result: ChaosResult, within_windows: int = 2
+) -> Dict[str, Dict[str, object]]:
+    """The acceptance form of :func:`chaos_alert_coverage`: raise if
+    any fault family went undetected or stayed raised past recovery."""
+    coverage = chaos_alert_coverage(result, within_windows=within_windows)
+    problems = []
+    for kind, entry in coverage.items():
+        if not entry["detected"]:
+            problems.append(
+                f"{kind}: rule {entry['rule']!r} raised no alert within "
+                f"{within_windows} windows of any activation "
+                f"({entry['activations']})"
+            )
+        if not entry["cleared"]:
+            problems.append(
+                f"{kind}: rule {entry['rule']!r} still raised at end of run"
+            )
+    if problems:
+        raise AssertionError(
+            "health alerts did not cover the fault plan:\n  "
+            + "\n  ".join(problems)
+        )
+    return coverage
+
+
 def run_chaos_athens(
     seed: int = 0,
     packets: int = 30,
@@ -345,6 +561,8 @@ def run_chaos_athens(
     shards: Optional[int] = None,
     backend: str = "inline",
     plan_factory: Optional[Callable[[int], FaultPlan]] = None,
+    sampling: Optional[SamplingSpec] = None,
+    health: Optional[Sequence[object]] = None,
 ) -> ChaosResult:
     """UC1 under chaos: flapping links, a compromise, a crashed
     appraiser, corruption — and recovery from all of them.
@@ -357,11 +575,22 @@ def run_chaos_athens(
     the sharded runner (:mod:`repro.net.shardrun`) on the chosen
     ``backend``; the merged result is byte-for-byte the same story.
     ``shards=None`` is the original monolithic path.
+
+    ``sampling`` installs a flight recorder
+    (:class:`~repro.telemetry.timeseries.SamplingSpec`); ``health``
+    runs the given rules (default vocabulary:
+    :func:`standard_chaos_rules`) over the recorded frames at window
+    close, with alert events folded into the audit journal. Passing
+    ``health`` without ``sampling`` uses :func:`chaos_sampling_spec`.
+    Both the frame stream and the alert timeline are byte-identical
+    across shard counts and backends.
     """
+    if health is not None and sampling is None:
+        sampling = chaos_sampling_spec()
     if shards is not None:
         return _run_chaos_sharded(
             seed, packets, swap_at, reprovision_at, shards, backend,
-            plan_factory,
+            plan_factory, sampling=sampling, health=health,
         )
     reset_trace_ids()  # byte-identical replay needs a fresh id sequence
     telemetry = Telemetry(active=True)
@@ -373,7 +602,27 @@ def run_chaos_athens(
         reprovision_at=reprovision_at,
         plan_factory=plan_factory,
     )
+    recorder = (
+        install_recorder(sim, sampling) if sampling is not None else None
+    )
     sim.run()
+
+    frames: List[Dict[str, object]] = []
+    frames_dropped = 0
+    health_report: Optional[HealthReport] = None
+    if recorder is not None:
+        recorder.finish(sim.clock.now)
+        # Canonicalize through the same merge the sharded parent uses,
+        # so monolith output is byte-identical to every shard count.
+        frames = renumber_frame_times(
+            merge_frame_streams([recorder.frames]), sampling.interval_s
+        )
+        frames_dropped = recorder.frames_dropped
+        if health is not None:
+            health_report = evaluate_health(
+                frames, list(health), sampling.interval_s
+            )
+            _fold_alerts_into_journal(telemetry, health_report)
 
     rp = ctx["rp"]
     first_rejection, recovered_at = _verdict_markers(rp.verdicts)
@@ -392,6 +641,10 @@ def run_chaos_athens(
             switch.name: _ra_counters_of(switch)
             for switch in ctx["switches"]
         },
+        frames=frames,
+        frames_dropped=frames_dropped,
+        sampling=sampling,
+        health=health_report,
     )
 
 
@@ -429,6 +682,8 @@ def _run_chaos_sharded(
     shards: int,
     backend: str,
     plan_factory: Optional[Callable[[int], FaultPlan]] = None,
+    sampling: Optional[SamplingSpec] = None,
+    health: Optional[Sequence[object]] = None,
 ) -> ChaosResult:
     spec = ScenarioSpec(
         topology=_chaos_topology,
@@ -440,8 +695,19 @@ def _run_chaos_sharded(
             plan_factory=plan_factory,
         ),
         harvest=_chaos_harvest,
+        sampling=sampling,
     )
     result = run_sharded(spec, shards=shards, backend=backend, seed=seed)
+    health_report: Optional[HealthReport] = None
+    if sampling is not None and health is not None:
+        # Post-merge evaluation in the parent: a pure function of the
+        # canonical frame stream, so the alert timeline cannot depend
+        # on the partitioning.
+        health_report = evaluate_health(
+            result.frames, list(health), sampling.interval_s
+        )
+        if result.telemetry is not None:
+            _fold_alerts_into_journal(result.telemetry, health_report)
     verdicts = next(
         (out["verdicts"] for out in result.outputs
          if out["verdicts"] is not None),
@@ -475,6 +741,10 @@ def _run_chaos_sharded(
             name: ra_counters[name] for name in sorted(ra_counters)
         },
         sharded=result,
+        frames=result.frames,
+        frames_dropped=result.frames_dropped,
+        sampling=sampling,
+        health=health_report,
     )
 
 

@@ -26,10 +26,11 @@ them.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.appraisal import (
     PathAppraisalPolicy,
@@ -56,6 +57,24 @@ from repro.net.routing import (
 )
 from repro.net.shardrun import ScenarioSpec, ShardedResult, run_sharded
 from repro.net.simulator import Node, Simulator
+from repro.telemetry.instrument import Telemetry
+from repro.telemetry.tracing import reset_trace_ids
+from repro.telemetry.health import (
+    AbsenceRule,
+    HealthReport,
+    ImbalanceRule,
+    ThresholdRule,
+    evaluate_health,
+    fold_alerts,
+)
+from repro.telemetry.timeseries import (
+    SamplingSpec,
+    install_recorder,
+    merge_frame_streams,
+    renumber_frame_times,
+    timeseries_export,
+    timeseries_snapshot,
+)
 from repro.net.topology import Topology, fat_tree, leaf_spine
 from repro.pera.config import (
     BatchingSpec,
@@ -873,6 +892,46 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[rank - 1]
 
 
+#: The fabric flight-recorder cadence: 50µs windows (one host send
+#: round), so the ~0.5ms campaign yields a dozen-plus frames and the
+#: ECMP spread is visible while flows are still in flight.
+FABRIC_SAMPLE_INTERVAL_S = _ROUND_GAP_S
+
+
+def fabric_sampling_spec() -> SamplingSpec:
+    """The default flight-recorder spec for fabric campaigns."""
+    return SamplingSpec(interval_s=FABRIC_SAMPLE_INTERVAL_S)
+
+
+def standard_fabric_rules() -> List[object]:
+    """Health rules for the fat-tree campaign: load, loss, liveness.
+
+    - ``fabric-drops``: the fabric is lossless by construction, so any
+      dataplane drop is an alert.
+    - ``ecmp-imbalance``: per-switch max/mean over cumulative egress
+      link counts; the bound is loose (edge switches mix multipath
+      uplinks with single-host downlinks) but catches a wedged
+      selector sending everything one way.
+    - ``epoch-stall``: arms on the first sealed epoch and raises if
+      sealing goes silent for three windows mid-run (batched shapes
+      only — unbatched runs never arm it).
+    """
+    return [
+        ThresholdRule(name="fabric-drops", metric="net.link.dropped"),
+        ImbalanceRule(
+            name="ecmp-imbalance",
+            metric="net.link.tx_packets",
+            bound=8.0,
+            min_total=256.0,
+        ),
+        AbsenceRule(
+            name="epoch-stall",
+            metric="pera.epoch_sealed_events",
+            for_windows=3,
+        ),
+    ]
+
+
 @dataclass
 class FabricTrafficResult:
     """Merged outcome of one fat-tree attested-traffic campaign."""
@@ -889,6 +948,37 @@ class FabricTrafficResult:
     tx_by_port: Dict[str, Dict[int, int]]
     victim: Optional[str] = None
     result: Optional[ShardedResult] = None
+    #: Flight-recorder output (``sampling=`` runs only): canonical
+    #: merged frames, byte-identical across shard counts.
+    frames: List[Dict[str, object]] = None  # type: ignore[assignment]
+    frames_dropped: int = 0
+    sampling: Optional[SamplingSpec] = None
+    #: Health evaluation over the frames (``health=`` runs only).
+    health: Optional[HealthReport] = None
+
+    def __post_init__(self) -> None:
+        if self.frames is None:
+            self.frames = []
+
+    def frames_export(self) -> str:
+        """Canonical JSON of the frame stream (byte-identity checks)."""
+        return json.dumps(self.frames, sort_keys=True)
+
+    def timeseries(self) -> Dict[str, object]:
+        """The ``repro.timeseries/v1`` document for this run."""
+        if self.sampling is None:
+            raise ValueError("run had no sampling= spec; no frames recorded")
+        return timeseries_snapshot(
+            self.frames,
+            self.sampling.interval_s,
+            frames_dropped=self.frames_dropped,
+            alerts=self.health.alerts if self.health is not None else (),
+            rules=self.health.rules if self.health is not None else (),
+        )
+
+    def timeseries_export(self) -> str:
+        """Canonical JSON of frames + alert timeline (byte-pinned)."""
+        return timeseries_export(self.timeseries())
 
     def fct_percentiles(
         self, qs: Tuple[float, ...] = (0.5, 0.95, 0.99)
@@ -921,13 +1011,16 @@ class FabricTrafficResult:
         return accepted, rejected
 
 
-def fabric_traffic_spec(shape: FatTreeShape) -> ScenarioSpec:
+def fabric_traffic_spec(
+    shape: FatTreeShape, sampling: Optional[SamplingSpec] = None
+) -> ScenarioSpec:
     """The campaign as a runner-ready :class:`ScenarioSpec`."""
     return ScenarioSpec(
         topology=partial(_fabric_traffic_topology, shape),
         build=partial(_fabric_traffic_build, shape=shape),
         harvest=_fabric_traffic_harvest,
         drain=_fabric_traffic_drain,
+        sampling=sampling,
     )
 
 
@@ -936,6 +1029,10 @@ def _assemble_traffic_result(
     seed: int,
     outputs: List[Dict[str, object]],
     result: Optional[ShardedResult],
+    frames: Optional[List[Dict[str, object]]] = None,
+    frames_dropped: int = 0,
+    sampling: Optional[SamplingSpec] = None,
+    health: Optional[HealthReport] = None,
 ) -> FabricTrafficResult:
     arrivals: Dict[int, List[float]] = {}
     verdicts: Dict[int, Tuple[int, int]] = {}
@@ -968,6 +1065,10 @@ def _assemble_traffic_result(
         tx_by_port=tx_by_port,
         victim=victim,
         result=result,
+        frames=list(frames) if frames is not None else [],
+        frames_dropped=frames_dropped,
+        sampling=sampling,
+        health=health,
     )
 
 
@@ -979,11 +1080,22 @@ def run_fabric_traffic(
     telemetry_active: bool = True,
     max_events: int = 8_000_000,
     until: Optional[float] = None,
+    sampling: Optional[SamplingSpec] = None,
+    health: Optional[Sequence[object]] = None,
 ) -> FabricTrafficResult:
-    """Run the attested fat-tree campaign sharded; merged result."""
+    """Run the attested fat-tree campaign sharded; merged result.
+
+    ``sampling=`` installs a per-shard flight recorder (frames merge
+    canonically, see docs/MONITORING.md); ``health=`` evaluates rules
+    over the merged frames post-merge and folds the alert timeline
+    into the audit journal. Passing ``health=`` alone implies the
+    default :func:`fabric_sampling_spec`.
+    """
     shape = shape or FatTreeShape()
+    if health is not None and sampling is None:
+        sampling = fabric_sampling_spec()
     result = run_sharded(
-        fabric_traffic_spec(shape),
+        fabric_traffic_spec(shape, sampling=sampling),
         shards=shards,
         backend=backend,
         seed=seed,
@@ -991,7 +1103,22 @@ def run_fabric_traffic(
         max_events=max_events,
         telemetry_active=telemetry_active,
     )
-    return _assemble_traffic_result(shape, seed, result.outputs, result)
+    health_report = None
+    if health is not None and sampling is not None:
+        health_report = evaluate_health(
+            result.frames, list(health), sampling.interval_s
+        )
+        fold_alerts(result.telemetry.audit, health_report.alerts)
+    return _assemble_traffic_result(
+        shape,
+        seed,
+        result.outputs,
+        result,
+        frames=result.frames,
+        frames_dropped=result.frames_dropped,
+        sampling=sampling,
+        health=health_report,
+    )
 
 
 def run_fabric_traffic_monolith(
@@ -999,30 +1126,74 @@ def run_fabric_traffic_monolith(
     seed: int = 0,
     max_events: int = 8_000_000,
     until: Optional[float] = None,
+    sampling: Optional[SamplingSpec] = None,
+    health: Optional[Sequence[object]] = None,
 ) -> FabricTrafficResult:
     """The same campaign on the unpartitioned :class:`Simulator`.
 
     The parity baseline: ``schedule_on``/``owns`` are identities on the
     monolith, so build, drain, and harvest are shared verbatim with the
-    sharded path; ``result`` is ``None``.
+    sharded path; ``result`` is ``None``. The flight recorder is
+    finished *before* harvest, matching the sharded runner (which
+    finishes it in ``finalize()``), so harvest-time appraisals land in
+    metric snapshots but never in frames on either path.
     """
     shape = shape or FatTreeShape()
-    sim = Simulator(_fabric_traffic_topology(shape), seed=seed)
+    if health is not None and sampling is None:
+        sampling = fabric_sampling_spec()
+    # The recorder samples the metrics registry, so a sampling= run
+    # needs live telemetry — the same Telemetry(active=True) every
+    # shard of the sharded runner builds. Without sampling the
+    # monolith keeps its historical null-telemetry default.
+    telemetry = Telemetry(active=True) if sampling is not None else None
+    if telemetry is not None:
+        reset_trace_ids()
+    sim = Simulator(
+        _fabric_traffic_topology(shape), seed=seed, telemetry=telemetry
+    )
     ctx = _fabric_traffic_build(sim, shape=shape)
+    if sampling is not None:
+        install_recorder(sim, sampling)
     sim.run(until=until, max_events=max_events)
     _fabric_traffic_drain(sim, ctx)
     sim.run(until=until, max_events=max_events)
+    frames: List[Dict[str, object]] = []
+    frames_dropped = 0
+    if sampling is not None:
+        recorder = sim.recorder
+        recorder.finish(sim.clock.now)
+        frames = renumber_frame_times(
+            merge_frame_streams([recorder.frames]), sampling.interval_s
+        )
+        frames_dropped = recorder.frames_dropped
     output = _fabric_traffic_harvest(sim, ctx)
-    return _assemble_traffic_result(shape, seed, [output], None)
+    health_report = None
+    if health is not None and sampling is not None:
+        health_report = evaluate_health(
+            frames, list(health), sampling.interval_s
+        )
+        fold_alerts(sim.telemetry.audit, health_report.alerts)
+    return _assemble_traffic_result(
+        shape,
+        seed,
+        [output],
+        None,
+        frames=frames,
+        frames_dropped=frames_dropped,
+        sampling=sampling,
+        health=health_report,
+    )
 
 
 __all__ = [
+    "FABRIC_SAMPLE_INTERVAL_S",
     "FabricShape",
     "FabricRunResult",
     "FabricTrafficResult",
     "FatTreeShape",
     "MultipathFabricSwitch",
     "StaticFabricSwitch",
+    "fabric_sampling_spec",
     "fabric_spec",
     "fabric_topology",
     "fabric_traffic_spec",
@@ -1031,4 +1202,5 @@ __all__ = [
     "run_fabric_traffic",
     "run_fabric_traffic_monolith",
     "run_sharded",
+    "standard_fabric_rules",
 ]

@@ -184,6 +184,17 @@ class FaultInjector:
                 fault=kind,
                 target=target,
             )
+            # Cumulative change-event counters (the gauges named
+            # ``faults.*`` are end-of-run snapshots): the flight
+            # recorder samples these, so health rules can correlate a
+            # fault's *activation window* with its symptoms — the only
+            # frame-visible signal for faults whose dataplane effect is
+            # silent here (e.g. clock skew under TRAFFIC_PATH).
+            tel.counter(
+                "faults.events",
+                fault=kind,
+                status="cleared" if cleared else "injected",
+            ).inc()
 
     def _apply_compromise(self, event: FaultEvent) -> None:
         """Swap the tampered program in through P4Runtime arbitration.

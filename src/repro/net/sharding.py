@@ -470,6 +470,10 @@ class ShardSimulator(Simulator):
         processed = 0
         uncounted = 0
         index = 0
+        recorder = self._recorder
+        tick_due = (
+            recorder.next_tick_s if recorder is not None else float("inf")
+        )
         busy_from = perf_counter()
         try:
             while processed + uncounted < max_events:
@@ -482,6 +486,12 @@ class ShardSimulator(Simulator):
                 else:
                     break
                 time, _seq, counted, action = entry
+                if time >= tick_due:
+                    # Same virtual-tick rule as the monolith loop: the
+                    # tick at `time` closes its window before the event
+                    # at `time` executes.
+                    recorder.advance_to(time)
+                    tick_due = recorder.next_tick_s
                 self.clock.advance_to(time)
                 action()
                 if counted:
@@ -518,6 +528,12 @@ class ShardSimulator(Simulator):
         if self._finalized:
             return
         self._finalized = True
+        if self._recorder is not None:
+            # Close the residual window before gauges are collected so
+            # the frame stream reflects exactly the simulated activity
+            # (collector gauges never enter frames anyway, but the
+            # ordering keeps finalize single-pass).
+            self._recorder.finish(self.clock.now)
         self.stats.events_processed += self._processed_accum
         if self.telemetry.active:
             from repro.telemetry.instrument import collect_simulator
@@ -527,6 +543,13 @@ class ShardSimulator(Simulator):
             self.telemetry.flush()
         except Exception:
             pass
+
+    def recorder_runtime(self) -> Tuple[float, float]:
+        """``(backlog, busy_seconds)`` — this shard's runtime view."""
+        return (
+            float(len(self._backlog) + len(self._overlay)),
+            self.busy_seconds,
+        )
 
     def run(
         self, until: Optional[float] = None, max_events: int = 1_000_000

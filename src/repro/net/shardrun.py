@@ -47,6 +47,12 @@ from repro.net.topology import Topology
 from repro.telemetry.audit import merge_audit_events
 from repro.telemetry.instrument import Telemetry
 from repro.telemetry.metrics import merge_snapshots
+from repro.telemetry.timeseries import (
+    SamplingSpec,
+    install_recorder,
+    merge_frame_streams,
+    renumber_frame_times,
+)
 from repro.telemetry.tracing import reset_trace_ids
 from repro.util.errors import NetworkError
 
@@ -75,12 +81,20 @@ class ScenarioSpec:
     runner then resumes the window loop, repeating until a drain round
     leaves all shards idle — the sharded equivalent of the monolith's
     "flush, then run() again" idiom.
+
+    ``sampling``, when given, installs a
+    :class:`~repro.telemetry.timeseries.FlightRecorder` on every shard;
+    the runner merges the per-shard frame streams canonically at the
+    end (see :func:`~repro.telemetry.timeseries.merge_frame_streams`),
+    so ``ShardedResult.frames`` is byte-identical across shard counts
+    like stats and the audit journal.
     """
 
     topology: Union[Topology, Callable[[], Topology]]
     build: Callable[[Any], Any]
     harvest: Optional[Callable[[Any, Any], Any]] = None
     drain: Optional[Callable[[Any, Any], None]] = None
+    sampling: Optional[SamplingSpec] = None
 
     def make_topology(self) -> Topology:
         topo = self.topology() if callable(self.topology) else self.topology
@@ -110,6 +124,15 @@ class ShardedResult:
     #: windows). Wall-clock measurements — deliberately *outside* the
     #: deterministic exports.
     shard_busy_s: List[float] = field(default_factory=list)
+    #: Merged flight-recorder frames (empty when the spec sampled
+    #: nothing). Deterministic: part of the byte-identity contract.
+    frames: List[Dict[str, object]] = field(default_factory=list)
+    frames_dropped: int = 0
+    #: The sampling window width the frames were recorded at.
+    sample_interval_s: Optional[float] = None
+    #: Per-shard recorder runtime (backlog/busy) — wall-clock flavored,
+    #: outside the deterministic exports like ``shard_busy_s``.
+    frames_runtime: List[Dict[str, float]] = field(default_factory=list)
 
     @property
     def events_processed(self) -> int:
@@ -129,6 +152,11 @@ class ShardedResult:
 
     def stats_export(self) -> str:
         return json.dumps(self.stats.as_dict(), sort_keys=True)
+
+    def frames_export(self) -> str:
+        """The merged frame stream as deterministic JSON — compared
+        across shard counts exactly like :meth:`audit_export`."""
+        return json.dumps(self.frames, sort_keys=True)
 
 
 def _worker_opts(runner: "ShardedRunner", max_events: int) -> Dict[str, Any]:
@@ -158,6 +186,8 @@ def _build_shard(
         telemetry=telemetry,
     )
     ctx = spec.build(sim)
+    if spec.sampling is not None:
+        install_recorder(sim, spec.sampling)
     return sim, ctx
 
 
@@ -168,15 +198,25 @@ def _finish_shard(
     shard's picklable contribution to the merge."""
     if until is not None:
         sim.clock.advance_to(until)
+    # Ticks due at the final clock fire *before* the barrier sweep, so
+    # deltas from barrier-sealed epochs land in the residual window —
+    # exactly where the monolith's end-of-run flush puts them.
+    sim.pump_recorder()
     sim.run_barrier_hooks()
     sim.finalize()
     output = spec.harvest(sim, ctx) if spec.harvest is not None else None
+    recorder = sim.recorder
     return {
         "stats": sim.stats.as_dict(),
         "audit": [event.as_dict() for event in sim.telemetry.audit.events],
         "metrics": sim.telemetry.metrics.snapshot(),
         "output": output,
         "busy_s": sim.busy_seconds,
+        "frames": recorder.frames if recorder is not None else [],
+        "frames_dropped": (
+            recorder.frames_dropped if recorder is not None else 0
+        ),
+        "frames_runtime": recorder.runtime() if recorder is not None else {},
     }
 
 
@@ -219,6 +259,10 @@ def _shard_worker(conn, spec, partition, shard_id, opts) -> None:
                 )
             elif message[0] == "drain":
                 sim.clock.advance_to(message[1])
+                # Ticks due at the sync time close before drain work
+                # (epoch flushes) mutates counters, keeping the flush
+                # deltas in the same window the monolith assigns them.
+                sim.pump_recorder()
                 if spec.drain is not None:
                     spec.drain(sim, ctx)
                 conn.send(
@@ -343,6 +387,7 @@ class ShardedRunner:
             merged = []
             for sim, ctx in zip(sims, ctxs):
                 sim.clock.advance_to(t_sync)
+                sim.pump_recorder()
                 self.spec.drain(sim, ctx)
                 merged.extend(sim.take_outbox())
             self._route(partition, merged, pending)
@@ -496,6 +541,22 @@ class ShardedRunner:
             telemetry = Telemetry(active=True)
             telemetry.audit.load(audit)
             telemetry.metrics.absorb_snapshot(metrics)
+        frames: List[Dict[str, object]] = []
+        frames_dropped = 0
+        frames_runtime: List[Dict[str, float]] = []
+        interval_s: Optional[float] = None
+        if self.spec.sampling is not None:
+            interval_s = self.spec.sampling.interval_s
+            frames = merge_frame_streams(
+                [bundle.get("frames", []) for bundle in bundles]
+            )
+            renumber_frame_times(frames, interval_s)
+            frames_dropped = sum(
+                int(bundle.get("frames_dropped", 0)) for bundle in bundles
+            )
+            frames_runtime = [
+                dict(bundle.get("frames_runtime", {})) for bundle in bundles
+            ]
         return ShardedResult(
             shards=partition.shard_count,
             backend=self.backend,
@@ -510,6 +571,10 @@ class ShardedRunner:
             shard_busy_s=[
                 float(bundle.get("busy_s", 0.0)) for bundle in bundles
             ],
+            frames=frames,
+            frames_dropped=frames_dropped,
+            sample_interval_s=interval_s,
+            frames_runtime=frames_runtime,
         )
 
 

@@ -160,6 +160,11 @@ class Simulator:
         # Fault-injection hook (see repro.faults); None = no faults, and
         # the dataplane fast path costs exactly one is-None branch.
         self.faults = None
+        # Flight recorder (see repro.telemetry.timeseries); None = no
+        # sampling. Ticks are virtual — fired by the run loop before
+        # the first event at or past each tick time — so the recorder
+        # never perturbs the event queue or the processed count.
+        self._recorder = None
 
     def install_faults(self, hook) -> None:
         """Install a fault-injection hook (duck-typed; see
@@ -168,6 +173,31 @@ class Simulator:
         if self.faults is not None:
             raise NetworkError("a fault hook is already installed")
         self.faults = hook
+
+    def install_recorder(self, recorder) -> None:
+        """Install a flight recorder (see
+        :func:`repro.telemetry.timeseries.install_recorder`)."""
+        if self._recorder is not None:
+            raise NetworkError("a flight recorder is already installed")
+        self._recorder = recorder
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    def pump_recorder(self) -> None:
+        """Fire every recorder tick due at or before the current clock.
+
+        The run loop pumps automatically; campaign code calls this
+        around out-of-loop mutations (drain flushes, barrier sweeps) so
+        their deltas land in the window the monolith would put them in.
+        """
+        if self._recorder is not None:
+            self._recorder.advance_to(self.clock.now)
+
+    def recorder_runtime(self) -> Tuple[float, float]:
+        """``(backlog, busy_seconds)`` for the runtime export section."""
+        return (float(len(self._queue)), 0.0)
 
     # --- setup ------------------------------------------------------------
 
@@ -266,16 +296,26 @@ class Simulator:
         runaway loops in buggy node behaviours.
         """
         processed = 0
+        recorder = self._recorder
+        due = recorder.next_tick_s if recorder is not None else float("inf")
         try:
             while self._queue and processed < max_events:
                 if until is not None and self._queue[0][0] > until:
                     break
                 time, _seq, action = heapq.heappop(self._queue)
+                if time >= due:
+                    # A tick at exactly `time` fires first: frame w
+                    # covers [w·Δ, (w+1)·Δ), so this event's effects
+                    # belong to the next window.
+                    recorder.advance_to(time)
+                    due = recorder.next_tick_s
                 self.clock.advance_to(time)
                 action()
                 processed += 1
             if until is not None:
                 self.clock.advance_to(until)
+                if recorder is not None:
+                    recorder.advance_to(until)
         finally:
             # Account for and export what DID happen even when a node
             # behaviour raised mid-event: a crashed run must still

@@ -110,6 +110,9 @@ class PeraSwitch(PisaSwitch):
         # the sharded runner's window-barrier sweep (see
         # :meth:`seal_overdue_epochs`).
         self._epoch_deadline: Optional[Tuple[int, float]] = None
+        # (epoch_id, sim time the first record arrived) — feeds the
+        # deterministic seal-latency histogram at seal time.
+        self._epoch_opened_at: Optional[Tuple[int, float]] = None
         # Control-plane writes invalidate cached evidence immediately.
         self.runtime.change_observers.append(self._on_control_change)
         # Evidence gate (UC3): when set, packets failing the gate drop.
@@ -462,6 +465,8 @@ class PeraSwitch(PisaSwitch):
         """
         batcher = self.epoch_batcher
         spec = self.config.batching
+        if batcher.open_count == 0 and self.sim is not None:
+            self._epoch_opened_at = (batcher.epoch_id, self.sim.clock.now)
         if (
             batcher.open_count == 0
             and self.sim is not None
@@ -585,6 +590,20 @@ class PeraSwitch(PisaSwitch):
                 records=sealed.leaf_count,
                 reason=sealed.reason,
             )
+            # Cumulative seal counter + sim-time seal latency (first
+            # record in → root signed): both deterministic — seal
+            # times are already byte-pinned via the audit journal — so
+            # the flight recorder samples them per window and health
+            # rules can watch for a switch going silent.
+            tel.counter("pera.epoch_sealed_events", switch=self.name).inc()
+            if (
+                self.sim is not None
+                and self._epoch_opened_at is not None
+                and self._epoch_opened_at[0] == sealed.epoch_id
+            ):
+                tel.histogram(
+                    "pera.epoch_seal_sim_seconds", switch=self.name
+                ).observe(self.sim.clock.now - self._epoch_opened_at[1])
 
     def emit(self, ctx: PacketContext) -> None:
         """Suppress emission for packets parked awaiting an epoch seal."""

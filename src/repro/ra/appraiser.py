@@ -85,10 +85,19 @@ class Appraiser:
         """
         if self.telemetry.active:
             started = perf_counter()
+            sim_started = self.telemetry.spans.clock.now
             verdict = self._appraise(evidence, claim)
             self.telemetry.histogram(
                 "ra.appraise_seconds", appraiser=self.name
             ).observe(perf_counter() - started)
+            # The sim-clock sibling: deterministic, so it joins the
+            # shard byte-identity contract (the wall-clock histogram
+            # above is the documented exclusion). Appraisal is modeled
+            # as instantaneous today, so the sum pins that property
+            # while the count pins per-appraiser appraisal volume.
+            self.telemetry.histogram(
+                "ra.appraise_sim_seconds", appraiser=self.name
+            ).observe(self.telemetry.spans.clock.now - sim_started)
             self.telemetry.counter(
                 "ra.verdicts",
                 appraiser=self.name,

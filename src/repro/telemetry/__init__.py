@@ -16,6 +16,12 @@ programmable dataplane is actually running; this subsystem gives the
   attestation events, joining every span/counter/verdict back to the
   causal chain that produced it (see ``docs/TRACING.md``),
 
+- a :class:`~repro.telemetry.timeseries.FlightRecorder` of windowed,
+  delta-encoded time-series frames sampled on a deterministic sim-time
+  cadence, with a declarative health/SLO rule engine
+  (:mod:`~repro.telemetry.health`) raising typed alerts at window
+  close (see ``docs/MONITORING.md``),
+
 and :mod:`~repro.telemetry.export` renders a run as JSON, as a Chrome
 ``chrome://tracing`` trace, or as a plain-text summary. Instrumented
 layers (net, pisa, pera, ra, core) bind to
@@ -66,7 +72,26 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.health import (
+    AbsenceRule,
+    HealthReport,
+    ImbalanceRule,
+    RatioRule,
+    ThresholdRule,
+    evaluate_health,
+    label_filter,
+)
 from repro.telemetry.spans import Span, SpanRecorder
+from repro.telemetry.timeseries import (
+    FlightRecorder,
+    SamplingSpec,
+    TIMESERIES_SCHEMA,
+    dump_timeseries,
+    install_recorder,
+    merge_frame_streams,
+    timeseries_export,
+    timeseries_snapshot,
+)
 from repro.telemetry.tracing import (
     TraceContext,
     new_trace_id,
@@ -114,4 +139,19 @@ __all__ = [
     "explain_verdict",
     "audit_snapshot",
     "dump_audit",
+    "FlightRecorder",
+    "SamplingSpec",
+    "TIMESERIES_SCHEMA",
+    "dump_timeseries",
+    "install_recorder",
+    "merge_frame_streams",
+    "timeseries_export",
+    "timeseries_snapshot",
+    "AbsenceRule",
+    "HealthReport",
+    "ImbalanceRule",
+    "RatioRule",
+    "ThresholdRule",
+    "evaluate_health",
+    "label_filter",
 ]

@@ -68,6 +68,8 @@ class AuditKind:
     RECOVERY_RECOVERED = "recovery.recovered"
     RECOVERY_GAVE_UP = "recovery.gave_up"
     RECOVERY_REPROVISIONED = "recovery.reprovisioned"
+    ALERT_RAISED = "alert.raised"
+    ALERT_CLEARED = "alert.cleared"
 
 
 class Check:
@@ -433,6 +435,17 @@ def _describe(doc: Mapping[str, object]) -> str:
         return (
             f"{actor}: reprovisioned {detail.get('switch', '?')} "
             "with the vetted program"
+        )
+    if kind == AuditKind.ALERT_RAISED:
+        return (
+            f"{actor}: ALERT {detail.get('rule', '?')} raised "
+            f"at window {detail.get('window', '?')} "
+            f"(value={detail.get('value', '?')})"
+        )
+    if kind == AuditKind.ALERT_CLEARED:
+        return (
+            f"{actor}: alert {detail.get('rule', '?')} cleared "
+            f"at window {detail.get('window', '?')}"
         )
     extra = f" {dict(detail)}" if detail else ""
     return f"{actor}: {kind}{extra}"

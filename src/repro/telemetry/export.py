@@ -228,6 +228,22 @@ def summary(telemetry: Telemetry, max_rows: Optional[int] = None) -> str:
             )
         if telemetry.spans.dropped:
             lines.append(f"  ({telemetry.spans.dropped} spans dropped)")
+    evictions = [
+        (label, count)
+        for label, count in (
+            ("spans", telemetry.spans.dropped),
+            ("audit events", telemetry.audit.dropped),
+        )
+        if count
+    ]
+    if evictions:
+        lines.append("== ring evictions ==")
+        width = max(len(label) for label, _ in evictions)
+        for label, count in evictions:
+            lines.append(
+                f"  {label.ljust(width)}  {count} evicted "
+                "(oldest-first; raise the ring bound to keep more)"
+            )
     return "\n".join(lines) if lines else "(no telemetry recorded)"
 
 

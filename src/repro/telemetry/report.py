@@ -1,19 +1,22 @@
-"""The post-run audit report CLI: ``python -m repro.telemetry.report``.
+"""The post-run report CLI: ``python -m repro.telemetry.report``.
 
-Reads the audit JSON a run exported (``dump_audit`` /
-``Telemetry.auto_dump``) and renders it for a human:
+Three modes, all working purely on exported JSON documents (so they
+run long after the simulating process is gone, or on artifacts
+downloaded from CI):
 
-- the run overview (event totals, traces seen, verdicts issued),
-- a per-trace narrative for every trace — or one trace via
-  ``--trace`` — the same per-hop story ``PathVerdict.explain()``
-  prints,
-- optionally (``--chrome-out``, with ``--telemetry``) a Chrome-trace
-  document rebuilt from the exported telemetry snapshot, with flow
-  events stitching the spans of each trace into one lane per packet.
+- ``report AUDIT.json`` (the historical default): the run overview,
+  per-trace narratives, and optionally (``--chrome-out`` with
+  ``--telemetry``) a flow-stitched Chrome trace rebuilt from the
+  telemetry snapshot.
+- ``report timeline TIMESERIES.json``: renders the flight recorder's
+  windowed frame stream (see docs/MONITORING.md) as per-metric
+  sparkline rows over sample windows.
+- ``report health TIMESERIES.json``: renders the health rules, a
+  per-rule raised/quiet timeline, and the alert event log.
 
-The CLI works purely on the exported JSON documents, so it can run
-long after the simulating process is gone (or on artifacts downloaded
-from CI).
+Any missing, unparseable, or wrong-schema input exits with status 2
+and a one-line diagnostic on stderr — never a traceback — so CI steps
+fail fast and readably.
 """
 
 from __future__ import annotations
@@ -25,17 +28,52 @@ import sys
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.telemetry.audit import AuditKind, narrative
+from repro.telemetry.timeseries import TIMESERIES_SCHEMA, cumulative_at
 
 #: Schema tag for chrome traces rebuilt from a snapshot (matches export).
 _TRACE_SCHEMA = "repro.trace/v1"
 
 
+class ReportError(ValueError):
+    """A user-facing input problem (bad path, bad JSON, wrong schema).
+
+    ``main`` turns these into exit status 2 plus a one-line stderr
+    message; they are never allowed to escape as tracebacks.
+    """
+
+
+def _load_json(path: pathlib.Path) -> object:
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as exc:
+        raise ReportError(f"cannot read {path}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        raise ReportError(f"{path} is not valid JSON: {exc}")
+
+
 def load_audit(path: pathlib.Path) -> Mapping[str, object]:
     """Load and minimally sanity-check an exported audit document."""
-    with path.open("r", encoding="utf-8") as handle:
-        doc = json.load(handle)
+    doc = _load_json(path)
     if not isinstance(doc, dict) or "events" not in doc:
-        raise ValueError(f"{path} is not an audit export (no 'events' key)")
+        raise ReportError(
+            f"{path} is not an audit export (no 'events' key)"
+        )
+    return doc
+
+
+def load_timeseries(path: pathlib.Path) -> Mapping[str, object]:
+    """Load a ``repro.timeseries/v1`` document, rejecting imposters."""
+    doc = _load_json(path)
+    if not isinstance(doc, dict) or "schema" not in doc:
+        raise ReportError(
+            f"{path} is not a timeseries export (no 'schema' key)"
+        )
+    if doc["schema"] != TIMESERIES_SCHEMA:
+        raise ReportError(
+            f"{path} has schema {doc['schema']!r}; this tool reads "
+            f"{TIMESERIES_SCHEMA!r}"
+        )
     return doc
 
 
@@ -164,10 +202,149 @@ def chrome_trace_from_snapshot(doc: Mapping[str, object]) -> Dict[str, object]:
     }
 
 
+# --- timeline / health rendering (from a TIMESERIES.json export) --------------
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One block glyph per value, scaled to the series maximum."""
+    top = max(values, default=0.0)
+    if top <= 0:
+        return _SPARKS[0] * len(values)
+    return "".join(
+        _SPARKS[min(len(_SPARKS) - 1, int(round(v / top * (len(_SPARKS) - 1))))]
+        for v in values
+    )
+
+
+def _series(doc: Mapping[str, object]) -> Dict[str, List[float]]:
+    """Per-key delta series over windows ``0..max(w)`` (dense, zeros
+    where a key's frame omitted it)."""
+    frames = doc.get("frames", [])
+    if not frames:
+        return {}
+    last_window = max(int(f["w"]) for f in frames)
+    deltas = {int(f["w"]): f.get("v", {}) for f in frames}
+    keys = sorted({k for v in deltas.values() for k in v})
+    return {
+        key: [
+            float(deltas.get(w, {}).get(key, 0.0))
+            for w in range(last_window + 1)
+        ]
+        for key in keys
+    }
+
+
+def render_timeline(
+    doc: Mapping[str, object],
+    metric: Optional[str] = None,
+    top: int = 24,
+) -> str:
+    """The flight-recorder frame stream as sparkline rows."""
+    interval = float(doc.get("interval_s", 0.0))
+    frames = doc.get("frames", [])
+    series = _series(doc)
+    if metric:
+        series = {k: v for k, v in series.items() if metric in k}
+    lines = [
+        f"timeline ({doc.get('schema', 'unversioned')})",
+        f"  windows:  {max((int(f['w']) for f in frames), default=-1) + 1}"
+        f" x {interval:g}s"
+        + (
+            f" (+{doc['frames_dropped']} frames evicted)"
+            if doc.get("frames_dropped")
+            else ""
+        ),
+        f"  metrics:  {len(series)}"
+        + (f" matching {metric!r}" if metric else ""),
+    ]
+    if not series:
+        lines.append("  (no matching series)")
+        return "\n".join(lines)
+    ranked = sorted(
+        series.items(), key=lambda item: (-sum(item[1]), item[0])
+    )
+    shown = ranked[:top]
+    width = max(len(key) for key, _ in shown)
+    lines.append("")
+    for key, values in shown:
+        final = cumulative_at(frames, max(int(f["w"]) for f in frames)).get(
+            key, 0.0
+        )
+        lines.append(
+            f"  {key.ljust(width)}  {sparkline(values)}  total {final:g}"
+        )
+    if len(ranked) > len(shown):
+        lines.append(f"  ... {len(ranked) - len(shown)} more (use --top)")
+    return "\n".join(lines)
+
+
+def render_health(doc: Mapping[str, object]) -> str:
+    """Health rules, per-rule raised/quiet timelines, and the alert log."""
+    frames = doc.get("frames", [])
+    alerts = doc.get("alerts", [])
+    rules = doc.get("rules", [])
+    last_window = max((int(f["w"]) for f in frames), default=-1)
+    lines = [
+        f"health ({doc.get('schema', 'unversioned')})",
+        f"  windows: {last_window + 1} x {float(doc.get('interval_s', 0.0)):g}s",
+        f"  rules:   {len(rules)}",
+        f"  alerts:  {len(alerts)} "
+        f"({sum(1 for a in alerts if a.get('kind') == 'alert.raised')} raised, "
+        f"{sum(1 for a in alerts if a.get('kind') == 'alert.cleared')} cleared)",
+    ]
+    if rules:
+        lines.append("")
+        width = max(len(str(r.get("name", "?"))) for r in rules)
+        for rule in rules:
+            name = str(rule.get("name", "?"))
+            raised = [
+                int(a["detail"]["window"])
+                for a in alerts
+                if a.get("kind") == "alert.raised"
+                and (a.get("detail") or {}).get("rule") == name
+            ]
+            cleared = [
+                int(a["detail"]["window"])
+                for a in alerts
+                if a.get("kind") == "alert.cleared"
+                and (a.get("detail") or {}).get("rule") == name
+            ]
+            row = []
+            up = False
+            for w in range(last_window + 1):
+                if w in raised:
+                    up = True
+                if w in cleared:
+                    up = False
+                row.append("█" if up else "·")
+            state = "RAISED" if up else "ok"
+            lines.append(
+                f"  {name.ljust(width)}  |{''.join(row)}|  "
+                f"{rule.get('type', '?')}  {state}"
+            )
+    if alerts:
+        lines.append("")
+        for alert in alerts:
+            detail = alert.get("detail") or {}
+            extras = ", ".join(
+                f"{k}={detail[k]}"
+                for k in sorted(detail)
+                if k not in ("rule", "window")
+            )
+            lines.append(
+                f"  t={alert.get('time_s'):g}s w={detail.get('window')} "
+                f"{alert.get('kind')} {detail.get('rule')}"
+                + (f" ({extras})" if extras else "")
+            )
+    return "\n".join(lines)
+
+
 # --- entry point --------------------------------------------------------------
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _audit_main(argv: Sequence[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.telemetry.report",
         description="Render a post-run attestation audit report.",
@@ -194,14 +371,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.chrome_out is not None:
         if args.telemetry is None:
             parser.error("--chrome-out requires --telemetry")
-        with args.telemetry.open("r", encoding="utf-8") as handle:
-            telemetry_doc = json.load(handle)
+        telemetry_doc = _load_json(args.telemetry)
         trace_doc = chrome_trace_from_snapshot(telemetry_doc)
         with args.chrome_out.open("w", encoding="utf-8") as handle:
             json.dump(trace_doc, handle)
             handle.write("\n")
         print(f"\nchrome trace written to {args.chrome_out}")
     return 0
+
+
+def _timeline_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report timeline",
+        description="Render flight-recorder frames as sparkline rows.",
+    )
+    parser.add_argument(
+        "timeseries", type=pathlib.Path, help="TIMESERIES.json export"
+    )
+    parser.add_argument(
+        "--metric", help="show only series whose key contains this substring"
+    )
+    parser.add_argument(
+        "--top", type=int, default=24, help="show at most N series"
+    )
+    args = parser.parse_args(argv)
+    print(render_timeline(
+        load_timeseries(args.timeseries), metric=args.metric, top=args.top
+    ))
+    return 0
+
+
+def _health_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.report health",
+        description="Render health rules and the alert timeline.",
+    )
+    parser.add_argument(
+        "timeseries", type=pathlib.Path, help="TIMESERIES.json export"
+    )
+    args = parser.parse_args(argv)
+    print(render_health(load_timeseries(args.timeseries)))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "timeline":
+            return _timeline_main(argv[1:])
+        if argv and argv[0] == "health":
+            return _health_main(argv[1:])
+        return _audit_main(argv)
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -10,10 +10,12 @@ both backends, for three scenarios of increasing hostility:
 
 "Byte-identical" is taken literally: the comparisons below are over
 JSON strings of the merged :class:`~repro.net.simulator.SimStats`,
-the merged audit journal, metric counters and gauges, and the
-scenario's own verdict/exfiltration outputs. Timing *histograms*
-(e.g. ``core.path_appraise_seconds``) measure real wall-clock spans
-and are the one deliberate exclusion — see docs/SHARDING.md.
+the merged audit journal, metric counters and gauges, the scenario's
+own verdict/exfiltration outputs, and every histogram whose base name
+ends in ``_sim_seconds`` (sim-clock latencies are deterministic, so
+they are *inside* the contract). Wall-clock histograms (e.g.
+``core.path_appraise_seconds``) measure real elapsed time and are the
+one deliberate exclusion — see docs/SHARDING.md.
 
 The multiprocessing backend is exercised sparingly (one case per
 scenario): it must agree with inline, but each mp case forks workers
@@ -28,6 +30,7 @@ from repro.core.chaos import run_chaos_athens
 from repro.core.fabric import FabricShape, run_fabric
 from repro.core.usecases import run_config_assurance
 from repro.pera.config import BatchingSpec
+from repro.telemetry.metrics import parse_name
 
 SHARD_COUNTS = (1, 2, 4)
 
@@ -37,12 +40,19 @@ FABRIC_SHAPE = FabricShape(
 
 
 def metric_signature(result):
-    """Counters and gauges as deterministic JSON; histograms excluded
-    (the only section allowed to carry wall-clock measurements)."""
+    """Counters, gauges and sim-clock histograms as deterministic
+    JSON; wall-clock histograms excluded (the only section allowed to
+    carry nondeterministic measurements)."""
+    sim_histograms = {
+        key: value
+        for key, value in result.metrics.get("histograms", {}).items()
+        if parse_name(key)[0].endswith("_sim_seconds")
+    }
     return json.dumps(
         {
             "counters": result.metrics.get("counters", {}),
             "gauges": result.metrics.get("gauges", {}),
+            "sim_histograms": sim_histograms,
         },
         sort_keys=True,
         default=str,

@@ -13,6 +13,7 @@ from repro.telemetry.report import (
     overview,
     render_report,
 )
+from repro.telemetry.timeseries import dump_timeseries, timeseries_snapshot
 
 TID = "abcdef012345"
 
@@ -111,3 +112,88 @@ class TestMain:
         doc = json.loads(out_path.read_text())
         assert any(e["ph"] == "s" for e in doc["traceEvents"])
         assert "chrome trace written" in capsys.readouterr().out
+
+
+@pytest.fixture
+def timeseries_path(tmp_path):
+    doc = timeseries_snapshot(
+        frames=[
+            {"w": 0, "t": 0.002, "v": {"net.link.tx_packets{link=a:1->b:1}": 3.0}},
+            {"w": 2, "t": 0.006, "v": {
+                "net.link.tx_packets{link=a:1->b:1}": 1.0,
+                "net.link.dropped": 2.0,
+            }},
+        ],
+        interval_s=0.002,
+        alerts=[
+            {
+                "seq": 1, "time_s": 0.006, "kind": "alert.raised",
+                "actor": "health",
+                "detail": {"rule": "drops", "window": 2, "value": 2.0},
+            },
+        ],
+        rules=[{"name": "drops", "type": "threshold", "metric": "net.link.dropped"}],
+    )
+    path = tmp_path / "TIMESERIES.json"
+    dump_timeseries(doc, path)
+    return path
+
+
+class TestTimelineSubcommand:
+    def test_renders_sparklines(self, timeseries_path, capsys):
+        assert main(["timeline", str(timeseries_path)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline (repro.timeseries/v1)" in out
+        assert "net.link.tx_packets{link=a:1->b:1}" in out
+        assert "total 4" in out
+
+    def test_metric_filter(self, timeseries_path, capsys):
+        assert main(
+            ["timeline", str(timeseries_path), "--metric", "dropped"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "net.link.dropped" in out
+        assert "tx_packets" not in out
+
+
+class TestHealthSubcommand:
+    def test_renders_alert_timeline(self, timeseries_path, capsys):
+        assert main(["health", str(timeseries_path)]) == 0
+        out = capsys.readouterr().out
+        assert "rules:   1" in out
+        assert "alert.raised drops" in out
+        assert "RAISED" in out  # never cleared -> still raised at end
+
+
+class TestErrorExits:
+    """Satellite contract: bad inputs exit 2 with a clear one-line
+    stderr message in every mode — never a traceback."""
+
+    def test_missing_file_timeline(self, tmp_path, capsys):
+        assert main(["timeline", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nope.json" in err
+
+    def test_missing_file_legacy_mode(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unparseable_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["health", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_schema_mismatch(self, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"schema": "repro.audit/v1"}))
+        assert main(["timeline", str(wrong)]) == 2
+        err = capsys.readouterr().err
+        assert "repro.audit/v1" in err and "repro.timeseries/v1" in err
+
+    def test_audit_document_without_events(self, tmp_path, capsys):
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"metrics": {}}))
+        assert main([str(wrong)]) == 2
+        assert "no 'events' key" in capsys.readouterr().err

@@ -22,6 +22,7 @@ from repro.telemetry.schema import assert_valid, load_schema, validate
 SCHEMA_DIR = pathlib.Path(__file__).resolve().parents[2] / "docs" / "schemas"
 AUDIT_SCHEMA = load_schema(SCHEMA_DIR / "audit_v1.schema.json")
 TRACE_SCHEMA = load_schema(SCHEMA_DIR / "chrome_trace_v1.schema.json")
+TIMESERIES_SCHEMA_DOC = load_schema(SCHEMA_DIR / "timeseries_v1.schema.json")
 
 
 def traced_run() -> Telemetry:
@@ -66,6 +67,43 @@ class TestExportedDocuments:
 
         doc = chrome_trace_from_snapshot(snapshot(traced_run()))
         assert_valid(doc, TRACE_SCHEMA, label="rebuilt chrome trace")
+
+    def test_chaos_timeseries_matches_schema(self):
+        from repro.core.chaos import run_chaos_athens, standard_chaos_rules
+
+        result = run_chaos_athens(health=standard_chaos_rules())
+        doc = result.timeseries()
+        assert doc["frames"], "the chaos run should have recorded frames"
+        assert doc["alerts"], "the chaos run should have raised alerts"
+        assert_valid(doc, TIMESERIES_SCHEMA_DOC, label="timeseries export")
+
+    def test_timeseries_survives_json_round_trip(self, tmp_path):
+        from repro.core.chaos import run_chaos_athens, standard_chaos_rules
+        from repro.telemetry.timeseries import dump_timeseries
+
+        result = run_chaos_athens(health=standard_chaos_rules())
+        path = tmp_path / "TIMESERIES.json"
+        dump_timeseries(result.timeseries(), path)
+        assert_valid(
+            json.loads(path.read_text()),
+            TIMESERIES_SCHEMA_DOC,
+            label="timeseries json",
+        )
+
+    def test_sharded_timeseries_runtime_section_allowed(self):
+        from repro.core.chaos import run_chaos_athens, standard_chaos_rules
+        from repro.telemetry.timeseries import timeseries_snapshot
+
+        result = run_chaos_athens(shards=2, health=standard_chaos_rules())
+        doc = timeseries_snapshot(
+            result.frames,
+            result.sampling.interval_s,
+            frames_dropped=result.frames_dropped,
+            alerts=result.health.alerts,
+            rules=result.health.rules,
+            runtime={"shards": result.sharded.frames_runtime},
+        )
+        assert_valid(doc, TIMESERIES_SCHEMA_DOC, label="timeseries+runtime")
 
 
 class TestSubsetValidator:
