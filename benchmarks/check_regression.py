@@ -5,8 +5,9 @@ and fails (exit 1) when any watched benchmark's median slowed down by
 more than the threshold (default 25%). Watched benchmarks are the
 hot-path suites the repository makes throughput claims about:
 ``bench_fig3_pipeline``, ``bench_substrate_crypto``, the sharded
-event-core scaling run ``bench_shard_scaling``, and the million-packet
-fat-tree campaign ``bench_fabric_traffic``.
+event-core scaling run ``bench_shard_scaling``, the million-packet
+fat-tree campaign ``bench_fabric_traffic``, and the congested
+tail-FCT campaign ``bench_fct_congestion``.
 
 Usage::
 
@@ -38,6 +39,7 @@ WATCHED_MODULES = (
     "bench_substrate_crypto",
     "bench_shard_scaling",
     "bench_fabric_traffic",
+    "bench_fct_congestion",
 )
 
 

@@ -63,6 +63,7 @@ from repro.telemetry.health import (
     AbsenceRule,
     HealthReport,
     ImbalanceRule,
+    LevelRule,
     ThresholdRule,
     evaluate_health,
     fold_alerts,
@@ -75,6 +76,7 @@ from repro.telemetry.timeseries import (
     timeseries_export,
     timeseries_snapshot,
 )
+from repro.net.qdisc import QueueConfig
 from repro.net.topology import Topology, fat_tree, leaf_spine
 from repro.pera.config import (
     BatchingSpec,
@@ -92,7 +94,11 @@ from repro.workload.flows import (
     FlowSpec,
     decode_flow_payload,
 )
-from repro.workload.mixes import elephant_mice_mix, web_session_mix
+from repro.workload.mixes import (
+    elephant_mice_mix,
+    incast_mix,
+    web_session_mix,
+)
 
 #: Gap between a host's consecutive sends.
 _ROUND_GAP_S = 50e-6
@@ -353,6 +359,14 @@ class FatTreeShape:
     set, so no packet ever parks awaiting an epoch seal).
     ``compromise_at_s`` arms an Athens-style rogue-program swap on the
     first attested flow's ingress edge switch.
+
+    Congestion knobs (docs/CONGESTION.md): ``queue`` installs the
+    given :class:`~repro.net.qdisc.QueueConfig` on every fat-tree link
+    (finite buffers, ECN/PFC, optional link-local recovery);
+    ``incast_fan_in`` adds a synchronized fan-in of that many senders
+    from other pods onto the first pod-0 host; ``corrupt_link_rate``
+    arms a corruption fault on the first attested flow's edge→agg hop,
+    which ``queue.recovery`` then masks with local retransmits.
     """
 
     k: int = 4
@@ -374,6 +388,13 @@ class FatTreeShape:
     flowlet_n_packets: int = 0
     batching: Optional[BatchingSpec] = None
     compromise_at_s: Optional[float] = None
+    queue: Optional[QueueConfig] = None
+    incast_fan_in: int = 0
+    incast_packets: int = 32
+    incast_payload_bytes: int = 256
+    incast_gap_s: float = 1e-6
+    incast_start_s: float = 2e-6
+    corrupt_link_rate: float = 0.0
 
     @property
     def half(self) -> int:
@@ -537,7 +558,10 @@ class MultipathFabricSwitch(NetworkAwarePeraSwitch):
         else:
             if self.mode is RoutingMode.FLOWLET:
                 port = self.flowlets.pick(
-                    members, packet.five_tuple, self.sim.clock.now
+                    members,
+                    packet.five_tuple,
+                    self.sim.clock.now,
+                    congested=packet.ecn,
                 )
             else:
                 port = self.ecmp.pick(members, packet.five_tuple)
@@ -554,6 +578,10 @@ def _fabric_traffic_topology(shape: FatTreeShape) -> Topology:
     routes — just a bound place for diverted evidence to land.
     """
     topo = fat_tree(shape.k, shape.hosts_per_edge)
+    if shape.queue is not None:
+        # Queues go on every fabric link but not the collector tap,
+        # which only ever carries control-plane messages.
+        topo.configure_queues(shape.queue)
     cw = max(2, len(str(shape.half * shape.half - 1)))
     core0 = f"zcore{0:0{cw}d}"
     topo.add_node(_COLLECTOR, kind="host")
@@ -595,6 +623,25 @@ def _attested_flow_specs(shape: FatTreeShape) -> List[FlowSpec]:
     return specs
 
 
+def _incast_endpoints(shape: FatTreeShape) -> Tuple[str, List[str]]:
+    """``(target, senders)`` for the incast burst.
+
+    The target is the first pod-0 host; senders come from *other*
+    pods, so the fan-in converges through the core tier onto one edge
+    downlink — backpressure then climbs edge→agg→core and any PFC
+    pause frames cross the pod–core shard cut.
+    """
+    names = [host for _, host in _fat_tree_hosts(shape)]
+    per_pod = shape.half * shape.hosts_per_edge_effective
+    remote = names[per_pod:]
+    if shape.incast_fan_in > len(remote):
+        raise ValueError(
+            f"incast_fan_in {shape.incast_fan_in} exceeds the "
+            f"{len(remote)} hosts outside pod 0"
+        )
+    return names[0], remote[: shape.incast_fan_in]
+
+
 def _campaign_flows(shape: FatTreeShape, seed: int) -> List[FlowSpec]:
     """Every flow of the campaign — a pure function of (shape, seed).
 
@@ -627,6 +674,17 @@ def _campaign_flows(shape: FatTreeShape, seed: int) -> List[FlowSpec]:
             arrival_rate_per_s=shape.arrival_rate_per_s,
             first_flow_id=_WEB_FLOW_BASE,
             t0=4e-6,
+        ))
+    if shape.incast_fan_in:
+        target, senders = _incast_endpoints(shape)
+        flows.extend(incast_mix(
+            senders,
+            target,
+            seed=spawn_seed(seed, "fabric.incast"),
+            packets=shape.incast_packets,
+            payload_bytes=shape.incast_payload_bytes,
+            gap_s=shape.incast_gap_s,
+            start_s=shape.incast_start_s,
         ))
     flows.extend(_attested_flow_specs(shape))
     return flows
@@ -762,6 +820,20 @@ def _fabric_traffic_build(sim, shape: FatTreeShape):
     engine = FlowEngine(sim, sinks, shim_for=lambda f: shims.get(f.flow_id))
     engine.launch(_campaign_flows(shape, base_seed))
 
+    # A lossy hop on the first attested flow's edge→agg link: with
+    # ``shape.queue.recovery`` armed the qdisc masks the corruption
+    # with local retransmits and the appraiser never sees a gap.
+    injector = None
+    if shape.corrupt_link_rate > 0.0 and attested:
+        first_path = attested[min(attested)]["path"]
+        plan = FaultPlan(seed=spawn_seed(base_seed, "fabric.corrupt"))
+        plan.corrupt_packets(
+            0.0, first_path[1], first_path[2],
+            rate=shape.corrupt_link_rate,
+        )
+        injector = FaultInjector(plan)
+        injector.attach(sim)
+
     victim = None
     if shape.compromise_at_s is not None and attested:
         first = attested[min(attested)]
@@ -796,6 +868,7 @@ def _fabric_traffic_build(sim, shape: FatTreeShape):
         "attested": attested,
         "appraiser": appraiser,
         "anchors": anchors,
+        "injector": injector,
         "victim": victim,
     }
 
@@ -815,6 +888,7 @@ def _fabric_traffic_harvest(sim, ctx):
     unroutable = 0
     attested_hops = 0
     epochs_sealed = 0
+    congestion_repicks = 0
     tx_by_port: Dict[str, Dict[int, int]] = {}
     for name in sorted(ctx["switches"]):
         if not sim.owns(name):
@@ -824,6 +898,7 @@ def _fabric_traffic_harvest(sim, ctx):
         unroutable += switch.packets_dropped_unroutable
         attested_hops += switch.ra_stats.packets_attested
         epochs_sealed += switch.ra_stats.epochs_sealed
+        congestion_repicks += switch.flowlets.congestion_repicks
         if switch.tx_by_port:
             tx_by_port[name] = {
                 port: switch.tx_by_port[port]
@@ -831,11 +906,14 @@ def _fabric_traffic_harvest(sim, ctx):
             }
 
     arrivals: Dict[int, List[float]] = {}
+    ecn_delivered = 0
     for name in sorted(ctx["sinks"]):
         if not sim.owns(name):
             continue
-        for flow_id, record in ctx["sinks"][name].flow_arrivals.items():
+        sink = ctx["sinks"][name]
+        for flow_id, record in sink.flow_arrivals.items():
             arrivals[flow_id] = list(record)
+        ecn_delivered += sink.ecn_marked
 
     appraiser: PathAppraiser = ctx["appraiser"]
     verdicts: Dict[int, List[int]] = {}
@@ -873,6 +951,8 @@ def _fabric_traffic_harvest(sim, ctx):
         "unroutable": unroutable,
         "attested_hops": attested_hops,
         "epochs_sealed": epochs_sealed,
+        "congestion_repicks": congestion_repicks,
+        "ecn_delivered": ecn_delivered,
         "tx_by_port": tx_by_port,
         "arrivals": arrivals,
         "verdicts": verdicts,
@@ -903,7 +983,10 @@ def fabric_sampling_spec() -> SamplingSpec:
     return SamplingSpec(interval_s=FABRIC_SAMPLE_INTERVAL_S)
 
 
-def standard_fabric_rules() -> List[object]:
+def standard_fabric_rules(
+    queue_depth_bytes: float = 16384.0,
+    pause_frames_per_window: float = 4.0,
+) -> List[object]:
     """Health rules for the fat-tree campaign: load, loss, liveness.
 
     - ``fabric-drops``: the fabric is lossless by construction, so any
@@ -915,6 +998,14 @@ def standard_fabric_rules() -> List[object]:
     - ``epoch-stall``: arms on the first sealed epoch and raises if
       sealing goes silent for three windows mid-run (batched shapes
       only — unbatched runs never arm it).
+    - ``queue-depth``: worst single egress queue occupancy (the
+      probe-sampled ``net.qdisc.depth_bytes`` level) above
+      ``queue_depth_bytes`` — sustained buffer buildup, the incast
+      signature. Queue-less campaigns emit no such series, so the rule
+      stays silent.
+    - ``pause-storm``: more than ``pause_frames_per_window`` PFC pause
+      frames in one window — backpressure has spread beyond the hot
+      queue and is freezing upstream ports.
     """
     return [
         ThresholdRule(name="fabric-drops", metric="net.link.dropped"),
@@ -928,6 +1019,17 @@ def standard_fabric_rules() -> List[object]:
             name="epoch-stall",
             metric="pera.epoch_sealed_events",
             for_windows=3,
+        ),
+        LevelRule(
+            name="queue-depth",
+            metric="net.qdisc.depth_bytes",
+            threshold=queue_depth_bytes,
+            aggregate="max",
+        ),
+        ThresholdRule(
+            name="pause-storm",
+            metric="net.qdisc.pause_frames",
+            threshold=pause_frames_per_window,
         ),
     ]
 
@@ -946,6 +1048,10 @@ class FabricTrafficResult:
     fct_s: Dict[int, float]
     verdicts: Dict[int, Tuple[int, int]]
     tx_by_port: Dict[str, Dict[int, int]]
+    #: Congestion evidence (queue-enabled shapes): ECN-marked packets
+    #: that reached a sink, and flowlet boundaries the signal forced.
+    ecn_delivered: int = 0
+    congestion_repicks: int = 0
     victim: Optional[str] = None
     result: Optional[ShardedResult] = None
     #: Flight-recorder output (``sampling=`` runs only): canonical
@@ -983,9 +1089,13 @@ class FabricTrafficResult:
     def fct_percentiles(
         self, qs: Tuple[float, ...] = (0.5, 0.95, 0.99)
     ) -> Dict[str, float]:
-        """Completion-time percentiles (seconds) over completed flows."""
+        """Completion-time percentiles (seconds) over completed flows.
+
+        Labels keep fractional percentiles distinct: ``0.999`` renders
+        as ``"p99.9"``, not a second ``"p99"``.
+        """
         values = sorted(self.fct_s.values())
-        return {f"p{int(q * 100)}": _percentile(values, q) for q in qs}
+        return {f"p{100 * q:g}": _percentile(values, q) for q in qs}
 
     def ecmp_imbalance(self, min_samples: int = 64) -> float:
         """Worst per-switch max/mean ratio over multipath egress counts.
@@ -1060,6 +1170,10 @@ def _assemble_traffic_result(
         epochs_sealed=sum(out["epochs_sealed"] for out in outputs),
         oob_records=sum(out["oob_records"] for out in outputs),
         oob_verified=sum(out["oob_verified"] for out in outputs),
+        ecn_delivered=sum(out["ecn_delivered"] for out in outputs),
+        congestion_repicks=sum(
+            out["congestion_repicks"] for out in outputs
+        ),
         fct_s=fct,
         verdicts=verdicts,
         tx_by_port=tx_by_port,

@@ -236,7 +236,7 @@ class FaultInjector:
         return name in self._down_nodes
 
     def filter_transmit(
-        self, from_node: str, to_node: str, packet
+        self, from_node: str, to_node: str, packet, detect_corruption: bool = False
     ) -> Tuple[Optional[str], Any]:
         """Apply link faults to one transmission attempt.
 
@@ -244,6 +244,14 @@ class FaultInjector:
         attempt is lost (the simulator counts the drop and may spend
         its resend budget); otherwise the possibly-mutated packet
         proceeds onto the wire.
+
+        ``detect_corruption`` models a link whose receiver checks
+        frame CRCs (the qdisc recovery protocol): a bit flip still
+        happens on the wire, but instead of the corrupted packet
+        propagating, the attempt is *lost* (``fault_corrupt``) for the
+        sender to retransmit. Semantic attacks — record stripping,
+        which rewrites the packet into a CRC-valid one — are
+        deliberately *not* detectable this way.
         """
         key = link_key(from_node, to_node)
         directed = f"{from_node}>{to_node}"
@@ -260,6 +268,18 @@ class FaultInjector:
         if rate > 0:
             rng = self._stream("corrupt", directed)
             if rng.random() < rate:
+                if detect_corruption:
+                    self.stats.packets_corrupted += 1
+                    tel = self._telemetry
+                    if tel.active:
+                        tel.audit_event(
+                            AuditKind.FAULT_INJECTED,
+                            _AUDIT_ACTOR,
+                            trace=packet.trace,
+                            fault="bit_flip_detected",
+                            target="packet",
+                        )
+                    return "fault_corrupt", packet
                 packet = self._corrupt_packet(packet, rng)
         return None, packet
 

@@ -47,6 +47,11 @@ class Packet:
     trace: Optional[TraceContext] = field(
         default=None, compare=False, repr=False
     )
+    #: ECN-style congestion-experienced mark, set by a congested
+    #: egress queue (:mod:`repro.net.qdisc`). Ancillary metadata like
+    #: ``trace`` — a stand-in for the IP ECN codepoint that keeps the
+    #: wire form (and every size/digest computed from it) unchanged.
+    ecn: bool = field(default=False, compare=False, repr=False)
 
     # --- construction helpers -------------------------------------------
 
@@ -220,6 +225,18 @@ class Packet:
         form (if any) is carried over to the copy.
         """
         updated = replace(self, trace=trace)
+        cached = self.__dict__.get("_wire")
+        if cached is not None:
+            object.__setattr__(updated, "_wire", cached)
+        return updated
+
+    def with_ecn(self, marked: bool = True) -> "Packet":
+        """Return a copy carrying the congestion-experienced mark.
+
+        Like :meth:`with_trace`, the mark never reaches the wire, so
+        the cached encoded form is carried over.
+        """
+        updated = replace(self, ecn=marked)
         cached = self.__dict__.get("_wire")
         if cached is not None:
             object.__setattr__(updated, "_wire", cached)

@@ -225,6 +225,16 @@ class FlowletTable:
     spreading one flow's bursts across members while keeping each
     burst in-order on a single path. Selection is a pure function of
     (seed, flow key, serial) so shards replay identically.
+
+    Congestion awareness: a caller that sees a congestion signal for
+    the flow (an ECN-marked packet, a deep local queue) passes
+    ``congested=True`` to :meth:`pick`, which forces a flowlet
+    boundary — the burst ends early and the re-pick hash moves the
+    flow off the hot path. A per-flow cooldown of ``idle_gap_s``
+    between congestion-driven re-picks stops one marked burst from
+    thrashing the path every packet. The signal only changes *when*
+    the serial bumps, never *how* the member is chosen, so the
+    determinism contract is unchanged.
     """
 
     def __init__(
@@ -241,7 +251,12 @@ class FlowletTable:
         self.idle_gap_s = idle_gap_s
         self.flowlet_n_packets = flowlet_n_packets
         self.repicks = 0
-        # flow key -> [last_seen_s, packets_in_flowlet, serial]
+        #: Boundaries forced by the congestion signal alone (a subset
+        #: of ``repicks``): the campaign-visible evidence that
+        #: congestion actually moved flows.
+        self.congestion_repicks = 0
+        # flow key -> [last_seen_s, packets_in_flowlet, serial,
+        #              last_congestion_repick_s]
         self._state: Dict[tuple, List[float]] = {}
 
     def serial_of(self, flow_key: tuple) -> int:
@@ -250,14 +265,18 @@ class FlowletTable:
         return int(state[2]) if state is not None else 0
 
     def pick(
-        self, members: Tuple[int, ...], flow_key: tuple, now_s: float
+        self,
+        members: Tuple[int, ...],
+        flow_key: tuple,
+        now_s: float,
+        congested: bool = False,
     ) -> int:
         """Return the member for this packet, rotating at boundaries."""
         if not members:
             raise NetworkError("cannot select from an empty member set")
         state = self._state.get(flow_key)
         if state is None:
-            state = [now_s, 0.0, 0.0]
+            state = [now_s, 0.0, 0.0, float("-inf")]
             self._state[flow_key] = state
         else:
             expired = now_s - state[0] > self.idle_gap_s
@@ -265,10 +284,18 @@ class FlowletTable:
                 self.flowlet_n_packets > 0
                 and state[1] >= self.flowlet_n_packets
             )
-            if expired or exhausted:
+            nudged = (
+                congested
+                and now_s - state[3] > self.idle_gap_s
+            )
+            if expired or exhausted or nudged:
                 state[2] += 1
                 state[1] = 0.0
                 self.repicks += 1
+                if nudged:
+                    state[3] = now_s
+                    if not (expired or exhausted):
+                        self.congestion_repicks += 1
             state[0] = now_s
         state[1] += 1
         index = stable_flow_hash(

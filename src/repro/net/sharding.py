@@ -52,9 +52,11 @@ from repro.telemetry.tracing import TraceContext
 from repro.util.errors import NetworkError
 
 #: Outbox entry kinds (sort lexicographically: control before packets
-#: on arrival-time ties, which is part of the canonical order).
+#: before pause frames on arrival-time ties, which is part of the
+#: canonical order).
 KIND_CONTROL = "ctl"
 KIND_PACKET = "pkt"
+KIND_PAUSE = "pse"
 
 
 @dataclass(frozen=True)
@@ -252,6 +254,7 @@ class ShardSimulator(Simulator):
         self._outbox: List[tuple] = []
         self._pkt_counters: Dict[Tuple[str, int], int] = {}
         self._ctl_counters: Dict[Tuple[str, str], int] = {}
+        self._pause_counters: Dict[Tuple[str, int], int] = {}
         self._processed_accum = 0
         self._uncounted_accum = 0
         self._finalized = False
@@ -393,6 +396,36 @@ class ShardSimulator(Simulator):
             (arrival, KIND_CONTROL, sender, recipient, index, message, trace)
         )
 
+    def _schedule_pause_delivery(
+        self,
+        to_node: str,
+        to_port: int,
+        paused: bool,
+        from_node: str,
+        delay: float,
+    ) -> None:
+        if self.owns(to_node):
+            super()._schedule_pause_delivery(
+                to_node, to_port, paused, from_node, delay
+            )
+            return
+        # A pause frame travels its link's propagation latency; on a
+        # cut link that is at least the lookahead window, so the same
+        # conservative argument as packets applies.
+        arrival = self.clock.now + delay
+        if self._window_end is not None and arrival < self._window_end:
+            raise NetworkError(
+                f"lookahead violation: pause frame for {to_node!r} arrives "
+                f"at {arrival} inside the open window ending "
+                f"{self._window_end}"
+            )
+        key = (to_node, to_port)
+        index = self._pause_counters.get(key, 0)
+        self._pause_counters[key] = index + 1
+        self._outbox.append(
+            (arrival, KIND_PAUSE, to_node, to_port, index, paused, from_node)
+        )
+
     def take_outbox(self) -> List[tuple]:
         """Drain and return this window's cross-shard entries."""
         entries, self._outbox = self._outbox, []
@@ -423,6 +456,14 @@ class ShardSimulator(Simulator):
                     time,
                     lambda s=sender, r=recipient, m=message, tr=trace: (
                         self._deliver_control(s, r, m, tr)
+                    ),
+                )
+            elif entry[1] == KIND_PAUSE:
+                time, _, to_node, to_port, _index, paused, from_node = entry
+                self.schedule_at(
+                    time,
+                    lambda n=to_node, p=to_port, f=paused, s=from_node: (
+                        self._deliver_pause(n, p, f, s)
                     ),
                 )
             else:
@@ -586,6 +627,7 @@ class ShardSimulator(Simulator):
 __all__ = [
     "KIND_CONTROL",
     "KIND_PACKET",
+    "KIND_PAUSE",
     "Partition",
     "ShardSimulator",
     "partition_topology",

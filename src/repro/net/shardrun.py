@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.net.sharding import (
-    KIND_PACKET,
+    KIND_CONTROL,
     Partition,
     ShardSimulator,
     partition_topology,
@@ -338,7 +338,9 @@ class ShardedRunner:
         independent of which shard produced what."""
         merged.sort(key=lambda entry: entry[:5])
         for entry in merged:
-            target = entry[2] if entry[1] == KIND_PACKET else entry[3]
+            # Control entries carry (sender, recipient); packet and
+            # pause entries lead with the destination endpoint.
+            target = entry[3] if entry[1] == KIND_CONTROL else entry[2]
             pending[partition.owner[target]].append(entry)
 
     def _run_inline(self, topology, partition, until, max_events):

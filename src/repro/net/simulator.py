@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.packet import Packet
+from repro.net.qdisc import QdiscEngine
 from repro.net.topology import Topology
 from repro.telemetry.audit import AuditKind
 from repro.telemetry.instrument import (
@@ -107,6 +108,18 @@ class SimStats:
     #: Lost transmit attempts recovered by a sender's local resend
     #: budget (LinkGuardian-style); not counted in packets_dropped.
     local_resends: int = 0
+    #: Tail drops at a full egress queue (repro.net.qdisc); also
+    #: counted in packets_dropped (reason ``queue_full``).
+    queue_drops: int = 0
+    #: Packets ECN-marked above an egress queue's marking threshold.
+    ecn_marked: int = 0
+    #: PFC-style pause frames sent upstream (resumes not counted).
+    pause_frames: int = 0
+    #: Link-local recovery retransmissions (a subset of
+    #: local_resends: the attempts driven by a RecoveryConfig).
+    recovery_retransmits: int = 0
+    #: Packets delayed by in-order release behind a recovered packet.
+    recovery_held: int = 0
 
     def merge(self, other: "SimStats") -> "SimStats":
         """Combine two shards' stats. Every field is a pure per-shard
@@ -160,6 +173,10 @@ class Simulator:
         # Fault-injection hook (see repro.faults); None = no faults, and
         # the dataplane fast path costs exactly one is-None branch.
         self.faults = None
+        # Egress-queue engine (see repro.net.qdisc); created lazily on
+        # the first transmit over a link carrying a QueueConfig, so
+        # queue-less worlds pay one is-None branch and nothing else.
+        self._qdisc_engine: Optional[QdiscEngine] = None
         # Flight recorder (see repro.telemetry.timeseries); None = no
         # sampling. Ticks are virtual — fired by the run loop before
         # the first event at or past each tick time — so the recorder
@@ -355,6 +372,12 @@ class Simulator:
             self._count_drop(from_node, "dark_port", packet)
             self._note(f"{from_node} dropped {packet!r}: port {out_port} unwired")
             return False
+        if link.queue is not None:
+            # Queued link: contention, congestion signals and recovery
+            # live in the qdisc engine (repro.net.qdisc).
+            return self._qdisc().offer(
+                from_node, out_port, link, packet, resend_budget
+            )
         peer, peer_port = link.other_end(from_node)
         faults = self.faults
         attempts = 0
@@ -421,20 +444,80 @@ class Simulator:
             self._note(
                 f"{from_node}:{out_port} -> {peer}:{peer_port} {packet!r}"
             )
-            if self.packet_log.append(PacketLogEntry(
-                time=self.clock.now,
-                from_node=from_node,
-                out_port=out_port,
-                to_node=peer,
-                in_port=peer_port,
-                wire_length=packet.wire_length,
-                five_tuple=packet.five_tuple,
-                summary=repr(packet),
-            )):
-                self.stats.dropped_trace_entries += 1
+            self._log_transmission(
+                from_node, out_port, peer, peer_port, packet
+            )
 
         self._schedule_packet_delivery(peer, peer_port, packet, delay)
         return True
+
+    def _log_transmission(
+        self,
+        from_node: str,
+        out_port: int,
+        peer: str,
+        peer_port: int,
+        packet: Packet,
+    ) -> None:
+        """Append one packet-log entry (caller gates on trace_enabled)."""
+        if self.packet_log.append(PacketLogEntry(
+            time=self.clock.now,
+            from_node=from_node,
+            out_port=out_port,
+            to_node=peer,
+            in_port=peer_port,
+            wire_length=packet.wire_length,
+            five_tuple=packet.five_tuple,
+            summary=repr(packet),
+        )):
+            self.stats.dropped_trace_entries += 1
+
+    # --- egress queues (repro.net.qdisc) ------------------------------------
+
+    def _qdisc(self) -> QdiscEngine:
+        engine = self._qdisc_engine
+        if engine is None:
+            engine = QdiscEngine(self)
+            self._qdisc_engine = engine
+        return engine
+
+    def qdisc_queue_depths(self) -> List[Tuple[str, int, int]]:
+        """Sorted ``(node, port, depth_bytes)`` for every egress queue
+        this simulator owns — the flight-recorder probe input."""
+        if self._qdisc_engine is None:
+            return []
+        return self._qdisc_engine.owned_depths()
+
+    def queue_depth_bytes(self, node: str, port: int) -> int:
+        """Current buffered bytes on one egress queue (0 if none)."""
+        if self._qdisc_engine is None:
+            return 0
+        queue = self._qdisc_engine.queues.get((node, port))
+        return queue.depth_bytes if queue is not None else 0
+
+    def _schedule_pause_delivery(
+        self,
+        to_node: str,
+        to_port: int,
+        paused: bool,
+        from_node: str,
+        delay: float,
+    ) -> None:
+        """Arrange for a PFC pause/resume frame to reach ``to_node``.
+
+        Split out like :meth:`_schedule_packet_delivery` so the
+        sharded engine can route frames aimed at foreign-owned
+        upstream nodes through the barrier outboxes.
+        """
+        self.schedule(
+            delay,
+            lambda: self._deliver_pause(to_node, to_port, paused, from_node),
+        )
+
+    def _deliver_pause(
+        self, to_node: str, to_port: int, paused: bool, from_node: str
+    ) -> None:
+        self._qdisc().on_pause(to_node, to_port, paused, from_node)
 
     def _loss_stream(self, from_node: str, out_port: int) -> random.Random:
         """The loss RNG for one directed link (lazily spawned)."""

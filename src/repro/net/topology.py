@@ -9,9 +9,10 @@ switches, or adversarial nodes.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.net.qdisc import QueueConfig
 from repro.util.errors import NetworkError
 
 
@@ -21,6 +22,10 @@ class Link:
 
     ``drop_rate`` injects loss: the simulator drops each transmission
     with this probability (from its own seeded RNG, so runs replay).
+    ``queue``, when set, gives each *sending* endpoint a finite egress
+    queue with serialization occupancy and congestion signals (see
+    :mod:`repro.net.qdisc`); ``None`` keeps the legacy
+    transmit-immediately path.
     """
 
     node_a: str
@@ -30,6 +35,7 @@ class Link:
     latency_s: float = 1e-6
     bandwidth_bps: float = 10e9
     drop_rate: float = 0.0
+    queue: Optional[QueueConfig] = None
 
     def __post_init__(self) -> None:
         if self.latency_s < 0:
@@ -81,6 +87,7 @@ class Topology:
         latency_s: float = 1e-6,
         bandwidth_bps: float = 10e9,
         drop_rate: float = 0.0,
+        queue: Optional[QueueConfig] = None,
     ) -> Link:
         for name in (node_a, node_b):
             if name not in self._nodes:
@@ -89,12 +96,43 @@ class Topology:
             if endpoint in self._port_map:
                 raise NetworkError(f"port already wired: {endpoint}")
         link = Link(
-            node_a, port_a, node_b, port_b, latency_s, bandwidth_bps, drop_rate
+            node_a,
+            port_a,
+            node_b,
+            port_b,
+            latency_s,
+            bandwidth_bps,
+            drop_rate,
+            queue,
         )
         self._links.append(link)
         self._port_map[(node_a, port_a)] = link
         self._port_map[(node_b, port_b)] = link
         return link
+
+    def configure_queues(
+        self,
+        config: Optional[QueueConfig],
+        predicate: Optional[Callable[[Link], bool]] = None,
+    ) -> int:
+        """Attach ``config`` to every link (or those ``predicate``
+        selects); returns how many links changed.
+
+        Links are frozen, so each selected link is rebuilt and both
+        port-map entries re-registered — the canned generators stay
+        queue-agnostic and scenarios layer congestion on afterwards.
+        Passing ``config=None`` strips queues back off.
+        """
+        changed = 0
+        for i, link in enumerate(self._links):
+            if predicate is not None and not predicate(link):
+                continue
+            updated = replace(link, queue=config)
+            self._links[i] = updated
+            self._port_map[(link.node_a, link.port_a)] = updated
+            self._port_map[(link.node_b, link.port_b)] = updated
+            changed += 1
+        return changed
 
     # --- queries ----------------------------------------------------------
 

@@ -32,6 +32,11 @@ Rule semantics (all values are **per-window deltas** unless noted):
   label-derived group key (ECMP: the sending switch is the link label
   up to the first ``:``) and bounds ``max/mean`` per group once the
   group has seen ``min_total`` events.
+- :class:`LevelRule` — bounds the **cumulative** matching value (a
+  reconstructed *level*, not a rate): summing a sampled occupancy
+  probe's deltas yields the current occupancy, so this is the rule
+  for queue depths and other gauges the flight recorder carries as
+  probe series.
 """
 
 from __future__ import annotations
@@ -198,7 +203,55 @@ class ImbalanceRule:
         }
 
 
-HealthRule = object  # union of the four dataclasses above (duck-typed)
+@dataclass(frozen=True)
+class LevelRule:
+    """Cumulative matching value above ``threshold`` — a level, not a rate.
+
+    Delta-encoded probe series (queue depth sampled every window)
+    reconstruct the current occupancy when their deltas are summed,
+    which is exactly the ``cumulative`` view the evaluator maintains.
+    ``aggregate="max"`` bounds the worst single matching key (one
+    queue's depth); ``"sum"`` bounds the total across matching keys.
+    Raises at the first window close with the level above
+    ``threshold``; clears at the first window back at or below it.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    aggregate: str = "max"
+    labels: LabelFilter = ()
+    kind: str = field(default="level", init=False)
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in ("max", "sum"):
+            raise ValueError(
+                f"LevelRule aggregate must be 'max' or 'sum', "
+                f"got {self.aggregate!r}"
+            )
+
+    def level(self, cumulative: Mapping[str, float]) -> float:
+        values = [
+            v
+            for k, v in cumulative.items()
+            if _matches(k, self.metric, self.labels)
+        ]
+        if not values:
+            return 0.0
+        return max(values) if self.aggregate == "max" else sum(values)
+
+    def as_doc(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "metric": self.metric,
+            "labels": dict(self.labels),
+            "threshold": self.threshold,
+            "aggregate": self.aggregate,
+        }
+
+
+HealthRule = object  # union of the five dataclasses above (duck-typed)
 
 
 @dataclass
@@ -352,6 +405,21 @@ def evaluate_health(
                             value=0.0,
                             silent_windows=state.silent,
                         )
+            elif isinstance(rule, LevelRule):
+                level = rule.level(cumulative)
+                if level > rule.threshold:
+                    if not state.raised:
+                        state.raised = True
+                        emit(
+                            AuditKind.ALERT_RAISED,
+                            rule,
+                            window,
+                            value=level,
+                            threshold=rule.threshold,
+                        )
+                elif state.raised:
+                    state.raised = False
+                    emit(AuditKind.ALERT_CLEARED, rule, window, value=level)
             elif isinstance(rule, ImbalanceRule):
                 worst = rule.worst(cumulative)
                 if worst > rule.bound:
@@ -416,6 +484,7 @@ __all__ = [
     "HealthReport",
     "HealthRule",
     "ImbalanceRule",
+    "LevelRule",
     "RatioRule",
     "ThresholdRule",
     "evaluate_health",

@@ -256,6 +256,13 @@ def collect_simulator(telemetry: Telemetry, sim) -> None:
     g("net.sim.events_processed").set(stats.events_processed)
     g("net.sim.dropped_trace_entries").set(stats.dropped_trace_entries)
     g("net.sim.local_resends").set(getattr(stats, "local_resends", 0))
+    g("net.sim.queue_drops").set(getattr(stats, "queue_drops", 0))
+    g("net.sim.ecn_marked").set(getattr(stats, "ecn_marked", 0))
+    g("net.sim.pause_frames").set(getattr(stats, "pause_frames", 0))
+    g("net.sim.recovery_retransmits").set(
+        getattr(stats, "recovery_retransmits", 0)
+    )
+    g("net.sim.recovery_held").set(getattr(stats, "recovery_held", 0))
     faults = getattr(sim, "faults", None)
     fault_stats = getattr(faults, "stats", None)
     if fault_stats is not None:

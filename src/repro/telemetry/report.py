@@ -86,8 +86,36 @@ def _trace_ids(events: Sequence[Mapping[str, object]]) -> List[str]:
     return seen
 
 
-def overview(doc: Mapping[str, object]) -> str:
-    """The run-level summary block at the top of every report."""
+#: Congestion & recovery counters ``overview`` surfaces from a stats
+#: export (``ShardedResult.stats_export()``), in display order.
+_CONGESTION_STATS = (
+    ("queue drops", "queue_drops"),
+    ("ECN marks", "ecn_marked"),
+    ("pause frames", "pause_frames"),
+    ("local resends", "local_resends"),
+    ("recovery retransmits", "recovery_retransmits"),
+    ("recovery held", "recovery_held"),
+)
+
+
+def load_stats(path: pathlib.Path) -> Mapping[str, object]:
+    """Load a simulator-stats JSON export (a flat counter mapping)."""
+    doc = _load_json(path)
+    if not isinstance(doc, dict):
+        raise ReportError(f"{path} is not a stats export (not an object)")
+    return doc
+
+
+def overview(
+    doc: Mapping[str, object],
+    stats: Optional[Mapping[str, object]] = None,
+) -> str:
+    """The run-level summary block at the top of every report.
+
+    ``stats`` (a loaded stats export) appends the congestion &
+    recovery counters — queue drops, ECN marks, PFC pause frames, and
+    link-local resend totals (docs/CONGESTION.md).
+    """
     events = doc.get("events", [])
     traces = _trace_ids(events)
     verdicts = [e for e in events if e.get("kind") == AuditKind.VERDICT_ISSUED]
@@ -103,6 +131,13 @@ def overview(doc: Mapping[str, object]) -> str:
         f"  verdicts: {len(verdicts)} ({rejected} rejected)",
         f"  failed checks: {len(failures)}",
     ]
+    if stats is not None:
+        lines.append("  congestion & recovery:")
+        width = max(len(label) for label, _ in _CONGESTION_STATS)
+        for label, key in _CONGESTION_STATS:
+            lines.append(
+                f"    {label.ljust(width)}  {int(stats.get(key, 0) or 0)}"
+            )
     by_kind: Dict[str, int] = {}
     for event in events:
         kind = str(event.get("kind", "?"))
@@ -116,11 +151,13 @@ def overview(doc: Mapping[str, object]) -> str:
 
 
 def render_report(
-    doc: Mapping[str, object], trace: Optional[str] = None
+    doc: Mapping[str, object],
+    trace: Optional[str] = None,
+    stats: Optional[Mapping[str, object]] = None,
 ) -> str:
     """The full text report: overview plus per-trace narratives."""
     events = doc.get("events", [])
-    sections = [overview(doc)]
+    sections = [overview(doc, stats=stats)]
     traces = [trace] if trace is not None else _trace_ids(events)
     for trace_id in traces:
         sections.append(narrative(events, trace_id=trace_id))
@@ -354,6 +391,12 @@ def _audit_main(argv: Sequence[str]) -> int:
         "--trace", help="render only this trace id's narrative"
     )
     parser.add_argument(
+        "--stats",
+        type=pathlib.Path,
+        help="simulator stats JSON export; adds the congestion & "
+        "recovery counter block to the overview",
+    )
+    parser.add_argument(
         "--telemetry",
         type=pathlib.Path,
         help="telemetry JSON export (required for --chrome-out)",
@@ -366,7 +409,8 @@ def _audit_main(argv: Sequence[str]) -> int:
     args = parser.parse_args(argv)
 
     doc = load_audit(args.audit)
-    print(render_report(doc, trace=args.trace))
+    stats = load_stats(args.stats) if args.stats is not None else None
+    print(render_report(doc, trace=args.trace, stats=stats))
 
     if args.chrome_out is not None:
         if args.telemetry is None:

@@ -273,17 +273,42 @@ def node_cache_probe(sim) -> Probe:
     return probe
 
 
+def qdisc_depth_probe(sim) -> Probe:
+    """Current egress-queue depths for the queues ``sim`` owns.
+
+    A depth is a *level*, not a counter: the recorder's delta encoding
+    turns the sampled series into signed steps, and summing them back
+    (the health evaluator's cumulative view, a
+    :class:`~repro.telemetry.health.LevelRule`'s input) reconstructs
+    the occupancy at each window close. Queues are created lazily but
+    never destroyed, so once a key appears it is sampled at every
+    later tick — the monotone key-set the delta encoder relies on.
+    """
+
+    def probe() -> Iterable[Tuple[str, float]]:
+        depths = getattr(sim, "qdisc_queue_depths", None)
+        if depths is None:
+            return
+        for node, port, depth_bytes in depths():
+            labels = (("node", node), ("port", str(port)))
+            yield render_name("net.qdisc.depth_bytes", labels), float(
+                depth_bytes
+            )
+
+    return probe
+
+
 def install_recorder(sim, spec: SamplingSpec) -> FlightRecorder:
     """Attach a flight recorder to a simulator (monolith or shard).
 
-    Wires the owned-node cache probe and the simulator's runtime probe,
-    then hands the recorder to ``sim.install_recorder`` so the event
-    loop pumps it.
+    Wires the owned-node cache probe, the owned egress-queue depth
+    probe, and the simulator's runtime probe, then hands the recorder
+    to ``sim.install_recorder`` so the event loop pumps it.
     """
     recorder = FlightRecorder(
         spec,
         sim.telemetry,
-        probes=[node_cache_probe(sim)],
+        probes=[node_cache_probe(sim), qdisc_depth_probe(sim)],
         runtime_probe=lambda: sim.recorder_runtime(),
     )
     sim.install_recorder(recorder)
@@ -390,6 +415,7 @@ __all__ = [
     "install_recorder",
     "merge_frame_streams",
     "node_cache_probe",
+    "qdisc_depth_probe",
     "renumber_frame_times",
     "timeseries_export",
     "timeseries_snapshot",

@@ -111,8 +111,12 @@ class FlowSink(Host):
         # flow id -> [packets received, first arrival, last arrival]
         self.flow_arrivals: Dict[int, List[float]] = {}
         self.packets_sunk = 0
+        # flow id -> ECN-marked packets seen; congestion evidence the
+        # campaign harvests (docs/CONGESTION.md).
+        self.ecn_by_flow: Dict[int, int] = {}
+        self.ecn_marked = 0
 
-    def _account(self, flow_id: int) -> None:
+    def _account(self, flow_id: int, ecn: bool = False) -> None:
         now = self.sim.clock.now
         record = self.flow_arrivals.get(flow_id)
         if record is None:
@@ -121,11 +125,14 @@ class FlowSink(Host):
             record[0] += 1.0
             record[2] = now
         self.packets_sunk += 1
+        if ecn:
+            self.ecn_by_flow[flow_id] = self.ecn_by_flow.get(flow_id, 0) + 1
+            self.ecn_marked += 1
 
     def handle_packet(self, packet: Packet, in_port: int) -> None:
         decoded = decode_flow_payload(packet.payload)
         if decoded is not None:
-            self._account(decoded[0])
+            self._account(decoded[0], ecn=getattr(packet, "ecn", False))
             if packet.ra_shim is None:
                 return  # bulk traffic: accounted, not retained
         super().handle_packet(packet, in_port)

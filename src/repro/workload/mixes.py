@@ -140,6 +140,56 @@ def elephant_mice_mix(
     return specs
 
 
+def incast_mix(
+    senders: Sequence[str],
+    target: str,
+    seed: int,
+    packets: int = 32,
+    payload_bytes: int = 256,
+    gap_s: float = 1e-6,
+    start_s: float = 0.0,
+    sender_stagger_s: float = 1.3e-7,
+    first_flow_id: int = 750_000,
+    base_port: int = 30000,
+) -> List[FlowSpec]:
+    """Synchronized fan-in: every sender bursts at one target at once.
+
+    The canonical congestion workload — ``len(senders)`` flows start
+    within ``sender_stagger_s`` of each other and all land on
+    ``target``, overrunning its egress queue upstream. The per-sender
+    stagger is on top of the usual per-flow-id nanosecond stagger, so
+    no two sends ever collide on a timestamp (the stagger stays
+    collision-free for fan-ins below ~100). The seed is accepted for
+    signature symmetry with the other mixes but incast is fully
+    deterministic — there is nothing to draw.
+    """
+    if not senders:
+        raise NetworkError("an incast mix needs at least one sender")
+    if target in senders:
+        raise NetworkError(f"incast target {target!r} is also a sender")
+    if packets < 1:
+        raise NetworkError(f"incast flows need >= 1 packet, got {packets}")
+    del seed  # deterministic by construction; kept for mix symmetry
+    specs: List[FlowSpec] = []
+    for i, src in enumerate(senders):
+        flow_id = first_flow_id + i
+        specs.append(
+            FlowSpec(
+                flow_id=flow_id,
+                src=src,
+                dst=target,
+                src_port=base_port + (flow_id % 20000),
+                dst_port=9100,
+                packets=packets,
+                payload_bytes=payload_bytes,
+                start_s=_staggered(start_s + i * sender_stagger_s, flow_id),
+                gap_s=gap_s,
+                kind="incast",
+            )
+        )
+    return specs
+
+
 def web_session_mix(
     hosts: Sequence[str],
     seed: int,

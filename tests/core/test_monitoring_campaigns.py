@@ -32,6 +32,7 @@ from repro.core.fabric import (
     standard_fabric_rules,
 )
 from repro.faults.plan import FaultPlan
+from repro.net.qdisc import QueueConfig
 from repro.telemetry.report import main as report_main
 from repro.telemetry.timeseries import TIMESERIES_SCHEMA, dump_timeseries
 
@@ -162,6 +163,69 @@ class TestFabricFrameDeterminism:
 
     def test_default_shape_raises_no_alerts(self, fabric_monolith):
         assert fabric_monolith.health.alerts == []
+
+
+#: Tight buffers + an 8-way incast: queues overflow, ECN marks, PFC
+#: pauses storm — the congestion rules must see all of it.
+CONGESTED_SHAPE = FatTreeShape(
+    queue=QueueConfig(
+        capacity_bytes=8192,
+        capacity_packets=32,
+        ecn_threshold_bytes=2048,
+        pause_threshold_bytes=4096,
+    ),
+    incast_fan_in=8,
+)
+
+#: Same fabric with queues so roomy the campaign never fills them —
+#: the congestion rules must stay silent on it.
+CALM_QUEUED_SHAPE = FatTreeShape(
+    queue=QueueConfig(
+        capacity_bytes=1 << 20,
+        capacity_packets=4096,
+        ecn_threshold_bytes=1 << 19,
+        pause_threshold_bytes=1 << 19,
+    ),
+)
+
+_CONGESTION_RULES = dict(queue_depth_bytes=4096.0)
+
+
+class TestCongestionAlerts:
+    def test_congested_incast_raises_queue_and_pause_rules(self):
+        result = run_fabric_traffic_monolith(
+            shape=CONGESTED_SHAPE,
+            health=standard_fabric_rules(**_CONGESTION_RULES),
+        )
+        raised = {
+            a["detail"]["rule"]
+            for a in result.health.alerts
+            if a["kind"] == "alert.raised"
+        }
+        assert "queue-depth" in raised
+        assert "pause-storm" in raised
+        # Tail-drops under incast also trip the loss rule.
+        assert "fabric-drops" in raised
+
+    def test_calm_queued_baseline_is_silent(self):
+        result = run_fabric_traffic_monolith(
+            shape=CALM_QUEUED_SHAPE,
+            health=standard_fabric_rules(**_CONGESTION_RULES),
+        )
+        assert result.health.alerts == []
+
+    def test_congested_alerts_identical_across_shards(self):
+        def timeline(shards):
+            result = run_fabric_traffic(
+                CONGESTED_SHAPE,
+                shards=shards,
+                health=standard_fabric_rules(**_CONGESTION_RULES),
+            )
+            return json.dumps(result.health.alerts, sort_keys=True)
+
+        base = timeline(1)
+        assert timeline(2) == base
+        assert timeline(4) == base
 
 
 class TestTimeseriesArtifact:

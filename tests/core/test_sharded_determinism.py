@@ -27,8 +27,17 @@ import json
 import pytest
 
 from repro.core.chaos import run_chaos_athens
-from repro.core.fabric import FabricShape, run_fabric
+from repro.core.fabric import (
+    FabricShape,
+    FatTreeShape,
+    fabric_sampling_spec,
+    run_fabric,
+    run_fabric_traffic,
+    run_fabric_traffic_monolith,
+)
 from repro.core.usecases import run_config_assurance
+from repro.net.qdisc import QueueConfig, RecoveryConfig
+from repro.net.routing import RoutingMode
 from repro.pera.config import BatchingSpec
 from repro.telemetry.metrics import parse_name
 
@@ -36,6 +45,23 @@ SHARD_COUNTS = (1, 2, 4)
 
 FABRIC_SHAPE = FabricShape(
     leaves=8, spines=2, hosts_per_leaf=2, flows_per_host=4
+)
+
+#: The congested campaign: tight buffers so tail-drops, ECN marks and
+#: PFC pause frames all fire, an incast converging from other pods
+#: onto pod 0 (so backpressure crosses the pod-core shard cut), and a
+#: corrupting edge-agg hop that link-local recovery must mask.
+CONGESTED_SHAPE = FatTreeShape(
+    queue=QueueConfig(
+        capacity_bytes=8192,
+        capacity_packets=32,
+        ecn_threshold_bytes=2048,
+        pause_threshold_bytes=4096,
+        recovery=RecoveryConfig(),
+    ),
+    incast_fan_in=8,
+    corrupt_link_rate=0.3,
+    routing=RoutingMode.FLOWLET,
 )
 
 
@@ -113,6 +139,66 @@ class TestFabricDeterminism:
         # The sweep would be vacuous if the signature ignored the run.
         assert fabric_signature(2, "inline", chaos=True, seed=0) != \
             fabric_signature(2, "inline", chaos=True, seed=3)
+
+
+def congested_signature(shards, backend, seed=3):
+    run = run_fabric_traffic(
+        CONGESTED_SHAPE,
+        shards=shards,
+        backend=backend,
+        seed=seed,
+        sampling=fabric_sampling_spec(),
+    )
+    return json.dumps({
+        "forwarded": run.forwarded,
+        "ecn_delivered": run.ecn_delivered,
+        "congestion_repicks": run.congestion_repicks,
+        "fct": run.fct_percentiles((0.5, 0.95, 0.99, 0.999)),
+        "verdicts": {str(k): v for k, v in sorted(run.verdicts.items())},
+        "stats": run.result.stats_export(),
+        "audit": run.result.audit_export(),
+        "frames": run.result.frames_export(),
+        "metrics": metric_signature(run.result),
+    }, sort_keys=True)
+
+
+class TestCongestedDeterminism:
+    """Queues, ECN, PFC pauses and recovery inside the byte-identity
+    contract: the congestion subsystem introduces no new randomness
+    and pause frames cross shard cuts through the typed outboxes."""
+
+    def test_shard_sweep(self):
+        sigs = {s: congested_signature(s, "inline") for s in SHARD_COUNTS}
+        assert sigs[2] == sigs[1]
+        assert sigs[4] == sigs[1]
+
+    def test_mp_backend_agrees(self):
+        assert congested_signature(2, "mp") == congested_signature(
+            2, "inline"
+        )
+
+    def test_congestion_signals_actually_fired(self):
+        # The sweep is vacuous unless the run really queued, marked,
+        # paused and recovered.
+        run = run_fabric_traffic(CONGESTED_SHAPE, shards=2, seed=3)
+        stats = json.loads(run.result.stats_export())
+        assert stats["queue_drops"] > 0
+        assert stats["ecn_marked"] > 0
+        assert stats["pause_frames"] > 0
+        assert stats["recovery_retransmits"] > 0
+
+    def test_matches_monolith(self):
+        mono = run_fabric_traffic_monolith(
+            CONGESTED_SHAPE, seed=3, sampling=fabric_sampling_spec()
+        )
+        sharded = run_fabric_traffic(
+            CONGESTED_SHAPE, shards=4, seed=3,
+            sampling=fabric_sampling_spec(),
+        )
+        assert sharded.frames_export() == mono.frames_export()
+        assert sharded.fct_percentiles() == mono.fct_percentiles()
+        assert sharded.verdicts == mono.verdicts
+        assert sharded.ecn_delivered == mono.ecn_delivered
 
 
 class TestUC1Determinism:

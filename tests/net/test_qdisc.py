@@ -1,0 +1,353 @@
+"""Tests for finite egress queues, ECN/PFC signals, and link-local
+recovery (repro.net.qdisc)."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.net.headers import ip_to_int
+from repro.net.host import Host
+from repro.net.qdisc import QueueConfig, RecoveryConfig
+from repro.net.simulator import Node, Simulator
+from repro.net.topology import Topology
+from repro.telemetry.instrument import Telemetry
+from repro.util.errors import NetworkError
+
+_BW = 1e9  # 1 Gb/s: transfer times large enough to queue behind
+
+
+def two_hosts(queue, drop_rate=0.0, seed=0, telemetry=None):
+    topo = Topology()
+    topo.add_node("h1", kind="host")
+    topo.add_node("h2", kind="host")
+    topo.add_link(
+        "h1", 1, "h2", 1,
+        latency_s=1e-6, bandwidth_bps=_BW,
+        drop_rate=drop_rate, queue=queue,
+    )
+    sim = Simulator(topo, seed=seed, telemetry=telemetry)
+    h1 = Host("h1", mac=1, ip=ip_to_int("10.0.0.1"))
+    h2 = Host("h2", mac=2, ip=ip_to_int("10.0.1.1"))
+    sim.bind(h1)
+    sim.bind(h2)
+    return sim, h1, h2
+
+
+def burst(h1, h2, count, payload_bytes=64):
+    for i in range(count):
+        h1.send_udp(
+            dst_mac=h2.mac, dst_ip=h2.ip, src_port=1, dst_port=2,
+            payload=i.to_bytes(2, "big") + b"\0" * (payload_bytes - 2),
+        )
+
+
+class TestTailDrop:
+    def test_packet_capacity_overflow_drops_deterministically(self):
+        sim, h1, h2 = two_hosts(QueueConfig(capacity_packets=2))
+        # First send serializes immediately; the next two buffer; the
+        # rest overflow a 2-packet queue.
+        burst(h1, h2, 5)
+        sim.run()
+        assert len(h2.received_packets) == 3
+        assert sim.stats.queue_drops == 2
+        assert sim.stats.packets_dropped == 2
+
+    def test_byte_capacity_overflow_drops(self):
+        sim, h1, h2 = two_hosts(QueueConfig(capacity_bytes=256))
+        burst(h1, h2, 6, payload_bytes=128)
+        sim.run()
+        assert sim.stats.queue_drops > 0
+        assert (
+            len(h2.received_packets) + sim.stats.queue_drops == 6
+        )
+
+    def test_no_queue_config_keeps_legacy_path(self):
+        sim, h1, h2 = two_hosts(None)
+        burst(h1, h2, 5)
+        sim.run()
+        assert len(h2.received_packets) == 5
+        assert sim.stats.queue_drops == 0
+
+
+class TestSerializationOccupancy:
+    def test_port_held_for_transfer_time(self):
+        sim, h1, h2 = two_hosts(QueueConfig())
+        burst(h1, h2, 4, payload_bytes=1000)
+        sim.run()
+        assert len(h2.received_packets) == 4
+        wire = h2.received_packets[0].wire_length
+        transfer = wire * 8 / _BW
+        # Four back-to-back serializations; the last arrival lands one
+        # propagation delay after the fourth transfer completes.
+        assert sim.clock.now == pytest.approx(4 * transfer + 1e-6)
+
+    def test_fifo_order_preserved(self):
+        sim, h1, h2 = two_hosts(QueueConfig())
+        burst(h1, h2, 8)
+        sim.run()
+        seqs = [
+            int.from_bytes(p.payload[:2], "big")
+            for p in h2.received_packets
+        ]
+        assert seqs == sorted(seqs)
+
+
+class TestEcnMarking:
+    def test_marks_above_threshold_only(self):
+        sim, h1, h2 = two_hosts(
+            QueueConfig(ecn_threshold_bytes=1),
+            telemetry=Telemetry(active=True),
+        )
+        burst(h1, h2, 4)
+        sim.run()
+        marks = [p.ecn for p in h2.received_packets]
+        # Depth is measured before the packet is added: the first went
+        # straight to the wire, the second found the buffer empty, and
+        # only the packets queueing behind another one got marked.
+        assert marks == [False, False, True, True]
+        assert sim.stats.ecn_marked == 2
+
+    def test_no_threshold_never_marks(self):
+        sim, h1, h2 = two_hosts(QueueConfig())
+        burst(h1, h2, 6)
+        sim.run()
+        assert sim.stats.ecn_marked == 0
+        assert all(not p.ecn for p in h2.received_packets)
+
+
+class _Forwarder(Node):
+    """Minimal two-port relay: anything in on port 1 goes out port 2."""
+
+    def handle_packet(self, packet, in_port):
+        if in_port == 1:
+            self.sim.transmit(self.name, 2, packet)
+
+
+def relay_chain(queue, seed=0):
+    topo = Topology()
+    topo.add_node("h1", kind="host")
+    topo.add_node("s1")
+    topo.add_node("h2", kind="host")
+    topo.add_link("h1", 1, "s1", 1, latency_s=1e-6,
+                  bandwidth_bps=_BW, queue=queue)
+    # The downstream hop is 100x slower, so s1's egress queue fills.
+    topo.add_link("s1", 2, "h2", 1, latency_s=1e-6,
+                  bandwidth_bps=_BW / 100, queue=queue)
+    sim = Simulator(topo, seed=seed)
+    h1 = Host("h1", mac=1, ip=ip_to_int("10.0.0.1"))
+    h2 = Host("h2", mac=2, ip=ip_to_int("10.0.1.1"))
+    s1 = _Forwarder("s1")
+    for node in (h1, s1, h2):
+        sim.bind(node)
+    return sim, h1, h2
+
+
+class TestPfcPauseResume:
+    def test_backpressure_pauses_then_resumes_upstream(self):
+        config = QueueConfig(
+            capacity_bytes=1 << 20,
+            capacity_packets=1024,
+            pause_threshold_bytes=512,
+            resume_threshold_bytes=128,
+        )
+        sim, h1, h2 = relay_chain(config)
+        burst(h1, h2, 20, payload_bytes=200)
+        sim.run()
+        # The slow hop backed s1 up past the watermark: pauses went
+        # upstream, yet (buffers being large enough) nothing was lost.
+        assert sim.stats.pause_frames >= 1
+        assert len(h2.received_packets) == 20
+        assert sim.stats.queue_drops == 0
+        # Every queue fully drained, so every pause was resumed.
+        assert all(
+            depth == 0 for _, _, depth in sim.qdisc_queue_depths()
+        )
+
+    def test_no_threshold_never_pauses(self):
+        sim, h1, h2 = relay_chain(QueueConfig(capacity_packets=1024))
+        burst(h1, h2, 20, payload_bytes=200)
+        sim.run()
+        assert sim.stats.pause_frames == 0
+
+
+def corrupting_pair(rate, recovery, seed=0, drop_rate=0.0):
+    telemetry = Telemetry(active=True)
+    sim, h1, h2 = two_hosts(
+        QueueConfig(recovery=recovery),
+        drop_rate=drop_rate, seed=seed, telemetry=telemetry,
+    )
+    plan = FaultPlan(seed=seed)
+    plan.corrupt_packets(0.0, "h1", "h2", rate=rate)
+    injector = FaultInjector(plan)
+    injector.attach(sim)
+    return sim, h1, h2, injector
+
+
+class TestLinkLocalRecovery:
+    def test_corruption_recovered_without_loss(self):
+        sim, h1, h2, injector = corrupting_pair(
+            0.4, RecoveryConfig(retransmit_limit=16)
+        )
+        burst(h1, h2, 30)
+        sim.run()
+        assert len(h2.received_packets) == 30
+        assert sim.stats.packets_dropped == 0
+        assert sim.stats.recovery_retransmits > 0
+        assert sim.stats.local_resends == sim.stats.recovery_retransmits
+        # The CRC model detects the flip; the payload is never mangled.
+        assert injector.stats.packets_corrupted > 0
+        seqs = [
+            int.from_bytes(p.payload[:2], "big")
+            for p in h2.received_packets
+        ]
+        assert seqs == list(range(30))
+
+    def test_recovery_audited(self):
+        sim, h1, h2, _ = corrupting_pair(
+            0.5, RecoveryConfig(retransmit_limit=16)
+        )
+        burst(h1, h2, 20)
+        sim.run()
+        kinds = {
+            str(getattr(e.kind, "value", e.kind))
+            for e in sim.telemetry.audit
+        }
+        assert "recovery.resent" in kinds
+
+    def test_exhausted_retries_drop_with_reason(self):
+        sim, h1, h2, _ = corrupting_pair(
+            1.0, RecoveryConfig(retransmit_limit=2)
+        )
+        burst(h1, h2, 5)
+        sim.run()
+        # The first packet serializes synchronously before the fault
+        # plan's t=0 activation event runs; the rest all corrupt.
+        assert len(h2.received_packets) == 1
+        assert sim.stats.packets_dropped == 4
+        # Each lost packet burned its full retry budget first.
+        assert sim.stats.recovery_retransmits == 8
+        counter = sim.telemetry.counter(
+            "net.link.dropped", node="h1", reason="recovery_exhausted"
+        )
+        assert counter.value == 4
+
+    def test_without_recovery_corruption_passes_through(self):
+        sim, h1, h2, injector = corrupting_pair(1.0, None, seed=1)
+        burst(h1, h2, 5)
+        sim.run()
+        # No CRC model: the bit flip is silent, packets still arrive
+        # (the pre-activation first packet aside, all corrupted).
+        assert len(h2.received_packets) == 5
+        assert injector.stats.packets_corrupted == 4
+        assert sim.stats.recovery_retransmits == 0
+
+    def test_in_order_release_floor_holds_later_packets(self):
+        sim, h1, h2 = two_hosts(
+            QueueConfig(recovery=RecoveryConfig(holding_packets=64))
+        )
+        burst(h1, h2, 1)
+        sim.run()
+        # White-box: pretend a recovery just pinned the release floor
+        # far in the future; everything behind it must be held to it.
+        queue = sim._qdisc().queues[("h1", 1)]
+        floor = sim.clock.now + 1e-3
+        queue.release_floor_s = floor
+        burst(h1, h2, 3)
+        sim.run()
+        assert len(h2.received_packets) == 4
+        assert sim.stats.recovery_held == 3
+        assert sim.clock.now == pytest.approx(floor)
+
+    def test_holding_buffer_overflow_drops(self):
+        sim, h1, h2 = two_hosts(
+            QueueConfig(recovery=RecoveryConfig(holding_packets=2)),
+            telemetry=Telemetry(active=True),
+        )
+        burst(h1, h2, 1)
+        sim.run()
+        queue = sim._qdisc().queues[("h1", 1)]
+        queue.release_floor_s = sim.clock.now + 1e-3
+        burst(h1, h2, 5)
+        sim.run()
+        # Two packets held behind the floor, the streak past the
+        # holding buffer dropped.
+        assert sim.stats.recovery_held == 2
+        counter = sim.telemetry.counter(
+            "net.link.dropped", node="h1", reason="recovery_hold_overflow"
+        )
+        assert counter.value == 3
+        assert len(h2.received_packets) == 3
+
+
+class TestLegacyParity:
+    def test_loss_pattern_matches_queueless_link(self):
+        """Same seed, same loss stream: a queued link without recovery
+        delivers exactly the packets the legacy path delivers."""
+        outcomes = []
+        for queue in (None, QueueConfig(capacity_packets=1024)):
+            sim, h1, h2 = two_hosts(queue, drop_rate=0.35, seed=11)
+            burst(h1, h2, 40)
+            sim.run()
+            outcomes.append(sorted(
+                int.from_bytes(p.payload[:2], "big")
+                for p in h2.received_packets
+            ))
+        assert outcomes[0] == outcomes[1]
+        assert 0 < len(outcomes[0]) < 40
+
+
+class TestConfigValidation:
+    def test_rejects_bad_capacities(self):
+        with pytest.raises(NetworkError):
+            QueueConfig(capacity_bytes=0)
+        with pytest.raises(NetworkError):
+            QueueConfig(capacity_packets=0)
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(NetworkError):
+            QueueConfig(ecn_threshold_bytes=0)
+        with pytest.raises(NetworkError):
+            QueueConfig(resume_threshold_bytes=10)  # no pause threshold
+        with pytest.raises(NetworkError):
+            QueueConfig(
+                pause_threshold_bytes=100, resume_threshold_bytes=200
+            )
+
+    def test_resume_defaults_to_half_pause(self):
+        config = QueueConfig(pause_threshold_bytes=1000)
+        assert config.resume_below_bytes == 500
+        assert QueueConfig().resume_below_bytes is None
+
+    def test_rejects_bad_recovery(self):
+        with pytest.raises(NetworkError):
+            RecoveryConfig(retransmit_limit=0)
+        with pytest.raises(NetworkError):
+            RecoveryConfig(holding_packets=0)
+
+
+class TestConfigureQueues:
+    def test_configures_all_links_and_strips(self):
+        topo = Topology()
+        for name in ("a", "b", "c"):
+            topo.add_node(name)
+        topo.add_link("a", 1, "b", 1)
+        topo.add_link("b", 2, "c", 1)
+        config = QueueConfig(capacity_packets=8)
+        assert topo.configure_queues(config) == 2
+        assert all(link.queue is config for link in topo.links)
+        assert topo.link_at("a", 1).queue is config
+        assert topo.configure_queues(None) == 2
+        assert all(link.queue is None for link in topo.links)
+
+    def test_predicate_filters(self):
+        topo = Topology()
+        for name in ("a", "b", "c"):
+            topo.add_node(name)
+        topo.add_link("a", 1, "b", 1)
+        topo.add_link("b", 2, "c", 1)
+        config = QueueConfig()
+        changed = topo.configure_queues(
+            config, predicate=lambda link: "c" in (link.node_a, link.node_b)
+        )
+        assert changed == 1
+        assert topo.link_at("a", 1).queue is None
+        assert topo.link_at("c", 1).queue is config

@@ -150,6 +150,63 @@ class TestFlowletTable:
         with pytest.raises(NetworkError):
             FlowletTable(seed=0).pick((), self.KEY, 0.0)
 
+    def test_congestion_signal_forces_boundary(self):
+        table = FlowletTable(seed=3, idle_gap_s=50e-6)
+        table.pick(self.MEMBERS, self.KEY, 0.0)
+        # Well within the gap, but the packet carries a congestion
+        # signal: the flowlet ends early and the serial bumps.
+        table.pick(self.MEMBERS, self.KEY, 10e-6, congested=True)
+        assert table.repicks == 1
+        assert table.congestion_repicks == 1
+        assert table.serial_of(self.KEY) == 1
+
+    def test_congestion_repick_cooldown(self):
+        table = FlowletTable(seed=3, idle_gap_s=50e-6)
+        table.pick(self.MEMBERS, self.KEY, 0.0)
+        for i in range(1, 10):
+            table.pick(
+                self.MEMBERS, self.KEY, i * 1e-6, congested=True
+            )
+        # A whole marked burst within one idle gap re-picks once, not
+        # once per packet — the cooldown stops path thrashing.
+        assert table.congestion_repicks == 1
+        table.pick(self.MEMBERS, self.KEY, 100e-6, congested=True)
+        assert table.congestion_repicks <= 2
+
+    def test_congestion_never_changes_member_hash(self):
+        """The signal only changes *when* the serial bumps, never how
+        the member is chosen — the determinism pin."""
+        a = FlowletTable(seed=11, idle_gap_s=50e-6)
+        b = FlowletTable(seed=11, idle_gap_s=50e-6)
+        a.pick(self.MEMBERS, self.KEY, 0.0)
+        b.pick(self.MEMBERS, self.KEY, 0.0)
+        congested = a.pick(self.MEMBERS, self.KEY, 10e-6, congested=True)
+        idle = b.pick(self.MEMBERS, self.KEY, 70e-6)  # idle-gap repick
+        # Both tables sit at serial 1 for this flow; the pick is a pure
+        # function of (seed, flow key, serial), so they agree exactly.
+        assert a.serial_of(self.KEY) == b.serial_of(self.KEY) == 1
+        assert congested == idle
+
+    def test_congested_replay_is_deterministic(self):
+        args = dict(seed=7, idle_gap_s=20e-6)
+        a, b = FlowletTable(**args), FlowletTable(**args)
+        schedule = [
+            (0.0, False), (5e-6, True), (6e-6, True),
+            (30e-6, False), (31e-6, True), (80e-6, False),
+        ]
+        picks_a = [
+            a.pick(self.MEMBERS, self.KEY, t, congested=c)
+            for t, c in schedule
+        ]
+        picks_b = [
+            b.pick(self.MEMBERS, self.KEY, t, congested=c)
+            for t, c in schedule
+        ]
+        assert picks_a == picks_b
+        assert (a.repicks, a.congestion_repicks) == (
+            b.repicks, b.congestion_repicks
+        )
+
 
 class TestAllPairsNextHops:
     def test_leaf_spine_equal_cost_uplinks(self):

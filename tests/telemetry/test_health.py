@@ -14,6 +14,7 @@ from repro.telemetry.health import (
     AbsenceRule,
     HEALTH_ACTOR,
     ImbalanceRule,
+    LevelRule,
     RatioRule,
     ThresholdRule,
     evaluate_health,
@@ -85,6 +86,56 @@ class TestThresholdRule:
         )
         assert report.active == {"drops": 0}
         assert report.raised and not report.cleared
+
+
+class TestLevelRule:
+    def test_raises_on_cumulative_level_not_delta(self):
+        """A queue filling by small deltas crosses the level threshold
+        even though no single window's delta does."""
+        rule = LevelRule(name="depth", metric="q.depth", threshold=5.0)
+        frames = frames_from(
+            (0, {"q.depth": 3.0}),
+            (1, {"q.depth": 3.0}),   # cumulative 6 > 5 -> raise
+            (2, {"q.depth": -4.0}),  # cumulative 2 <= 5 -> clear
+        )
+        report = evaluate_health(frames, [rule], interval_s=1.0)
+        kinds = [(a["kind"], a["detail"]["window"]) for a in report.alerts]
+        assert kinds == [("alert.raised", 1), ("alert.cleared", 2)]
+
+    def test_max_aggregate_bounds_worst_key(self):
+        rule = LevelRule(name="depth", metric="q.depth", threshold=5.0)
+        frames = frames_from(
+            (0, {"q.depth{node=a}": 2.0, "q.depth{node=b}": 6.0}),
+        )
+        report = evaluate_health(frames, [rule], interval_s=1.0)
+        assert report.first_raise_window("depth") == 0
+
+    def test_sum_aggregate_bounds_total(self):
+        rule = LevelRule(
+            name="depth", metric="q.depth", threshold=5.0, aggregate="sum"
+        )
+        frames = frames_from(
+            (0, {"q.depth{node=a}": 3.0, "q.depth{node=b}": 3.0}),
+        )
+        report = evaluate_health(frames, [rule], interval_s=1.0)
+        assert report.first_raise_window("depth") == 0
+        # max aggregate over the same frames stays quiet (worst key 3).
+        quiet = evaluate_health(
+            frames,
+            [LevelRule(name="depth", metric="q.depth", threshold=5.0)],
+            interval_s=1.0,
+        )
+        assert quiet.alerts == []
+
+    def test_no_matching_series_stays_silent(self):
+        rule = LevelRule(name="depth", metric="q.depth", threshold=0.0)
+        frames = frames_from((0, {"other": 100.0}))
+        report = evaluate_health(frames, [rule], interval_s=1.0)
+        assert report.alerts == []
+
+    def test_rejects_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            LevelRule(name="x", metric="m", threshold=1.0, aggregate="avg")
 
 
 class TestRatioRule:

@@ -78,6 +78,31 @@ class TestRendering:
         assert f"trace {TID}:" in text
         assert "carry no trace" not in text
 
+    def test_overview_without_stats_omits_congestion_block(self, audit_path):
+        assert "congestion & recovery" not in overview(load_audit(audit_path))
+
+    def test_overview_surfaces_congestion_stats(self, audit_path):
+        stats = {
+            "queue_drops": 12,
+            "ecn_marked": 34,
+            "pause_frames": 5,
+            "local_resends": 7,
+            "recovery_retransmits": 7,
+            "recovery_held": 2,
+        }
+        text = overview(load_audit(audit_path), stats=stats)
+        assert "congestion & recovery:" in text
+        assert "queue drops" in text and "12" in text
+        assert "ECN marks" in text and "34" in text
+        assert "pause frames" in text and "5" in text
+        assert "local resends" in text
+        assert "recovery retransmits" in text
+
+    def test_overview_defaults_missing_stat_keys_to_zero(self, audit_path):
+        text = overview(load_audit(audit_path), stats={})
+        assert "congestion & recovery:" in text
+        assert "queue drops" in text
+
 
 class TestChromeReconstruction:
     def test_flow_events_from_snapshot(self, tmp_path):
@@ -100,6 +125,24 @@ class TestMain:
     def test_chrome_out_requires_telemetry(self, audit_path, tmp_path):
         with pytest.raises(SystemExit):
             main([str(audit_path), "--chrome-out", str(tmp_path / "t.json")])
+
+    def test_stats_flag_adds_congestion_block(
+        self, audit_path, tmp_path, capsys
+    ):
+        stats_path = tmp_path / "stats.json"
+        stats_path.write_text(json.dumps({
+            "queue_drops": 3, "pause_frames": 1, "local_resends": 2,
+        }))
+        assert main([str(audit_path), "--stats", str(stats_path)]) == 0
+        out = capsys.readouterr().out
+        assert "congestion & recovery:" in out
+        assert "queue drops" in out
+
+    def test_stats_flag_rejects_non_object(self, audit_path, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        stats_path.write_text("[1, 2, 3]")
+        assert main([str(audit_path), "--stats", str(stats_path)]) == 2
+        assert "not a stats export" in capsys.readouterr().err
 
     def test_chrome_out_writes_trace(self, audit_path, tmp_path, capsys):
         tel_path = dump_json(worked_telemetry(), tmp_path / "tel.json")
