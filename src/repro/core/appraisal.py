@@ -29,6 +29,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.faults.retry import FailMode
 from repro.net.packet import Packet
 from repro.pera.inertia import InertiaClass
+from repro.evidence.verify import registry_verify_batch
 from repro.pera.records import BatchedHopRecord, HopRecord, decode_record_stack
 from repro.util.errors import CodecError
 from repro.pisa.program import DataplaneProgram
@@ -189,7 +190,8 @@ class PathAppraiser:
                 accepted=False, failures=(message,), trace_id=trace_id
             )
         try:
-            records = decode_record_stack(packet.ra_shim.body)
+            # memoryview: the decoder walks the shim body zero-copy.
+            records = decode_record_stack(memoryview(packet.ra_shim.body))
         except CodecError as exc:
             # Corrupted-in-flight evidence must reject, not crash.
             message = f"evidence stack undecodable: {exc}"
@@ -449,14 +451,40 @@ class PathAppraiser:
         self, records: List[HopRecord], failures: List[str]
     ) -> None:
         tel = self.telemetry
-        for index, record in enumerate(records):
+        # Collect every record's pending (signer, payload, signature)
+        # triple and settle all cache misses through one batched
+        # multi-scalar Ed25519 check. Batched-mode records contribute
+        # their epoch-root signature — still one real verification per
+        # (switch, epoch), now sharing the batch with everything else —
+        # and pay two SHA-256 hashes per tree level for the inclusion
+        # proof afterwards. Failure messages and ``signature.verified``
+        # audit events are emitted in the original per-record order, so
+        # the journal stays byte-identical to sequential verification.
+        items = []
+        for record in records:
             signer = self._signer_for(record.place)
             if isinstance(record, BatchedHopRecord):
-                # Batched mode: one memoized Ed25519 verification per
-                # (switch, epoch) — every record of the epoch shares
-                # the root-signature cache entry — then two SHA-256
-                # hashes per tree level bind this record to the root.
-                root_ok = record.verify_root(self.policy.anchors, signer=signer)
+                items.append(
+                    (
+                        signer,
+                        record.epoch_payload(),
+                        record.root_signature,
+                        record.epoch_payload_digest(),
+                    )
+                )
+            else:
+                items.append(
+                    (
+                        signer,
+                        record.signed_payload(),
+                        record.signature,
+                        record.payload_digest(),
+                    )
+                )
+        sig_ok = registry_verify_batch(self.policy.anchors, items) if items else []
+        for index, record in enumerate(records):
+            if isinstance(record, BatchedHopRecord):
+                root_ok = sig_ok[index]
                 proof_ok = root_ok and record.proof_ok()
                 ok = root_ok and proof_ok
                 if not root_ok:
@@ -471,7 +499,7 @@ class PathAppraiser:
                     )
                 event_detail = {"epoch": record.epoch_id}
             else:
-                ok = record.verify(self.policy.anchors, signer=signer)
+                ok = sig_ok[index]
                 if not ok:
                     failures.append(
                         f"record {index} ({record.place}): signature invalid "

@@ -85,7 +85,7 @@ from repro.pera.config import (
     EvidenceConfig,
 )
 from repro.pera.inertia import InertiaClass
-from repro.pera.records import HopRecord
+from repro.pera.records import HopRecord, verify_record_batch
 from repro.pisa.programs import fabric_multipath_program, fabric_rogue_program
 from repro.util.ids import spawn_seed
 from repro.workload.flows import (
@@ -940,11 +940,15 @@ def _fabric_traffic_harvest(sim, ctx):
     oob_verified = 0
     if sim.owns(_COLLECTOR):
         anchors: KeyRegistry = ctx["anchors"]
-        for _, _sender, message in ctx["collector"].control_received:
-            if isinstance(message, HopRecord):
-                oob_records += 1
-                if message.verify(anchors):
-                    oob_verified += 1
+        # One batched multi-scalar check over the whole out-of-band
+        # stream instead of one Ed25519 verification per record.
+        collected = [
+            message
+            for _, _sender, message in ctx["collector"].control_received
+            if isinstance(message, HopRecord)
+        ]
+        oob_records = len(collected)
+        oob_verified = sum(verify_record_batch(anchors, collected))
 
     return {
         "forwarded": forwarded,

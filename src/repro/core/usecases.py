@@ -50,7 +50,7 @@ from repro.pera.config import (
     EvidenceConfig,
 )
 from repro.pera.inertia import InertiaClass
-from repro.pera.records import decode_record_stack
+from repro.pera.records import decode_record_stack, verify_record_batch
 from repro.pera.sampling import SamplingMode, SamplingSpec
 from repro.pisa.programs import (
     athens_rogue_program,
@@ -728,7 +728,7 @@ def run_audit_trail(c2_flows: int = 3, benign_flows: int = 5) -> AuditTrailResul
     )
     anchors = KeyRegistry()
     anchors.register_pair(switch.keys)
-    verdicts = [record.verify(anchors) for record in records]
+    verdicts = verify_record_batch(anchors, records)
     return AuditTrailResult(
         matches=len(matches),
         log_root=tree.root,

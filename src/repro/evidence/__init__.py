@@ -40,6 +40,7 @@ from repro.evidence.codec import (
     BATCHED_RECORD_TLV_TYPE,
     POLICY_TLV_TYPE,
     RECORD_TLV_TYPE,
+    LazyNode,
     decode_batched_hop_body,
     decode_hop_body,
     decode_node,
@@ -49,11 +50,14 @@ from repro.evidence.codec import (
     encode_node,
     encode_record_stack,
     iter_decode_nodes,
+    iter_lazy_nodes,
 )
 from repro.evidence.verify import (
+    BatchVerifyItem,
     SignatureCache,
     VerifyCacheStats,
     registry_verify,
+    registry_verify_batch,
     shared_cache,
 )
 
@@ -99,9 +103,13 @@ __all__ = [
     "decode_batched_hop_body",
     "encode_record_stack",
     "decode_record_stack",
+    "LazyNode",
+    "iter_lazy_nodes",
     "hops_to_evidence",
+    "BatchVerifyItem",
     "SignatureCache",
     "VerifyCacheStats",
     "registry_verify",
+    "registry_verify_batch",
     "shared_cache",
 ]

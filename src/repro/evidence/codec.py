@@ -12,11 +12,19 @@ requires.
 
 Decoders raise only :class:`~repro.util.errors.CodecError` on malformed
 input — they sit directly on the attack surface.
+
+Decoding is **zero-copy**: every decoder accepts ``bytes | memoryview``
+and walks :meth:`TlvCodec.iter_views` slices (O(1) views into the
+packet buffer) through all nesting levels, materializing owned bytes
+only at terminal fields. :func:`iter_lazy_nodes` defers even node
+construction until a consumer asks, so filtering a shim body by TLV
+type costs header walks alone.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.evidence.nodes import (
     BATCH_F_EPOCH,
@@ -54,7 +62,7 @@ from repro.evidence.nodes import (
     SignedEvidence,
 )
 from repro.util.errors import CodecError
-from repro.util.tlv import Tlv, TlvCodec
+from repro.util.tlv import ByteSource, Tlv, TlvCodec
 
 # Shim-body framing types (one namespace for everything riding in the
 # RA options header).
@@ -66,9 +74,9 @@ POLICY_TLV_TYPE = 0x20  # one compiled policy (see repro.core.wire)
 _MAX_DEPTH = 64
 
 
-def _text(value: bytes, what: str) -> str:
+def _text(value: ByteSource, what: str) -> str:
     try:
-        return value.decode("utf-8")
+        return str(value, "utf-8")
     except UnicodeDecodeError as exc:
         raise CodecError(f"{what} is not valid UTF-8") from exc
 
@@ -78,32 +86,75 @@ def encode_node(node: Evidence) -> bytes:
     return node.wire
 
 
-def decode_node(data: bytes) -> Evidence:
+def decode_node(data: ByteSource) -> Evidence:
     """Decode exactly one evidence node from ``data``."""
-    elements = TlvCodec.decode(data)
+    elements = list(TlvCodec.iter_views(data))
     if len(elements) != 1:
         raise CodecError(
             f"expected exactly one evidence node TLV, found {len(elements)}"
         )
-    return _node_from_tlv(elements[0], depth=0)
+    kind, body = elements[0]
+    return _node_from_view(kind, body, depth=0)
 
 
-def iter_decode_nodes(data: bytes) -> Iterator[Evidence]:
+def iter_decode_nodes(data: ByteSource) -> Iterator[Evidence]:
     """Decode a flat stream of evidence node TLVs."""
-    for element in TlvCodec.iter_decode(data):
-        yield _node_from_tlv(element, depth=0)
+    for kind, body in TlvCodec.iter_views(data):
+        yield _node_from_view(kind, body, depth=0)
 
 
-def _child_nodes(elements: Sequence[Tlv], depth: int) -> List[Evidence]:
+@dataclass
+class LazyNode:
+    """One top-level evidence TLV, materialized only on demand.
+
+    Holds the node's kind tag and a zero-copy view of its body;
+    :meth:`node` runs the actual decoder on first call and caches the
+    result. Consumers that filter a stream by kind (the appraiser
+    skipping policy TLVs, a collector counting records) never pay for
+    decoding nodes they do not touch. The view borrows the input
+    buffer — materialize before the buffer is recycled.
+    """
+
+    kind: int
+    body: memoryview
+    _node: Optional[Evidence] = field(default=None, repr=False, compare=False)
+
+    def node(self) -> Evidence:
+        if self._node is None:
+            self._node = _node_from_view(self.kind, self.body, depth=0)
+        return self._node
+
+
+def iter_lazy_nodes(data: ByteSource) -> Iterator[LazyNode]:
+    """Walk a node stream yielding unmaterialized :class:`LazyNode`s."""
+    for kind, body in TlvCodec.iter_views(data):
+        yield LazyNode(kind, body)
+
+
+_View = Tuple[int, memoryview]
+
+
+def _walk_body(body: memoryview) -> Tuple[Dict[int, memoryview], List[memoryview]]:
+    """Split a generic node body into field views and child views."""
+    fields: Dict[int, memoryview] = {}
+    children: List[memoryview] = []
+    for tlv_type, value in TlvCodec.iter_views(body):
+        if tlv_type == F_CHILD:
+            children.append(value)
+        else:
+            fields.setdefault(tlv_type, value)
+    return fields, children
+
+
+def _child_nodes(children: List[memoryview], depth: int) -> List[Evidence]:
     return [
-        _node_from_tlv(_single_tlv(e.value), depth + 1)
-        for e in elements
-        if e.type == F_CHILD
+        _node_from_view(*_single_view(child), depth=depth + 1)
+        for child in children
     ]
 
 
-def _single_tlv(data: bytes) -> Tlv:
-    elements = TlvCodec.decode(data)
+def _single_view(data: memoryview) -> _View:
+    elements = list(TlvCodec.iter_views(data))
     if len(elements) != 1:
         raise CodecError(
             f"child field must hold exactly one node TLV, found {len(elements)}"
@@ -111,33 +162,27 @@ def _single_tlv(data: bytes) -> Tlv:
     return elements[0]
 
 
-def _fields(elements: Sequence[Tlv]) -> dict:
-    found = {}
-    for element in elements:
-        if element.type != F_CHILD:
-            found.setdefault(element.type, element.value)
-    return found
-
-
-def _node_from_tlv(element: Tlv, depth: int) -> Evidence:
+def _node_from_view(kind: int, body: memoryview, depth: int) -> Evidence:
     if depth > _MAX_DEPTH:
         raise CodecError(f"evidence tree deeper than {_MAX_DEPTH} levels")
-    kind = element.type
     if kind == KIND_HOP:
-        return decode_hop_body(element.value)
+        return decode_hop_body(body)
     if kind == KIND_BATCHED_HOP:
-        return decode_batched_hop_body(element.value)
-    body = TlvCodec.decode(element.value)
-    fields = _fields(body)
+        return decode_batched_hop_body(body)
     if kind == KIND_EMPTY:
+        # Walk (and thereby validate) the body even though mt is empty.
+        _walk_body(body)
         return EmptyEvidence()
+    fields, children = _walk_body(body)
     if kind == KIND_NONCE:
         if 1 not in fields or 2 not in fields:
             raise CodecError("nonce node missing name or value")
-        return NonceEvidence(name=_text(fields[1], "nonce name"), value=fields[2])
+        return NonceEvidence(
+            name=_text(fields[1], "nonce name"), value=bytes(fields[2])
+        )
     if kind == KIND_MEASUREMENT:
-        children = _child_nodes(body, depth)
-        if len(children) != 1:
+        nodes = _child_nodes(children, depth)
+        if len(nodes) != 1:
             raise CodecError("measurement node needs exactly one prior child")
         missing = [f for f in (1, 2, 3, 4, 5) if f not in fields]
         if missing:
@@ -147,32 +192,32 @@ def _node_from_tlv(element: Tlv, depth: int) -> Evidence:
             place=_text(fields[2], "place name"),
             target=_text(fields[3], "target name"),
             target_place=_text(fields[4], "target place"),
-            value=fields[5],
-            prior=children[0],
+            value=bytes(fields[5]),
+            prior=nodes[0],
         )
     if kind == KIND_SIGNATURE:
-        children = _child_nodes(body, depth)
-        if len(children) != 1:
+        nodes = _child_nodes(children, depth)
+        if len(nodes) != 1:
             raise CodecError("signature node needs exactly one child")
         if 1 not in fields or 2 not in fields:
             raise CodecError("signature node missing place or signature")
         return SignedEvidence(
-            evidence=children[0],
+            evidence=nodes[0],
             place=_text(fields[1], "signer place"),
-            signature=fields[2],
+            signature=bytes(fields[2]),
         )
     if kind == KIND_HASH:
         if 1 not in fields or 2 not in fields:
             raise CodecError("hash node missing place or digest")
         return HashEvidence(
-            digest_value=fields[2], place=_text(fields[1], "hasher place")
+            digest_value=bytes(fields[2]), place=_text(fields[1], "hasher place")
         )
     if kind in (KIND_SEQUENCE, KIND_PARALLEL):
-        children = _child_nodes(body, depth)
-        if len(children) != 2:
+        nodes = _child_nodes(children, depth)
+        if len(nodes) != 2:
             raise CodecError("pair node needs exactly two children")
         cls = SequenceEvidence if kind == KIND_SEQUENCE else ParallelEvidence
-        return cls(left=children[0], right=children[1])
+        return cls(left=nodes[0], right=nodes[1])
     raise CodecError(f"unknown evidence node kind {kind:#04x}")
 
 
@@ -184,8 +229,18 @@ def encode_hop_body(hop: HopEvidence) -> bytes:
     return hop.signed_payload() + Tlv(HOP_F_SIGNATURE, hop.signature).encode()
 
 
-def decode_hop_body(data: bytes) -> HopEvidence:
-    """Decode the flat hop-record field stream into a canonical node."""
+def decode_hop_body(data: ByteSource) -> HopEvidence:
+    """Decode the flat hop-record field stream into a canonical node.
+
+    When the wire layout is canonical (signature field last, or absent
+    as in batched inner hops), the signed-payload prefix of the input
+    is seeded into the node's ``_payload`` cache, so appraisal-side
+    digest and signature checks reuse the received bytes instead of
+    re-encoding the record. A non-canonical field order falls back to
+    the canonical re-encode — and its signature check then fails, which
+    only rejects wire forms the signer could never have produced.
+    """
+    view = data if isinstance(data, memoryview) else memoryview(data)
     place = None
     measurements: List[tuple] = []
     sequence = 0
@@ -193,32 +248,42 @@ def decode_hop_body(data: bytes) -> HopEvidence:
     chain_head = None
     packet_digest = None
     signature = b""
-    for element in TlvCodec.iter_decode(data):
-        if element.type == HOP_F_PLACE:
-            place = _text(element.value, "hop place")
-        elif element.type == HOP_F_MEASUREMENT:
-            if len(element.value) < 1:
+    offset = 0
+    payload_end = None  # where the signed prefix stops, if canonical
+    canonical = True
+    for tlv_type, value in TlvCodec.iter_views(view):
+        if tlv_type == HOP_F_SIGNATURE:
+            if payload_end is not None:
+                canonical = False  # duplicate signature field
+            payload_end = offset
+        elif payload_end is not None:
+            canonical = False  # payload field after the signature
+        offset += 3 + len(value)
+        if tlv_type == HOP_F_PLACE:
+            place = _text(value, "hop place")
+        elif tlv_type == HOP_F_MEASUREMENT:
+            if len(value) < 1:
                 raise CodecError("measurement TLV too short")
-            measurements.append((element.value[0], element.value[1:]))
-        elif element.type == HOP_F_SEQUENCE:
-            if len(element.value) != 4:
+            measurements.append((value[0], bytes(value[1:])))
+        elif tlv_type == HOP_F_SEQUENCE:
+            if len(value) != 4:
                 raise CodecError("sequence TLV must be 4 bytes")
-            sequence = int.from_bytes(element.value, "big")
-        elif element.type == HOP_F_INGRESS_PORT:
-            if len(element.value) != 2:
+            sequence = int.from_bytes(value, "big")
+        elif tlv_type == HOP_F_INGRESS_PORT:
+            if len(value) != 2:
                 raise CodecError("ingress-port TLV must be 2 bytes")
-            ingress_port = int.from_bytes(element.value, "big")
-        elif element.type == HOP_F_CHAIN_HEAD:
-            chain_head = element.value
-        elif element.type == HOP_F_PACKET_DIGEST:
-            packet_digest = element.value
-        elif element.type == HOP_F_SIGNATURE:
-            signature = element.value
+            ingress_port = int.from_bytes(value, "big")
+        elif tlv_type == HOP_F_CHAIN_HEAD:
+            chain_head = bytes(value)
+        elif tlv_type == HOP_F_PACKET_DIGEST:
+            packet_digest = bytes(value)
+        elif tlv_type == HOP_F_SIGNATURE:
+            signature = bytes(value)
         else:
-            raise CodecError(f"unknown hop-record TLV type {element.type}")
+            raise CodecError(f"unknown hop-record TLV type {tlv_type}")
     if place is None:
         raise CodecError("hop record missing place")
-    return HopEvidence(
+    hop = HopEvidence(
         place=place,
         measurements=tuple(measurements),
         sequence=sequence,
@@ -227,6 +292,10 @@ def decode_hop_body(data: bytes) -> HopEvidence:
         packet_digest=packet_digest,
         signature=signature,
     )
+    if canonical:
+        end = len(view) if payload_end is None else payload_end
+        object.__setattr__(hop, "_payload", bytes(view[:end]))
+    return hop
 
 
 # --- batched hop records (epoch-root header + Merkle proof) -----------
@@ -255,42 +324,46 @@ def encode_batched_hop_body(record: BatchedHopEvidence) -> bytes:
     return TlvCodec.encode(elements)
 
 
-def decode_batched_hop_body(data: bytes) -> BatchedHopEvidence:
-    """Decode one batched hop record (strictly: fixed-width crypto fields)."""
+def decode_batched_hop_body(data: ByteSource) -> BatchedHopEvidence:
+    """Decode one batched hop record (strictly: fixed-width crypto fields).
+
+    The hop-payload sub-stream is walked as a view and its bytes seed
+    the record's ``_payload`` cache: the Merkle leaf check in
+    ``proof_ok`` and the per-epoch digest then reuse the received wire
+    bytes instead of re-encoding the payload per packet.
+    """
     hop = None
     epoch_id = leaf_index = leaf_count = None
     epoch_root = None
     root_signature = None
     proof_path: List[tuple] = []
-    for element in TlvCodec.iter_decode(data):
-        if element.type == BATCH_F_HOP:
-            hop = decode_hop_body(element.value)
+    for tlv_type, value in TlvCodec.iter_views(data):
+        if tlv_type == BATCH_F_HOP:
+            hop = decode_hop_body(value)
             if hop.signature:
                 raise CodecError(
                     "batched hop record must not carry a per-record signature"
                 )
-        elif element.type == BATCH_F_EPOCH:
-            if len(element.value) != 16:
+        elif tlv_type == BATCH_F_EPOCH:
+            if len(value) != 16:
                 raise CodecError("epoch TLV must be 16 bytes")
-            epoch_id = int.from_bytes(element.value[:8], "big")
-            leaf_index = int.from_bytes(element.value[8:12], "big")
-            leaf_count = int.from_bytes(element.value[12:16], "big")
-        elif element.type == BATCH_F_ROOT:
-            if len(element.value) != 32:
+            epoch_id = int.from_bytes(value[:8], "big")
+            leaf_index = int.from_bytes(value[8:12], "big")
+            leaf_count = int.from_bytes(value[12:16], "big")
+        elif tlv_type == BATCH_F_ROOT:
+            if len(value) != 32:
                 raise CodecError("epoch-root TLV must be 32 bytes")
-            epoch_root = element.value
-        elif element.type == BATCH_F_ROOT_SIG:
-            if len(element.value) != 64:
+            epoch_root = bytes(value)
+        elif tlv_type == BATCH_F_ROOT_SIG:
+            if len(value) != 64:
                 raise CodecError("epoch-root signature TLV must be 64 bytes")
-            root_signature = element.value
-        elif element.type in (BATCH_F_SIBLING_LEFT, BATCH_F_SIBLING_RIGHT):
-            if len(element.value) != 32:
+            root_signature = bytes(value)
+        elif tlv_type in (BATCH_F_SIBLING_LEFT, BATCH_F_SIBLING_RIGHT):
+            if len(value) != 32:
                 raise CodecError("proof sibling TLV must be 32 bytes")
-            proof_path.append(
-                (element.value, element.type == BATCH_F_SIBLING_LEFT)
-            )
+            proof_path.append((bytes(value), tlv_type == BATCH_F_SIBLING_LEFT))
         else:
-            raise CodecError(f"unknown batched-record TLV type {element.type}")
+            raise CodecError(f"unknown batched-record TLV type {tlv_type}")
     if hop is None:
         raise CodecError("batched record missing hop payload")
     if epoch_id is None:
@@ -299,7 +372,7 @@ def decode_batched_hop_body(data: bytes) -> BatchedHopEvidence:
         raise CodecError("batched record missing epoch root")
     if root_signature is None:
         raise CodecError("batched record missing epoch-root signature")
-    return BatchedHopEvidence(
+    record = BatchedHopEvidence(
         place=hop.place,
         measurements=hop.measurements,
         sequence=hop.sequence,
@@ -314,6 +387,13 @@ def decode_batched_hop_body(data: bytes) -> BatchedHopEvidence:
         leaf_count=leaf_count,
         proof_path=tuple(proof_path),
     )
+    # The inner hop decoder seeded its payload cache from the wire
+    # (batched inner hops carry no signature field, so the whole
+    # sub-stream is the signed prefix); hand it to the record.
+    cached = hop.__dict__.get("_payload")
+    if cached is not None:
+        object.__setattr__(record, "_payload", cached)
+    return record
 
 
 def encode_record_stack(hops: Sequence[HopEvidence]) -> bytes:
@@ -325,12 +405,17 @@ def encode_record_stack(hops: Sequence[HopEvidence]) -> bytes:
     return b"".join(hop.wire for hop in hops)
 
 
-def decode_record_stack(data: bytes) -> List[HopEvidence]:
-    """Parse a shim-body TLV stream; non-record TLVs are skipped."""
+def decode_record_stack(data: ByteSource) -> List[HopEvidence]:
+    """Parse a shim-body TLV stream; non-record TLVs are skipped.
+
+    Zero-copy: non-record TLVs (compiled policies) cost only a header
+    walk, and record bodies are decoded straight from views of the
+    input buffer.
+    """
     hops: List[HopEvidence] = []
-    for element in TlvCodec.iter_decode(data):
-        if element.type == RECORD_TLV_TYPE:
-            hops.append(decode_hop_body(element.value))
-        elif element.type == BATCHED_RECORD_TLV_TYPE:
-            hops.append(decode_batched_hop_body(element.value))
+    for tlv_type, value in TlvCodec.iter_views(data):
+        if tlv_type == RECORD_TLV_TYPE:
+            hops.append(decode_hop_body(value))
+        elif tlv_type == BATCHED_RECORD_TLV_TYPE:
+            hops.append(decode_batched_hop_body(value))
     return hops

@@ -18,11 +18,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
+from repro.crypto import ed25519
 from repro.crypto.hashing import digest
 from repro.crypto.keys import KeyRegistry
 from repro.util.errors import CryptoError
+
+#: One member of a batched verification: ``(owner, message, signature,
+#: message_digest_or_None)``.
+BatchVerifyItem = Tuple[str, bytes, bytes, Optional[bytes]]
 
 _CACHE_DOMAIN = "evidence-verify-cache"
 
@@ -92,6 +97,67 @@ class SignatureCache:
             self._verdicts.popitem(last=False)
         return verdict
 
+    def verify_batch(
+        self,
+        anchors: KeyRegistry,
+        items: Sequence[BatchVerifyItem],
+    ) -> List[bool]:
+        """Verify many signatures at once through the memo.
+
+        Semantically identical to calling :meth:`verify` per item in
+        order — same verdicts, same hit/miss accounting, same cache
+        contents and eviction order afterwards (an in-batch duplicate
+        of a pending key counts as a *hit*, exactly as the sequential
+        path would have found the just-inserted verdict). The only
+        difference is that all cache misses are settled by one
+        :func:`repro.crypto.ed25519.verify_batch` multi-scalar check
+        instead of one Ed25519 verification each.
+        """
+        results: List[Optional[bool]] = [None] * len(items)
+        ops: List[Tuple[str, int, tuple, int]] = []  # (op, index, key, slot)
+        pending_slots: dict = {}
+        crypto_items: List[tuple] = []
+        for index, (owner, message, signature, message_digest) in enumerate(items):
+            key_obj = anchors.lookup(owner)
+            if key_obj is None:
+                results[index] = False  # unknown signers: uncacheable
+                continue
+            if message_digest is None:
+                message_digest = digest(message, domain=_CACHE_DOMAIN)
+            cache_key = (key_obj.key_bytes, message_digest, signature)
+            cached = self._verdicts.get(cache_key)
+            if cached is not None:
+                self.stats.hits += 1
+                results[index] = cached
+                ops.append(("touch", index, cache_key, -1))
+            elif cache_key in pending_slots:
+                # Sequential processing would have inserted this very
+                # verdict before reaching the duplicate: count a hit.
+                self.stats.hits += 1
+                ops.append(("dup", index, cache_key, pending_slots[cache_key]))
+            else:
+                self.stats.misses += 1
+                slot = len(crypto_items)
+                pending_slots[cache_key] = slot
+                crypto_items.append((key_obj, bytes(message), signature))
+                ops.append(("insert", index, cache_key, slot))
+        verdicts = ed25519.verify_batch(crypto_items) if crypto_items else []
+        # Replay cache mutations in item order so recency/eviction state
+        # ends up exactly as sequential processing would leave it (the
+        # in-batch miss count stays far below maxsize in practice).
+        for op, index, cache_key, slot in ops:
+            if op == "insert":
+                results[index] = verdicts[slot]
+                self._verdicts[cache_key] = verdicts[slot]
+                while len(self._verdicts) > self._maxsize:
+                    self._verdicts.popitem(last=False)
+                continue
+            if op == "dup":
+                results[index] = verdicts[slot]
+            if cache_key in self._verdicts:
+                self._verdicts.move_to_end(cache_key)
+        return [bool(r) for r in results]
+
     def clear(self) -> None:
         self._verdicts.clear()
         self.stats = VerifyCacheStats()
@@ -122,3 +188,19 @@ def registry_verify(
     return cache.verify(
         anchors, owner, message, signature, message_digest=message_digest
     )
+
+
+def registry_verify_batch(
+    anchors: KeyRegistry,
+    items: Sequence[BatchVerifyItem],
+    cache: Optional[SignatureCache] = None,
+) -> List[bool]:
+    """Memoized batched counterpart of :func:`registry_verify`.
+
+    One multi-scalar check settles every cache miss in ``items``;
+    verdicts, hit/miss accounting and cache state match a sequence of
+    :func:`registry_verify` calls exactly.
+    """
+    if cache is None:
+        cache = shared_cache
+    return cache.verify_batch(anchors, items)

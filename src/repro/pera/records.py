@@ -28,9 +28,25 @@ from repro.evidence.codec import (  # noqa: F401  (re-exports)
     RECORD_TLV_TYPE,
 )
 from repro.evidence.nodes import BatchedHopEvidence, HopEvidence
-from repro.evidence.verify import registry_verify
+from repro.evidence.verify import (
+    SignatureCache,
+    registry_verify,
+    registry_verify_batch,
+)
 from repro.pera.inertia import InertiaClass
 from repro.util.errors import CodecError
+
+
+def _share_payload(node: HopEvidence, record: HopEvidence) -> None:
+    """Hand a node's cached signed-payload bytes to its specialization.
+
+    The zero-copy decoder seeds ``_payload`` from the received wire;
+    without this, every ``from_node`` specialization would re-encode
+    the payload before its first signature or proof check.
+    """
+    cached = node.__dict__.get("_payload")
+    if cached is not None:
+        object.__setattr__(record, "_payload", cached)
 
 
 @dataclass(frozen=True)
@@ -89,7 +105,7 @@ class HopRecord(HopEvidence):
             )
         except ValueError as exc:
             raise CodecError(f"unknown inertia class in hop record: {exc}") from exc
-        return cls(
+        record = cls(
             place=node.place,
             measurements=measurements,
             sequence=node.sequence,
@@ -98,9 +114,11 @@ class HopRecord(HopEvidence):
             packet_digest=node.packet_digest,
             signature=node.signature,
         )
+        _share_payload(node, record)
+        return record
 
     @classmethod
-    def decode(cls, data: bytes) -> "HopRecord":
+    def decode(cls, data) -> "HopRecord":
         return cls.from_node(evidence_codec.decode_hop_body(data))
 
     def measurement_for(self, inertia: InertiaClass) -> Optional[bytes]:
@@ -167,7 +185,7 @@ class BatchedHopRecord(BatchedHopEvidence, HopRecord):
             )
         except ValueError as exc:
             raise CodecError(f"unknown inertia class in hop record: {exc}") from exc
-        return cls(
+        record = cls(
             place=node.place,
             measurements=measurements,
             sequence=node.sequence,
@@ -182,6 +200,8 @@ class BatchedHopRecord(BatchedHopEvidence, HopRecord):
             leaf_count=node.leaf_count,
             proof_path=node.proof_path,
         )
+        _share_payload(node, record)
+        return record
 
     def verify_root(
         self, anchors: KeyRegistry, signer: Optional[str] = None
@@ -205,12 +225,57 @@ def encode_record_stack(records: Sequence[HopRecord]) -> bytes:
     return evidence_codec.encode_record_stack(records)
 
 
-def decode_record_stack(data: bytes) -> List[HopRecord]:
+def decode_record_stack(data) -> List[HopRecord]:
     """Parse a shim-body TLV stream of hop records; other TLVs are
-    skipped (compiled policies share the same body)."""
+    skipped (compiled policies share the same body). Accepts ``bytes``
+    or a ``memoryview`` over the packet buffer (zero-copy)."""
     return [
         BatchedHopRecord.from_batched_node(node)
         if isinstance(node, BatchedHopEvidence)
         else HopRecord.from_node(node)
         for node in evidence_codec.decode_record_stack(data)
+    ]
+
+
+def verify_record_batch(
+    anchors: KeyRegistry,
+    records: Sequence[HopRecord],
+    signers: Optional[Sequence[Optional[str]]] = None,
+    cache: Optional[SignatureCache] = None,
+) -> List[bool]:
+    """Verify many records' signatures with one batched check.
+
+    Verdict-for-verdict identical to calling ``record.verify(anchors)``
+    per record (same memo cache, same accounting), but every cache miss
+    — per-record signatures and epoch-root signatures alike — settles
+    in a single multi-scalar Ed25519 check. Batched records still pay
+    their per-record Merkle proof walk, short-circuited exactly like
+    the sequential path (no proof walk under a bad root).
+    """
+    items = []
+    for index, record in enumerate(records):
+        signer = signers[index] if signers is not None else None
+        signer = signer or record.place
+        if isinstance(record, BatchedHopRecord):
+            items.append(
+                (
+                    signer,
+                    record.epoch_payload(),
+                    record.root_signature,
+                    record.epoch_payload_digest(),
+                )
+            )
+        else:
+            items.append(
+                (
+                    signer,
+                    record.signed_payload(),
+                    record.signature,
+                    record.payload_digest(),
+                )
+            )
+    verdicts = registry_verify_batch(anchors, items, cache=cache)
+    return [
+        ok and (record.proof_ok() if isinstance(record, BatchedHopRecord) else True)
+        for ok, record in zip(verdicts, records)
     ]

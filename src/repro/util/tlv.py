@@ -14,12 +14,17 @@ Nesting is by convention: a TLV value may itself be a TLV stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence
+from typing import Iterator, List, Sequence, Tuple, Union
 
 from repro.util.errors import CodecError
 
 _HEADER_LEN = 3
 _MAX_VALUE_LEN = 0xFFFF
+
+# Anything the decoders accept: decoding never needs to own the bytes,
+# so callers can hand in a memoryview over a packet buffer and no copy
+# happens until a terminal field is materialized.
+ByteSource = Union[bytes, bytearray, memoryview]
 
 
 @dataclass(frozen=True)
@@ -49,25 +54,40 @@ class TlvCodec:
         return b"".join(element.encode() for element in elements)
 
     @staticmethod
-    def decode(data: bytes) -> List[Tlv]:
+    def decode(data: ByteSource) -> List[Tlv]:
         return list(TlvCodec.iter_decode(data))
 
     @staticmethod
-    def iter_decode(data: bytes) -> Iterator[Tlv]:
+    def iter_decode(data: ByteSource) -> Iterator[Tlv]:
+        for tlv_type, value in TlvCodec.iter_views(data):
+            yield Tlv(tlv_type, bytes(value))
+
+    @staticmethod
+    def iter_views(data: ByteSource) -> Iterator[Tuple[int, memoryview]]:
+        """Walk a TLV stream without copying any value bytes.
+
+        Yields ``(type, value_view)`` pairs where each view is an O(1)
+        slice of the input buffer — the zero-copy primitive underneath
+        the evidence decoders. Views stay valid as long as the input
+        buffer does; callers materialize terminal fields with
+        ``bytes(view)`` only where ownership is actually needed.
+        """
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        total = len(view)
         offset = 0
-        while offset < len(data):
-            if offset + _HEADER_LEN > len(data):
+        while offset < total:
+            if offset + _HEADER_LEN > total:
                 raise CodecError(
-                    f"truncated TLV header at offset {offset} (have {len(data)} bytes)"
+                    f"truncated TLV header at offset {offset} (have {total} bytes)"
                 )
-            tlv_type = data[offset]
-            length = int.from_bytes(data[offset + 1 : offset + 3], "big")
+            tlv_type = view[offset]
+            length = (view[offset + 1] << 8) | view[offset + 2]
             start = offset + _HEADER_LEN
             end = start + length
-            if end > len(data):
+            if end > total:
                 raise CodecError(
                     f"truncated TLV value at offset {offset}: "
-                    f"declared {length} bytes, only {len(data) - start} remain"
+                    f"declared {length} bytes, only {total - start} remain"
                 )
-            yield Tlv(tlv_type, data[start:end])
+            yield tlv_type, view[start:end]
             offset = end

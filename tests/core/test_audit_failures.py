@@ -82,6 +82,30 @@ class TestFailureMatrix:
         assert events[0].detail["message"] in verdict.failures
         assert events[0].trace == TRACE.trace_id
 
+    def test_forged_record_signature_names_the_exact_record(self, delivered):
+        """One forged signature in the stack: the batched verify path
+        must isolate it to exactly the right record and journal exactly
+        one ``check.failed`` naming it."""
+        from dataclasses import replace
+
+        records, hop_count, switches, program = delivered
+        tel = Telemetry()
+        appraiser = _appraiser(switches, program, tel)
+        signature = records[1].signature
+        forged = replace(
+            records[1],
+            signature=signature[:-1] + bytes((signature[-1] ^ 0xFF,)),
+        )
+        verdict = appraiser.appraise_records(
+            [records[0], forged], hop_count, trace=TRACE
+        )
+        assert not verdict.accepted
+        events = _check_failures(tel)
+        assert len(events) == 1
+        assert events[0].detail["check"] == Check.SIGNATURE
+        assert events[0].detail["message"].startswith("record 1 (s2):")
+        assert "signature invalid" in events[0].detail["message"]
+
     def test_stripped_hop(self, delivered):
         records, hop_count, switches, program = delivered
         tel = Telemetry()

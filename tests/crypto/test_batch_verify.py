@@ -1,0 +1,376 @@
+"""Adversarial matrix for batched Ed25519 verification.
+
+The batched path must be *indistinguishable* from sequential
+verification in everything but cost: identical accept/reject sets
+(including malformed-input folds), exact isolation of forged members
+via bisection, deterministic randomizers (sharded campaigns must stay
+byte-identical), and verify-cache accounting that matches a sequence
+of single calls hit-for-hit.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import ed25519
+from repro.crypto.ed25519 import (
+    SigningKey,
+    VerifyKey,
+    _base_mul,
+    _batch_randomizers,
+    _multi_scalar_mul,
+    _odd_multiples,
+    _point_equal,
+    _point_mul,
+    _point_negate,
+    _wnaf_digits,
+    _wnaf_mul,
+    _BASE,
+    _IDENTITY,
+    _L,
+    verify_batch,
+)
+from repro.crypto.keys import KeyRegistry
+from repro.evidence.verify import (
+    SignatureCache,
+    registry_verify,
+    registry_verify_batch,
+)
+
+
+def _signers(count):
+    return [SigningKey.from_deterministic_seed(f"batch-signer-{i}") for i in range(count)]
+
+
+def _batch(size, signers):
+    """``size`` valid (key, message, signature) items over ``signers``."""
+    items = []
+    for i in range(size):
+        sk = signers[i % len(signers)]
+        message = f"batch-message-{i}".encode()
+        items.append((sk.verify_key(), message, sk.sign(message)))
+    return items
+
+
+def _forge(items, index):
+    """Replace item ``index``'s signature with a wrong (but canonical)
+    one: a valid signature over a different message."""
+    key, message, _ = items[index]
+    sk = SigningKey.from_deterministic_seed("batch-forger")
+    forged = list(items)
+    forged[index] = (key, message, sk.sign(message))
+    return forged
+
+
+class TestBatchVerify:
+    def test_all_valid_batch_accepts_in_one_check(self):
+        items = _batch(16, _signers(4))
+        stats = {}
+        assert verify_batch(items, stats) == [True] * 16
+        assert stats == {"batch_checks": 1}
+
+    def test_empty_batch(self):
+        assert verify_batch([]) == []
+
+    def test_single_item_batch_matches_single_verify(self):
+        items = _batch(1, _signers(1))
+        assert verify_batch(items) == [True]
+        key, message, signature = items[0]
+        assert verify_batch([(key, message, signature[:32] + b"\x00" * 32)]) == [
+            False
+        ]
+
+    @pytest.mark.parametrize("size", [2, 64, 513])
+    def test_one_forgery_is_isolated_to_the_exact_index(self, size):
+        signers = _signers(4)
+        items = _batch(size, signers)
+        forged_index = (2 * size) // 3
+        forged = _forge(items, forged_index)
+        stats = {}
+        results = verify_batch(forged, stats)
+        expected = [True] * size
+        expected[forged_index] = False
+        assert results == expected
+        # Bisection resolved the culprit with exact single verifies at
+        # the leaves, never accepting a group containing the forgery.
+        assert stats.get("single_checks", 0) >= 1
+
+    def test_two_forgeries_in_different_halves_are_both_isolated(self):
+        items = _batch(64, _signers(4))
+        forged = _forge(_forge(items, 5), 50)
+        results = verify_batch(forged)
+        expected = [True] * 64
+        expected[5] = expected[50] = False
+        assert results == expected
+
+    def test_all_forged_batch_rejects_everything(self):
+        items = _batch(8, _signers(2))
+        forged = items
+        for index in range(8):
+            forged = _forge(forged, index)
+        assert verify_batch(forged) == [False] * 8
+
+    def test_accepts_raw_key_bytes_like_verify_keys(self):
+        items = _batch(4, _signers(2))
+        as_bytes = [(key.key_bytes, m, s) for key, m, s in items]
+        assert verify_batch(as_bytes) == [True] * 4
+
+    def test_repeated_same_signature_batches(self):
+        key, message, signature = _batch(1, _signers(1))[0]
+        assert verify_batch([(key, message, signature)] * 7) == [True] * 7
+
+    def test_malformed_members_fold_to_false_without_raising(self):
+        signers = _signers(2)
+        items = _batch(3, signers)
+        key, message, signature = items[0]
+        bad_length_sig = (key, message, signature[:40])
+        bad_key = (b"\x00" * 31, message, signature)
+        non_point_r = (key, message, b"\xff" * 32 + signature[32:])
+        non_canonical_s = (
+            key,
+            message,
+            signature[:32] + (_L + 1).to_bytes(32, "little"),
+        )
+        batch = [items[1], bad_length_sig, bad_key, non_point_r, non_canonical_s, items[2]]
+        assert verify_batch(batch) == [True, False, False, False, False, True]
+
+    def test_rejection_set_matches_single_verify(self):
+        """Every structurally-odd input the single path rejects (after
+        its length gates), the batch rejects too — same split logic."""
+        sk = _signers(1)[0]
+        key = sk.verify_key()
+        message = b"parity"
+        good = sk.sign(message)
+        candidates = [
+            good,
+            good[:32] + (_L - 1).to_bytes(32, "little"),  # wrong s, canonical
+            good[:32] + (_L).to_bytes(32, "little"),  # s == L
+            b"\xff" * 32 + good[32:],  # R not on curve
+            bytes(64),
+        ]
+        for signature in candidates:
+            assert verify_batch([(key, message, signature)]) == [
+                key.verify(message, signature)
+            ]
+
+    def test_wrong_key_for_valid_signature_rejects(self):
+        signers = _signers(2)
+        message = b"key-swap"
+        signature = signers[0].sign(message)
+        assert verify_batch([(signers[1].verify_key(), message, signature)]) == [
+            False
+        ]
+
+    def test_swapped_messages_reject(self):
+        items = _batch(2, _signers(2))
+        (k0, m0, s0), (k1, m1, s1) = items
+        assert verify_batch([(k0, m1, s0), (k1, m0, s1)]) == [False, False]
+
+
+class TestRandomizerDeterminism:
+    def _prepared(self, items):
+        """Mirror verify_batch's screening to build prepared members."""
+        prepared = []
+        for index, (key, message, signature) in enumerate(items):
+            split = ed25519._split_signature(signature)
+            r_point, s = split
+            k = ed25519._challenge(key.key_bytes, message, signature)
+            prepared.append((index, key, message, signature, r_point, s, k))
+        return prepared
+
+    def test_same_batch_contents_same_randomizers(self):
+        items = _batch(8, _signers(2))
+        a = _batch_randomizers(self._prepared(items))
+        b = _batch_randomizers(self._prepared(items))
+        assert a == b
+
+    def test_randomizers_are_nonzero_and_distinct_per_index(self):
+        items = _batch(16, _signers(4))
+        zs = _batch_randomizers(self._prepared(items))
+        assert all(z != 0 for z in zs)
+        assert len(set(zs)) == len(zs)
+
+    def test_different_contents_different_randomizers(self):
+        signers = _signers(2)
+        a = _batch_randomizers(self._prepared(_batch(4, signers)))
+        b = _batch_randomizers(self._prepared(_forge(_batch(4, signers), 1)))
+        assert a != b
+
+    def test_verdicts_stable_across_repeated_runs(self):
+        """No ``random`` anywhere: repeated runs take identical paths."""
+        items = _forge(_batch(9, _signers(3)), 4)
+        runs = [verify_batch(items, {}) for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_randomizer_transcript_is_domain_separated(self):
+        """The transcript hash starts from the module's domain tag, so
+        no other protocol hash in the system can collide with it."""
+        assert ed25519._BATCH_DOMAIN.startswith(b"repro.crypto/")
+
+
+class TestMultiScalarEquivalence:
+    """The wNAF/MSM fast paths must agree with the generic ladder."""
+
+    SCALARS = [1, 2, 3, 7, 0xDEADBEEF, _L - 1, (1 << 252) + 12345, _L // 3]
+
+    def test_wnaf_digits_reconstruct_the_scalar(self):
+        for scalar in self.SCALARS:
+            digits = _wnaf_digits(scalar)
+            assert sum(d << i for i, d in enumerate(digits)) == scalar
+            for digit in digits:
+                assert digit == 0 or digit % 2 == 1
+                assert -16 < digit < 16
+
+    def test_odd_multiples_table(self):
+        point = _point_mul(9, _BASE)
+        table = _odd_multiples(point)
+        for i, entry in enumerate(table):
+            assert _point_equal(entry, _point_mul(2 * i + 1, point))
+
+    def test_wnaf_mul_matches_generic_ladder(self):
+        point = _point_mul(31337, _BASE)
+        positives = _odd_multiples(point)
+        negatives = tuple(_point_negate(p) for p in positives)
+        for scalar in self.SCALARS:
+            assert _point_equal(
+                _wnaf_mul(scalar, positives, negatives),
+                _point_mul(scalar, point),
+            )
+
+    def test_multi_scalar_mul_matches_sum_of_ladders(self):
+        points = [_point_mul(seed, _BASE) for seed in (5, 11, 23, 41)]
+        terms = list(zip(self.SCALARS[:4], points))
+        expected = _IDENTITY
+        for scalar, point in terms:
+            expected = ed25519._point_add(expected, _point_mul(scalar, point))
+        assert _point_equal(_multi_scalar_mul(terms), expected)
+
+    def test_multi_scalar_mul_ignores_zero_scalars(self):
+        point = _point_mul(77, _BASE)
+        assert _point_equal(
+            _multi_scalar_mul([(0, point), (5, point)]), _point_mul(5, point)
+        )
+        assert _point_equal(_multi_scalar_mul([(0, point)]), _IDENTITY)
+        assert _point_equal(_multi_scalar_mul([]), _IDENTITY)
+
+    def test_base_mul_matches_generic_ladder(self):
+        for scalar in self.SCALARS:
+            assert _point_equal(_base_mul(scalar), _point_mul(scalar, _BASE))
+
+    def test_verify_key_caches_negated_point_and_tables(self):
+        key = _signers(1)[0].verify_key()
+        assert _point_equal(key.neg_point(), _point_negate(key.point()))
+        assert key.neg_point() is key.neg_point()
+        assert key._wnaf_tables() is key._wnaf_tables()
+        positives, negatives = key._wnaf_tables()
+        assert _point_equal(positives[0], key.neg_point())
+        assert _point_equal(negatives[0], key.point())
+
+
+class TestMemoizedBatchParity:
+    """SignatureCache.verify_batch == a sequence of .verify calls."""
+
+    def _registry(self, signers):
+        registry = KeyRegistry()
+        for i, sk in enumerate(signers):
+            registry.register(f"sw{i}", sk.verify_key())
+        return registry
+
+    def _items(self, signers, count, forge_at=()):
+        items = []
+        for i in range(count):
+            owner = f"sw{i % len(signers)}"
+            message = f"cache-message-{i % 5}".encode()
+            signature = signers[i % len(signers)].sign(message)
+            if i in forge_at:
+                signature = signature[:32] + bytes(32)
+            items.append((owner, message, signature, None))
+        items.append(("unknown-place", b"m", bytes(64), None))
+        return items
+
+    @pytest.mark.parametrize("forge_at", [(), (3,), (0, 7, 11)])
+    def test_verdicts_stats_and_cache_state_match_sequential(self, forge_at):
+        signers = _signers(3)
+        registry = self._registry(signers)
+        items = self._items(signers, 12, forge_at=forge_at)
+
+        sequential_cache = SignatureCache()
+        sequential = [
+            registry_verify(registry, o, m, s, message_digest=d, cache=sequential_cache)
+            for o, m, s, d in items
+        ]
+        batched_cache = SignatureCache()
+        batched = registry_verify_batch(registry, items, cache=batched_cache)
+
+        assert batched == sequential
+        assert batched_cache.stats.snapshot() == sequential_cache.stats.snapshot()
+        assert list(batched_cache._verdicts.items()) == list(
+            sequential_cache._verdicts.items()
+        )
+
+    def test_in_batch_duplicates_count_as_hits(self):
+        signers = _signers(1)
+        registry = self._registry(signers)
+        message = b"dup"
+        signature = signers[0].sign(message)
+        cache = SignatureCache()
+        assert registry_verify_batch(
+            registry, [("sw0", message, signature, None)] * 5, cache=cache
+        ) == [True] * 5
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 4
+
+    def test_second_batch_is_all_hits(self):
+        signers = _signers(2)
+        registry = self._registry(signers)
+        items = self._items(signers, 6)[:-1]  # drop the unknown signer
+        cache = SignatureCache()
+        first = registry_verify_batch(registry, items, cache=cache)
+        misses = cache.stats.misses
+        second = registry_verify_batch(registry, items, cache=cache)
+        assert first == second
+        assert cache.stats.misses == misses  # no new crypto work
+
+    def test_eviction_order_matches_sequential(self):
+        signers = _signers(1)
+        registry = self._registry(signers)
+        items = []
+        for i in range(6):
+            message = f"evict-{i}".encode()
+            items.append(("sw0", message, signers[0].sign(message), None))
+        sequential_cache = SignatureCache(maxsize=4)
+        for o, m, s, d in items:
+            registry_verify(registry, o, m, s, message_digest=d, cache=sequential_cache)
+        batched_cache = SignatureCache(maxsize=4)
+        registry_verify_batch(registry, items, cache=batched_cache)
+        assert list(batched_cache._verdicts.items()) == list(
+            sequential_cache._verdicts.items()
+        )
+
+
+def test_randomizer_pin():
+    """Golden pin: the deterministic randomizer derivation is part of
+    the reproducibility contract (sharded campaigns replay the exact
+    same batch checks). Changing the transcript layout or domain is a
+    breaking change to recorded-run comparability — update docs/CRYPTO.md
+    if this moves."""
+    sk = SigningKey.from_deterministic_seed("pin")
+    message = b"pinned-message"
+    signature = sk.sign(message)
+    key = sk.verify_key()
+    k = ed25519._challenge(key.key_bytes, message, signature)
+    split = ed25519._split_signature(signature)
+    member = (0, key, message, signature, split[0], split[1], k)
+    [z] = _batch_randomizers([member])
+    assert z != 0 and z < (1 << 128)
+    expected = hashlib.sha512(
+        ed25519._BATCH_DOMAIN
+        + (1).to_bytes(4, "little")
+        + key.key_bytes
+        + signature
+        + k.to_bytes(32, "little")
+    ).digest()
+    rederived = hashlib.sha512(
+        expected + (0).to_bytes(4, "little") + (0).to_bytes(4, "little")
+    ).digest()
+    assert z == int.from_bytes(rederived[:16], "little")

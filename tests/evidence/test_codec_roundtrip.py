@@ -26,7 +26,7 @@ from repro.evidence import (
     encode_record_stack,
     iter_decode_nodes,
 )
-from repro.evidence.codec import POLICY_TLV_TYPE, RECORD_TLV_TYPE
+from repro.evidence.codec import POLICY_TLV_TYPE, RECORD_TLV_TYPE, iter_lazy_nodes
 from repro.evidence.nodes import KIND_HOP
 from repro.util.tlv import Tlv
 
@@ -137,3 +137,44 @@ def test_shim_framing_types_are_wire_stable():
 @given(a=evidence_trees, b=evidence_trees)
 def test_digest_discriminates_distinct_wire_forms(a, b):
     assert (a.wire == b.wire) == (a.content_digest == b.content_digest)
+
+
+# --- zero-copy decode (memoryview inputs, lazy materialization) --------
+
+
+@settings(max_examples=100, deadline=None)
+@given(node=evidence_trees)
+def test_decode_accepts_memoryview(node):
+    """Decoders take a view over the packet buffer, not owned bytes."""
+    wire = encode_node(node)
+    assert decode_node(memoryview(wire)) == node
+    assert list(iter_decode_nodes(memoryview(wire))) == [node]
+
+
+@settings(max_examples=100, deadline=None)
+@given(hops=st.lists(hop_nodes, max_size=4))
+def test_record_stack_round_trips_from_memoryview(hops):
+    stack = encode_record_stack(hops)
+    decoded = decode_record_stack(memoryview(stack))
+    assert decoded == hops
+    for original, roundtripped in zip(hops, decoded):
+        assert roundtripped.payload_digest() == original.payload_digest()
+
+
+@settings(max_examples=100, deadline=None)
+@given(hop=hop_nodes)
+def test_decoded_hop_seeds_signed_payload_from_wire(hop):
+    """Canonical wire seeds the payload cache — no re-encode needed for
+    the decode-side signature/digest checks, and the seeded bytes must
+    equal what re-encoding would have produced."""
+    decoded = decode_hop_body(memoryview(encode_hop_body(hop)))
+    assert decoded.__dict__.get("_payload") == hop.signed_payload()
+
+
+@settings(max_examples=50, deadline=None)
+@given(nodes=st.lists(evidence_trees, max_size=4))
+def test_lazy_nodes_materialize_on_demand(nodes):
+    stream = b"".join(encode_node(n) for n in nodes)
+    lazy = list(iter_lazy_nodes(memoryview(stream)))
+    assert [entry.kind for entry in lazy] == [n.KIND for n in nodes]
+    assert [entry.node() for entry in lazy] == nodes

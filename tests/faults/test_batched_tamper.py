@@ -18,9 +18,15 @@ from repro.core.compiler import compile_policy_for_path
 from repro.core.policies import ap1_bank_path_attestation
 from repro.core.usecases import _appraiser_for, _pera_chain
 from repro.core.wire import encode_compiled_policy
+from repro.evidence.verify import SignatureCache
 from repro.net.headers import RaShimHeader
 from repro.pera.config import BatchingSpec, CompositionMode, EvidenceConfig
-from repro.pera.records import BatchedHopRecord, decode_record_stack
+from repro.pera.epoch import EpochRootVerifier
+from repro.pera.records import (
+    BatchedHopRecord,
+    decode_record_stack,
+    verify_record_batch,
+)
 from repro.pisa.programs import firewall_program
 from repro.ra.nonce import NonceManager
 from repro.telemetry import AuditKind, Check, Telemetry, TraceContext
@@ -225,3 +231,60 @@ class TestBatchedTamperMatrix:
         assert len(events) == 1
         assert events[0].detail["check"] == Check.NONCE
         assert events[0].detail["message"] == "nonce replayed"
+
+
+class TestBatchedVsSequentialParity:
+    """``verify_record_batch`` must agree with per-record ``verify``
+    on every tamper variant — the batched crypto path cannot accept a
+    record the sequential path rejects, or vice versa."""
+
+    def _variants(self, stacks):
+        honest = stacks[0]
+        epoch2 = stacks[2][0]
+        signature = honest[0].root_signature
+        (sibling, is_left), *rest = honest[0].proof_path
+        flipped_sibling = bytes((sibling[0] ^ 0x01,)) + sibling[1:]
+        return [
+            honest[0],  # genuine
+            honest[1],  # genuine, second switch
+            replace(honest[0], sequence=honest[0].sequence + 1),
+            replace(
+                honest[0],
+                proof_path=((flipped_sibling, is_left),) + tuple(rest),
+            ),
+            replace(
+                honest[0],
+                root_signature=signature[:-1] + bytes((signature[-1] ^ 0xFF,)),
+            ),
+            replace(
+                honest[0],
+                epoch_id=epoch2.epoch_id,
+                epoch_root=epoch2.epoch_root,
+                root_signature=epoch2.root_signature,
+                leaf_count=epoch2.leaf_count,
+            ),
+            replace(honest[0], leaf_index=honest[0].leaf_index ^ 1),
+        ]
+
+    def test_verdict_parity_across_the_tamper_matrix(self, delivered):
+        stacks, hop_count, switches, program = delivered
+        anchors = _appraiser(switches, program, Telemetry()).policy.anchors
+        records = self._variants(stacks)
+        sequential = [r.verify(anchors) for r in records]
+        batched = verify_record_batch(anchors, records, cache=SignatureCache())
+        assert batched == sequential
+        assert sequential == [True, True, False, False, False, False, False]
+
+    def test_epoch_root_verifier_matches_per_record_verify(self, delivered):
+        stacks, hop_count, switches, program = delivered
+        anchors = _appraiser(switches, program, Telemetry()).policy.anchors
+        records = self._variants(stacks)
+        verifier = EpochRootVerifier(anchors, cache=SignatureCache())
+        for record in records:
+            verifier.add(record)
+        # Genuine records of one epoch dedup to a single pending root;
+        # each forged header is a distinct root to settle.
+        assert verifier.pending_count < len(records)
+        assert verifier.verify_records(records) == [
+            r.verify(anchors) for r in records
+        ]
