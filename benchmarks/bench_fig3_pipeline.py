@@ -164,9 +164,13 @@ def test_fig3_batched_speedup(benchmark):
 
     Both attested modes run the same chained design point; the only
     difference is one Ed25519 signature per epoch (Merkle-root
-    amortized) instead of one per packet. A plain no-RA switch anchors
-    the absolute overhead gates. All rates land in ``extra_info`` so
-    BENCH_results.json shows them side by side.
+    amortized) instead of one per packet. The hard gate is the ratio
+    between the two attested modes — measured interleaved under the
+    same machine conditions — while a plain no-RA switch anchors the
+    absolute overhead ratios, which are *reported* (extra_info + table)
+    but gated baseline-relative by check_regression.py rather than as
+    machine-dependent wall-clock constants here. All rates land in
+    ``extra_info`` so BENCH_results.json shows them side by side.
     """
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     per_packet = EvidenceConfig(composition=CompositionMode.CHAINED)
@@ -204,15 +208,16 @@ def test_fig3_batched_speedup(benchmark):
     )
     # The amortization ratio: batching still wins big, but the faster
     # windowed/base-table signing shrank the per-packet side it divides
-    # by, so the old ≥5× ratio gate is now ≥4× — the absolute gates
-    # below are what actually tightened.
+    # by, so the old ≥5× ratio gate is now ≥4×. This is the only hard
+    # gate here: both sides of the ratio run interleaved on the same
+    # machine in the same process, so it is immune to runner speed.
     assert speedup >= 4.0
-    # Absolute chained overhead vs the no-RA wall-clock floor: before
-    # the widened base table and the single-exponentiation
-    # decompression this sat around 63× baseline (534 µs/pkt); the
-    # gate pins the improvement (~49×) and ratchets toward the paper's
-    # ≤3× batched target.
-    assert chained_overhead <= 55.0
-    # Epoch batching plus the faster signing holds the overhead within
-    # striking distance of the target already (~9×).
-    assert batched_overhead <= 14.0
+    # The absolute overhead-vs-baseline ratios (chained ~49×, batched
+    # ~9× on the reference runner; ~63× chained before the widened base
+    # table and single-exponentiation decompression) are reported in
+    # extra_info and the table only: interpreter wall-clock constants
+    # shift with machine and load, so pinning them here would flake on
+    # slow runners and mask regressions on fast ones. Wall-clock
+    # regressions are gated baseline-relative by check_regression.py
+    # (this module is a watched suite); re-baselining = regenerating
+    # BENCH_results.json on the reference runner (see docs/CRYPTO.md).

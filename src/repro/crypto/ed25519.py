@@ -386,6 +386,11 @@ def _wnaf_tables_for(a_point: _Point) -> _WnafTables:
     return positives, negatives
 
 
+def _mul_by_cofactor(p: _Point) -> _Point:
+    """``[8]P`` — three doublings clear any small-order component."""
+    return _point_double(_point_double(_point_double(p)))
+
+
 def _verify_decompressed(
     a_point: _Point,
     public: bytes,
@@ -400,15 +405,28 @@ def _verify_decompressed(
     k = _challenge(public, message, signature)
     if tables is None:
         tables = _wnaf_tables_for(a_point)
-    # s*B == R + k*A  <=>  s*B + k*(-A) == R. The fixed-base half comes
-    # from the precomputed window table; the variable-base half runs
-    # one wNAF chain over the key's cached odd-multiple tables.
+    # Cofactored check (RFC 8032 §5.1.7's "[8][S]B = [8]R + [8][k]A'"
+    # variant): compute s*B + k*(-A) - R and multiply by the cofactor
+    # before comparing to the identity. Cofactorless single
+    # verification cannot agree with any batched check (Chalkias et
+    # al., "Taming the Many EdDSAs"): a signer can plant a small-order
+    # torsion point in R that only the batch randomizers cancel.
+    # Clearing the 8-torsion on *both* paths makes the accept sets
+    # provably identical. The fixed-base half comes from the
+    # precomputed window table; the variable-base half runs one wNAF
+    # chain over the key's cached odd-multiple tables.
     candidate = _point_add(_base_mul(s), _wnaf_mul(k, *tables))
-    return _point_equal(candidate, r_point)
+    diff = _point_add(candidate, _point_negate(r_point))
+    return _point_equal(_mul_by_cofactor(diff), _IDENTITY)
 
 
 def verify(public: bytes, message: bytes, signature: bytes) -> bool:
     """Check an Ed25519 signature. Returns ``False`` on any mismatch.
+
+    Verification is *cofactored* (the RFC 8032 §5.1.7 ``[8][S]B = [8]R
+    + [8][k]A'`` variant), matching :func:`verify_batch` exactly — see
+    the batch-verification comment block for why cofactorless single
+    verification can never agree with a batched check.
 
     Raises :class:`CryptoError` only for structurally malformed inputs
     (wrong lengths, non-canonical points), so callers can distinguish
@@ -539,10 +557,10 @@ class SigningKey:
 # --- batch verification -------------------------------------------------
 #
 # The random-linear-combination check: signatures i with challenge k_i
-# all satisfy s_i·B = R_i + k_i·A_i, so for any non-zero randomizers
-# z_i the single equation
+# all satisfy [8]s_i·B = [8]R_i + [8]k_i·A_i, so for any non-zero
+# randomizers z_i the single equation
 #
-#     (Σ z_i·s_i)·B − Σ z_i·R_i − Σ (z_i·k_i)·A_i = 0
+#     [8]( (Σ z_i·s_i)·B − Σ z_i·R_i − Σ (z_i·k_i)·A_i ) = 0
 #
 # holds for an all-valid batch, while a batch containing any forgery
 # fails except with probability ~2^-128 over the choice of z_i. One
@@ -550,6 +568,21 @@ class SigningKey:
 # replaces n independent verifications. Signatures by the *same* key
 # merge their z_i·k_i scalars, so a batch signed by few distinct
 # switches pays for few variable-base points.
+#
+# Both the batched equation and the single check are *cofactored*
+# (multiplied by 8 before the identity comparison). This is load-
+# bearing, not stylistic: Chalkias et al. ("Taming the Many EdDSAs")
+# show cofactorless batch verification cannot match cofactorless
+# single verification — a signer can publish (R + T, s) with T a
+# small-order torsion point and grind messages until the randomizers
+# cancel T (with deterministic z_i that is ~8 tries for z ≡ 0 mod 8),
+# making the batch accept a signature the single path rejects. The
+# passing batch never bisects, so the divergence would poison the
+# verify cache and break batched/sequential verdict parity. Clearing
+# the 8-torsion on both paths removes the attack class entirely; the
+# randomizers are additionally forced odd so no single member's
+# torsion defect can be annihilated by its own z_i even if the
+# cofactor multiplication were ever removed.
 #
 # Randomizers are derived from a domain-separated hash of the batch
 # contents — never from ``random`` — so the same evidence always takes
@@ -573,6 +606,10 @@ def _batch_randomizers(members: Sequence[_Prepared]) -> List[int]:
     each index squeezes an independent non-zero 128-bit scalar.
     128 bits keeps the forgery-acceptance probability negligible while
     halving the R-point wNAF chains relative to full-width scalars.
+    Every ``z_i`` is forced odd: combined with the cofactored batch
+    equation this guarantees ``z_i·T ≠ 0`` for any non-trivial
+    small-order ``T``, so a lone member's torsion component can never
+    be cancelled by its own randomizer.
     """
     transcript = hashlib.sha512()
     transcript.update(_BATCH_DOMAIN)
@@ -584,15 +621,11 @@ def _batch_randomizers(members: Sequence[_Prepared]) -> List[int]:
     seed = transcript.digest()
     randomizers: List[int] = []
     for index in range(len(members)):
-        counter = 0
-        z = 0
-        while z == 0:
-            block = _sha512(
-                seed + index.to_bytes(4, "little") + counter.to_bytes(4, "little")
-            )
-            z = int.from_bytes(block[:16], "little")
-            counter += 1
-        randomizers.append(z)
+        block = _sha512(
+            seed + index.to_bytes(4, "little") + (0).to_bytes(4, "little")
+        )
+        # Odd — hence non-zero — by construction (see the docstring).
+        randomizers.append(int.from_bytes(block[:16], "little") | 1)
     return randomizers
 
 
@@ -615,7 +648,8 @@ def _check_batch(
     for key_bytes, scalar in key_scalars.items():
         terms.append((scalar, key_points[key_bytes]))
     candidate = _point_add(_base_mul(merged_s), _multi_scalar_mul(terms))
-    return _point_equal(candidate, _IDENTITY)
+    # Cofactored, like the single path — see the comment block above.
+    return _point_equal(_mul_by_cofactor(candidate), _IDENTITY)
 
 
 def _resolve_batch(

@@ -229,21 +229,42 @@ def encode_hop_body(hop: HopEvidence) -> bytes:
     return hop.signed_payload() + Tlv(HOP_F_SIGNATURE, hop.signature).encode()
 
 
+
+# The canonical payload field order emitted by ``signed_payload()``:
+# place, measurements, sequence, then the optional fixed-position tail.
+# Ranks are positional, not numeric-by-type (sequence/ingress-port were
+# added after chain-head/packet-digest and encode *before* them).
+_CANONICAL_HOP_RANK = {
+    HOP_F_PLACE: 0,
+    HOP_F_MEASUREMENT: 1,
+    HOP_F_SEQUENCE: 2,
+    HOP_F_INGRESS_PORT: 3,
+    HOP_F_CHAIN_HEAD: 4,
+    HOP_F_PACKET_DIGEST: 5,
+}
+
+
 def decode_hop_body(data: ByteSource) -> HopEvidence:
     """Decode the flat hop-record field stream into a canonical node.
 
-    When the wire layout is canonical (signature field last, or absent
-    as in batched inner hops), the signed-payload prefix of the input
-    is seeded into the node's ``_payload`` cache, so appraisal-side
-    digest and signature checks reuse the received bytes instead of
-    re-encoding the record. A non-canonical field order falls back to
-    the canonical re-encode — and its signature check then fails, which
-    only rejects wire forms the signer could never have produced.
+    When the wire layout is canonical — payload fields in the exact
+    order ``signed_payload()`` emits them (each at most once, except
+    measurements, and the mandatory sequence field present), signature
+    field last or absent as in batched inner hops — the signed-payload
+    prefix of the input is seeded into the node's ``_payload`` cache,
+    so appraisal-side digest and signature checks reuse the received
+    bytes instead of re-encoding the record. Any deviation (reordered
+    or duplicated payload fields, a missing sequence field, fields
+    after the signature) falls back to the canonical re-encode, so a
+    wire whose *content* matches what the signer signed still verifies
+    regardless of field order, and a payload mismatch can never hide
+    behind the seeded cache.
     """
     view = data if isinstance(data, memoryview) else memoryview(data)
     place = None
     measurements: List[tuple] = []
     sequence = 0
+    sequence_seen = False
     ingress_port = None
     chain_head = None
     packet_digest = None
@@ -251,13 +272,22 @@ def decode_hop_body(data: ByteSource) -> HopEvidence:
     offset = 0
     payload_end = None  # where the signed prefix stops, if canonical
     canonical = True
+    last_rank = -1
     for tlv_type, value in TlvCodec.iter_views(view):
         if tlv_type == HOP_F_SIGNATURE:
             if payload_end is not None:
                 canonical = False  # duplicate signature field
             payload_end = offset
-        elif payload_end is not None:
-            canonical = False  # payload field after the signature
+        else:
+            if payload_end is not None:
+                canonical = False  # payload field after the signature
+            rank = _CANONICAL_HOP_RANK.get(tlv_type, -1)
+            if rank < last_rank or (
+                rank == last_rank and tlv_type != HOP_F_MEASUREMENT
+            ):
+                canonical = False  # out-of-order or duplicated field
+            else:
+                last_rank = rank
         offset += 3 + len(value)
         if tlv_type == HOP_F_PLACE:
             place = _text(value, "hop place")
@@ -269,6 +299,7 @@ def decode_hop_body(data: ByteSource) -> HopEvidence:
             if len(value) != 4:
                 raise CodecError("sequence TLV must be 4 bytes")
             sequence = int.from_bytes(value, "big")
+            sequence_seen = True
         elif tlv_type == HOP_F_INGRESS_PORT:
             if len(value) != 2:
                 raise CodecError("ingress-port TLV must be 2 bytes")
@@ -292,7 +323,9 @@ def decode_hop_body(data: ByteSource) -> HopEvidence:
         packet_digest=packet_digest,
         signature=signature,
     )
-    if canonical:
+    # The canonical encoder always emits the sequence field (even for
+    # sequence 0); a wire without one cannot be its own signed payload.
+    if canonical and sequence_seen:
         end = len(view) if payload_end is None else payload_end
         object.__setattr__(hop, "_payload", bytes(view[:end]))
     return hop

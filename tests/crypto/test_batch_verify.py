@@ -31,6 +31,7 @@ from repro.crypto.ed25519 import (
     verify_batch,
 )
 from repro.crypto.keys import KeyRegistry
+from repro.util.errors import CryptoError
 from repro.evidence.verify import (
     SignatureCache,
     registry_verify,
@@ -165,6 +166,95 @@ class TestBatchVerify:
         items = _batch(2, _signers(2))
         (k0, m0, s0), (k1, m1, s1) = items
         assert verify_batch([(k0, m1, s0), (k1, m0, s1)]) == [False, False]
+
+
+def _small_order_point():
+    """A point of exact order 8 (a generator of the torsion subgroup).
+
+    The edwards25519 point group is cyclic of order 8·L, so L times any
+    point outside the prime-order subgroup is small-order; probing
+    hash-derived encodings finds a full-order-8 one within a few tries.
+    """
+    counter = 0
+    while True:
+        candidate = hashlib.sha512(
+            b"torsion-probe" + counter.to_bytes(2, "little")
+        ).digest()[:32]
+        counter += 1
+        try:
+            point = ed25519._point_decompress(candidate)
+        except CryptoError:
+            continue
+        torsion = _point_mul(_L, point)
+        if _point_equal(torsion, _IDENTITY):
+            continue
+        if _point_equal(_point_mul(4, torsion), _IDENTITY):
+            continue  # order 2 or 4; keep looking for full order 8
+        return torsion
+
+
+def _torsion_signature(sk, message, torsion):
+    """A signer-side torsion forgery: ``(R + T, s)`` with ``s`` honest.
+
+    The signer computes the challenge over the *displaced* R encoding,
+    so ``s·B − k·A = R`` exactly — the verification defect is precisely
+    the small-order point ``T``, the shape Chalkias et al. use to split
+    cofactorless batch verification from cofactorless single
+    verification.
+    """
+    a, prefix = ed25519._secret_expand(sk.seed)
+    public = sk.verify_key().key_bytes
+    r = int.from_bytes(ed25519._sha512(prefix + message), "little") % _L
+    r_enc = ed25519._point_compress(
+        ed25519._point_add(_base_mul(r), torsion)
+    )
+    k = int.from_bytes(ed25519._sha512(r_enc + public + message), "little") % _L
+    s = (r + k * a) % _L
+    return r_enc + s.to_bytes(32, "little")
+
+
+class TestCofactoredTorsionParity:
+    """Both verification paths are cofactored, so a small-order torsion
+    component in R can never make the batched and single verdicts
+    diverge — the attack the deterministic randomizers would otherwise
+    expose (grind messages until z_i ≡ 0 mod 8 cancels the torsion)."""
+
+    def test_torsion_signature_accepted_consistently(self):
+        # RFC 8032 §5.1.7 explicitly permits the cofactored equation;
+        # what matters here is that *both* paths take it.
+        sk = SigningKey.from_deterministic_seed("torsion")
+        key = sk.verify_key()
+        signature = _torsion_signature(sk, b"torsion-msg", _small_order_point())
+        assert key.verify(b"torsion-msg", signature) is True
+        assert ed25519.verify(key.key_bytes, b"torsion-msg", signature) is True
+        assert verify_batch([(key, b"torsion-msg", signature)]) == [True]
+
+    def test_grinding_messages_cannot_split_batch_from_single(self):
+        """The historical attack: ~1 in 8 messages made the cofactorless
+        batch accept what single verification rejected. Sweep well past
+        that expected window and demand verdict parity on every one."""
+        sk = SigningKey.from_deterministic_seed("torsion-grinder")
+        key = sk.verify_key()
+        torsion = _small_order_point()
+        for i in range(32):
+            message = f"grind-{i}".encode()
+            signature = _torsion_signature(sk, message, torsion)
+            single = key.verify(message, signature)
+            assert verify_batch([(key, message, signature)]) == [single]
+
+    @pytest.mark.parametrize("size", [2, 64])
+    def test_torsion_member_in_mixed_batches_keeps_parity(self, size):
+        sk = SigningKey.from_deterministic_seed("torsion")
+        items = _batch(size, _signers(4))
+        key = sk.verify_key()
+        message = b"mixed-torsion"
+        items[size // 2] = (
+            key,
+            message,
+            _torsion_signature(sk, message, _small_order_point()),
+        )
+        sequential = [k.verify(m, s) for k, m, s in items]
+        assert verify_batch(items) == sequential
 
 
 class TestRandomizerDeterminism:
@@ -363,6 +453,7 @@ def test_randomizer_pin():
     member = (0, key, message, signature, split[0], split[1], k)
     [z] = _batch_randomizers([member])
     assert z != 0 and z < (1 << 128)
+    assert z & 1, "randomizers must be odd (torsion-cancellation guard)"
     expected = hashlib.sha512(
         ed25519._BATCH_DOMAIN
         + (1).to_bytes(4, "little")
@@ -373,4 +464,4 @@ def test_randomizer_pin():
     rederived = hashlib.sha512(
         expected + (0).to_bytes(4, "little") + (0).to_bytes(4, "little")
     ).digest()
-    assert z == int.from_bytes(rederived[:16], "little")
+    assert z == int.from_bytes(rederived[:16], "little") | 1

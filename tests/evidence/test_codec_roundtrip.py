@@ -27,8 +27,13 @@ from repro.evidence import (
     iter_decode_nodes,
 )
 from repro.evidence.codec import POLICY_TLV_TYPE, RECORD_TLV_TYPE, iter_lazy_nodes
-from repro.evidence.nodes import KIND_HOP
-from repro.util.tlv import Tlv
+from repro.evidence.nodes import (
+    HOP_F_MEASUREMENT,
+    HOP_F_SEQUENCE,
+    HOP_F_SIGNATURE,
+    KIND_HOP,
+)
+from repro.util.tlv import Tlv, TlvCodec
 
 names = st.text(max_size=12)
 small_bytes = st.binary(max_size=24)
@@ -169,6 +174,79 @@ def test_decoded_hop_seeds_signed_payload_from_wire(hop):
     equal what re-encoding would have produced."""
     decoded = decode_hop_body(memoryview(encode_hop_body(hop)))
     assert decoded.__dict__.get("_payload") == hop.signed_payload()
+
+
+@settings(max_examples=100, deadline=None)
+@given(hop=hop_nodes)
+def test_reordered_wire_falls_back_to_canonical_reencode(hop):
+    """Payload fields out of canonical order must NOT seed the payload
+    cache with the raw reordered bytes — the decoder re-encodes
+    canonically, so signature and digest checks see exactly the bytes
+    the signer signed and field order alone cannot flip a verdict."""
+    elements = [
+        (t, bytes(v)) for t, v in TlvCodec.iter_views(encode_hop_body(hop))
+    ]
+    trailer = [e for e in elements if e[0] == HOP_F_SIGNATURE]
+    payload = [e for e in elements if e[0] != HOP_F_SIGNATURE]
+    # Reverse the non-measurement fields (ordering among measurements
+    # is meaningful, so keep it); place/sequence always both exist, so
+    # the result is genuinely out of canonical order.
+    measurements = [e for e in payload if e[0] == HOP_F_MEASUREMENT]
+    others = [e for e in payload if e[0] != HOP_F_MEASUREMENT]
+    reordered = list(reversed(others)) + measurements + trailer
+    wire = b"".join(Tlv(t, v).encode() for t, v in reordered)
+    decoded = decode_hop_body(memoryview(wire))
+    assert decoded == hop
+    assert decoded.signed_payload() == hop.signed_payload()
+    assert decoded.payload_digest() == hop.payload_digest()
+
+
+def test_wire_missing_sequence_field_is_not_seeded():
+    """The canonical encoder always emits the sequence field (even for
+    0); a wire that omits it decodes fine but must re-encode — seeding
+    would hand the signature check bytes the signer never produced."""
+    hop = HopEvidence(
+        place="sw1",
+        measurements=((1, b"m"),),
+        sequence=0,
+        ingress_port=None,
+        chain_head=None,
+        packet_digest=None,
+        signature=b"\x5a" * 64,
+    )
+    stripped = b"".join(
+        Tlv(t, bytes(v)).encode()
+        for t, v in TlvCodec.iter_views(encode_hop_body(hop))
+        if t != HOP_F_SEQUENCE
+    )
+    decoded = decode_hop_body(memoryview(stripped))
+    assert decoded == hop
+    assert decoded.__dict__.get("_payload") is None
+    assert decoded.signed_payload() == hop.signed_payload()
+
+
+def test_duplicated_payload_field_is_not_seeded():
+    """A duplicated non-measurement field (last one wins in decode) is
+    non-canonical: the seeded prefix would not equal the re-encode."""
+    hop = HopEvidence(
+        place="sw2",
+        measurements=(),
+        sequence=7,
+        ingress_port=None,
+        chain_head=None,
+        packet_digest=None,
+        signature=b"",
+    )
+    elements = [
+        (t, bytes(v)) for t, v in TlvCodec.iter_views(encode_hop_body(hop))
+    ]
+    doubled = b"".join(
+        Tlv(t, v).encode() for t, v in [elements[0]] + elements
+    )
+    decoded = decode_hop_body(memoryview(doubled))
+    assert decoded == hop
+    assert decoded.__dict__.get("_payload") is None
+    assert decoded.signed_payload() == hop.signed_payload()
 
 
 @settings(max_examples=50, deadline=None)
